@@ -1,0 +1,38 @@
+"""Ablation: replacement policies beyond the paper (§5 future work).
+
+Compares LRU and FIFO against Belady's OPT (the offline upper bound) and
+the interprocess-aware policy at a fixed cache size — quantifying the
+headroom the paper's "replacement policies other than LRU or FIFO should
+be developed" is pointing at.
+"""
+
+from conftest import show
+
+from repro.caching import simulate_io_node_caches
+from repro.util.tables import format_table
+
+BUFFERS = 500
+
+
+def _run_all(frame):
+    return {
+        policy: simulate_io_node_caches(
+            frame, BUFFERS, n_io_nodes=10, policy=policy
+        ).hit_rate
+        for policy in ("fifo", "lru", "interprocess", "opt")
+    }
+
+
+def test_ablation_replacement_policies(benchmark, frame):
+    rates = benchmark.pedantic(_run_all, args=(frame,), rounds=1, iterations=1)
+
+    show(
+        f"Ablation: policy comparison at {BUFFERS} total buffers",
+        format_table(["policy", "read hit rate"], sorted(rates.items(), key=lambda kv: kv[1])),
+    )
+
+    # OPT bounds everything from above
+    assert rates["opt"] >= rates["lru"] - 1e-9
+    assert rates["opt"] >= rates["fifo"] - 1e-9
+    # LRU does not lose to FIFO
+    assert rates["lru"] >= rates["fifo"] - 0.02

@@ -1,0 +1,41 @@
+"""§5's closing line, quantified: collective / disk-directed I/O.
+
+Three interfaces over the same trace, measured in disk busy time:
+per-request (no cache), per-request through the I/O-node caches, and
+disk-directed (each file's traffic as one collective operation, each
+I/O node sweeping its blocks sequentially).
+"""
+
+from conftest import show
+
+from repro.caching import compare_interfaces
+from repro.util.tables import format_table
+from repro.util.units import format_bytes
+
+
+def test_disk_directed_io(benchmark, frame):
+    cmp = benchmark.pedantic(
+        compare_interfaces, args=(frame,),
+        kwargs={"cache_buffers": 500}, rounds=1, iterations=1,
+    )
+
+    rows = [
+        ("per-request", cmp.per_request.n_disk_ops,
+         format_bytes(cmp.per_request.mean_op_bytes),
+         f"{cmp.per_request.busy_seconds:.0f}"),
+        ("cached", cmp.cached.n_disk_ops,
+         format_bytes(cmp.cached.mean_op_bytes),
+         f"{cmp.cached.busy_seconds:.0f}"),
+        ("disk-directed", cmp.disk_directed.n_disk_ops,
+         format_bytes(cmp.disk_directed.mean_op_bytes),
+         f"{cmp.disk_directed.busy_seconds:.0f}"),
+    ]
+    show(
+        "§5: interface comparison at the disks",
+        format_table(["interface", "disk ops", "mean op", "busy seconds"], rows)
+        + f"\ndisk-directed speedup: {cmp.speedup_vs_per_request:.1f}x over "
+        f"per-request, {cmp.speedup_vs_cached:.1f}x over cached",
+    )
+
+    assert cmp.speedup_vs_per_request > 2.0
+    assert cmp.speedup_vs_cached > 1.0

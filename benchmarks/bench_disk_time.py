@@ -1,0 +1,38 @@
+"""§4.8's disk-level argument: I/O-node caches avoid extraneous disk I/O
+and turn many small disk transfers into few large ones.
+
+Replays the trace against the seek/rotate/transfer disk model with and
+without I/O-node caches and reports operations, mean transfer size, and
+disk busy time.
+"""
+
+from conftest import show
+
+from repro.caching import simulate_disk_time
+from repro.util.tables import format_table
+from repro.util.units import format_bytes
+
+
+def test_disk_time_with_and_without_cache(benchmark, frame):
+    raw, cached = benchmark.pedantic(
+        simulate_disk_time, args=(frame, 500),
+        kwargs={"n_io_nodes": 10}, rounds=1, iterations=1,
+    )
+
+    show(
+        "§4.8: disk activity, cacheless vs 500-buffer I/O-node caches",
+        format_table(
+            ["system", "disk ops", "mean op", "busy seconds", "eff. MB/s"],
+            [
+                ("cacheless", raw.n_disk_ops, format_bytes(raw.mean_op_bytes),
+                 f"{raw.busy_seconds:.1f}", f"{raw.effective_bandwidth / 1e6:.2f}"),
+                ("cached", cached.n_disk_ops, format_bytes(cached.mean_op_bytes),
+                 f"{cached.busy_seconds:.1f}", f"{cached.effective_bandwidth / 1e6:.2f}"),
+            ],
+        )
+        + f"\nbusy-time reduction: {1 - cached.busy_seconds / raw.busy_seconds:.1%}",
+    )
+
+    assert cached.n_disk_ops < raw.n_disk_ops
+    assert cached.busy_seconds < raw.busy_seconds
+    assert cached.mean_op_bytes >= raw.mean_op_bytes * 0.9

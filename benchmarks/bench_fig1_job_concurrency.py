@@ -1,0 +1,29 @@
+"""Figure 1: time the machine spent at each concurrent-job level.
+
+Paper: idle more than a quarter of the time; more than one job about
+35 % of the time; as many as eight jobs at once.
+"""
+
+from conftest import show
+
+from repro.core.jobstats import concurrency_profile
+from repro.util.tables import format_percent, format_table
+
+
+def test_fig1_job_concurrency(benchmark, frame):
+    prof = benchmark(concurrency_profile, frame)
+
+    body = format_table(
+        ["jobs", "hours", "fraction"],
+        [(l, s / 3600.0, f) for l, s, f in prof.rows()],
+    )
+    body += (
+        f"\nidle {format_percent(prof.idle_fraction)} (paper >25%), "
+        f">1 job {format_percent(prof.multiprogrammed_fraction)} (paper ~35%), "
+        f"max {prof.max_level} (paper 8)"
+    )
+    show("Figure 1: concurrent jobs", body)
+
+    assert prof.max_level <= 8
+    assert 0.05 < prof.idle_fraction < 0.60
+    assert prof.multiprogrammed_fraction > 0.10

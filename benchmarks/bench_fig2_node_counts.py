@@ -1,0 +1,30 @@
+"""Figure 2: distribution of compute nodes used per job.
+
+Paper: one-node jobs dominate the job population; large parallel jobs
+dominate node usage; the iPSC limits widths to powers of two.
+"""
+
+import numpy as np
+from conftest import show
+
+from repro.core.jobstats import node_count_distribution
+from repro.util.tables import format_table
+
+
+def test_fig2_node_counts(benchmark, frame):
+    dist = benchmark(node_count_distribution, frame)
+
+    show(
+        "Figure 2: job widths",
+        format_table(
+            ["nodes", "jobs", "% of jobs", "% of node-seconds"],
+            [(c, n, 100 * jf, 100 * uf) for c, n, jf, uf in dist.rows()],
+        ),
+    )
+
+    # powers of two only
+    assert all(c & (c - 1) == 0 for c in dist.node_counts)
+    by_count = dict(zip(dist.node_counts.tolist(), dist.job_fractions.tolist()))
+    usage = dict(zip(dist.node_counts.tolist(), dist.usage_fractions.tolist()))
+    assert by_count.get(1, 0.0) > 0.5               # 1-node jobs dominate count
+    assert sum(v for k, v in usage.items() if k >= 16) > 0.35  # big jobs dominate usage

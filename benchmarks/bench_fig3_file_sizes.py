@@ -1,0 +1,32 @@
+"""Figure 3: CDF of file sizes at close.
+
+Paper: most files between 10 KB and 1 MB, with application-specific
+clusters (≈25 KB and ≈250 KB); larger than general-purpose file systems,
+smaller than vector-supercomputer files (users worked under a 7.6 GB /
+10 MB/s ceiling).
+"""
+
+from conftest import show
+
+from repro.core.filestats import file_size_cdf
+from repro.util.tables import format_table
+from repro.util.units import KB, MB
+
+
+def test_fig3_file_sizes(benchmark, frame):
+    cdf = benchmark(file_size_cdf, frame)
+
+    thresholds = [100, KB, 10 * KB, 25 * KB, 100 * KB, 250 * KB, MB, 10 * MB]
+    show(
+        "Figure 3: file sizes at close",
+        format_table(
+            ["size <=", "CDF"],
+            [(t, cdf.at(t)) for t in thresholds],
+        )
+        + f"\nmedian {cdf.median / KB:.0f} KB over {cdf.n} files",
+    )
+
+    mid_mass = cdf.at(MB) - cdf.at(10 * KB)
+    assert mid_mass > 0.5            # the 10KB-1MB bulk
+    assert cdf.at(100) < 0.1         # few tiny files
+    assert cdf.median > 10 * KB

@@ -1,0 +1,38 @@
+"""Figure 5: CDF of per-file sequential-access percentage.
+
+Paper: spikes at 0 % and 100 % — files are either entirely sequential or
+not at all; read-write files are primarily non-sequential; nearly all
+read-only and write-only files are 100 % sequential.
+"""
+
+import numpy as np
+from conftest import show
+
+from repro.core.sequentiality import per_file_regularity
+from repro.util.tables import format_percent, format_table
+
+
+def test_fig5_sequentiality(benchmark, frame):
+    reg = benchmark(per_file_regularity, frame)
+
+    rows = []
+    for label in ("ro", "wo", "rw"):
+        seq, _ = reg.select(label)
+        if len(seq) == 0:
+            continue
+        rows.append((
+            label, len(seq),
+            format_percent(float(np.mean(seq == 0.0))),
+            format_percent(float(np.mean(seq >= 1.0))),
+        ))
+    show(
+        "Figure 5: % of accesses sequential, per file",
+        format_table(["class", "files", "at 0%", "at 100%"], rows),
+    )
+
+    seq = reg.sequential_fraction
+    assert np.mean((seq == 0.0) | (seq >= 1.0)) > 0.6   # bimodal
+    assert reg.fully_sequential_fraction("wo") > 0.8
+    rw_seq, _ = reg.select("rw")
+    if len(rw_seq):
+        assert rw_seq.mean() < 0.6                       # rw mostly non-sequential

@@ -1,0 +1,61 @@
+"""Figure 9: I/O-node caching simulation.
+
+Paper: with LRU, ~4000 4 KB buffers (across all I/O nodes) reached a
+90 % hit rate; FIFO needed nearly 20000; spreading the buffers over 1-20
+I/O nodes made little difference.
+
+Known reproduction gap: on these synthetic traces LRU and FIFO track
+each other closely — the block-touch trains are almost perfectly
+sequential, so refresh-on-hit rarely matters.  The documented qualitative
+checks (high hit rate from a modest cache, LRU >= FIFO, I/O-node-count
+insensitivity) all hold; see EXPERIMENTS.md.
+"""
+
+from conftest import show
+
+from repro.caching import simulate_io_node_caches, sweep_buffer_counts
+from repro.util.tables import format_table
+
+COUNTS = [50, 125, 250, 500, 1000, 2000, 4000]
+
+
+def test_fig9_io_node_cache(benchmark, frame):
+    lru = benchmark.pedantic(
+        sweep_buffer_counts, args=(frame, COUNTS),
+        kwargs={"n_io_nodes": 10, "policy": "lru"}, rounds=1, iterations=1,
+    )
+    fifo = sweep_buffer_counts(frame, COUNTS, n_io_nodes=10, policy="fifo")
+
+    rows = [
+        ["lru"] + [f"{r:.3f}" for r in lru.hit_rates],
+        ["fifo"] + [f"{r:.3f}" for r in fifo.hit_rates],
+    ]
+    show(
+        "Figure 9: I/O-node cache hit rate vs total buffers",
+        format_table(["policy"] + [str(c) for c in COUNTS], rows),
+    )
+
+    # a modest cache reaches a high read hit rate
+    assert lru.hit_rates[-1] > 0.6
+    # LRU never loses to FIFO (averaged over the sweep)
+    assert lru.hit_rates.mean() >= fifo.hit_rates.mean() - 0.01
+    # hit rate grows (weakly) with cache size
+    assert lru.hit_rates[-1] >= lru.hit_rates[0] - 0.01
+
+
+def test_fig9_io_node_count_insensitivity(benchmark, frame):
+    """The figure's second observation: focusing the same buffers on few
+    I/O nodes or spreading them over many changes the hit rate little."""
+    def sweep():
+        return {
+            n: simulate_io_node_caches(frame, 500, n_io_nodes=n, policy="lru").hit_rate
+            for n in (1, 5, 10, 20)
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(
+        "Figure 9 (inset): 500 buffers over varying I/O-node counts",
+        format_table(["io nodes", "hit rate"], list(results.items())),
+    )
+    spread = max(results.values()) - min(results.values())
+    assert spread < 0.15

@@ -1,0 +1,39 @@
+"""The deferred performance question: application-visible I/O time.
+
+Figure 9 measures hit rates; the paper defers latency ("performance is
+another issue").  This bench prices every request through the machine
+model (hypercube messages + CFS server overhead + disk service) with and
+without I/O-node caches.
+"""
+
+from conftest import show
+
+from repro.caching.latency import compare_latency
+from repro.util.tables import format_table
+
+
+def test_request_latency_with_and_without_cache(benchmark, frame):
+    cmp = benchmark.pedantic(
+        compare_latency, args=(frame,), kwargs={"total_buffers": 500},
+        rounds=1, iterations=1,
+    )
+
+    rows = [
+        ("uncached", f"{cmp.uncached.mean * 1e3:.2f}",
+         f"{cmp.uncached.median * 1e3:.2f}", f"{cmp.uncached.p95 * 1e3:.2f}",
+         f"{cmp.uncached.total_seconds:.0f}"),
+        ("cached (500 buffers)", f"{cmp.cached.mean * 1e3:.2f}",
+         f"{cmp.cached.median * 1e3:.2f}", f"{cmp.cached.p95 * 1e3:.2f}",
+         f"{cmp.cached.total_seconds:.0f}"),
+    ]
+    show(
+        "Request latency through the machine model",
+        format_table(
+            ["config", "mean ms", "median ms", "p95 ms", "total I/O s"], rows
+        )
+        + f"\ntotal-I/O-time speedup from caching: {cmp.speedup:.1f}x",
+    )
+
+    assert cmp.speedup > 1.5
+    # cached median is a message round trip, not a disk access
+    assert cmp.cached.median < cmp.uncached.median

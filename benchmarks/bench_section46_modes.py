@@ -1,0 +1,30 @@
+"""§4.6: CFS I/O mode usage.
+
+Paper: over 99 % of files used mode 0 (independent pointers) — the
+shared-pointer modes cannot express the multiple request/interval sizes
+real files need, and were probably slower besides.
+"""
+
+from conftest import show
+
+from repro.core.modes import mode_usage
+from repro.util.tables import format_percent, format_table
+
+
+def test_section46_mode_usage(benchmark, frame):
+    usage = benchmark(mode_usage, frame)
+
+    show(
+        "§4.6: I/O mode usage",
+        format_table(
+            ["mode", "files", "fraction"],
+            [(m, c, f) for (m, c), f in zip(
+                sorted(usage.files_per_mode.items()),
+                [usage.fractions()[m] for m in sorted(usage.files_per_mode)],
+            )],
+        )
+        + f"\nmode-0 files: {format_percent(usage.mode0_file_fraction, 2)} "
+        f"(paper >99%)",
+    )
+
+    assert usage.mode0_file_fraction > 0.97

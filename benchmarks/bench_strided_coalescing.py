@@ -1,0 +1,30 @@
+"""§5 extension: what a strided interface would save.
+
+The paper's closing recommendation: let programs express regular
+patterns as strided requests, "effectively increasing the request size
+[and] lowering overhead".  This bench coalesces every (file, node)
+stream and reports the request-count reduction.
+"""
+
+from conftest import show
+
+from repro.strided import coalesce_trace
+from repro.util.tables import format_table
+
+
+def test_strided_interface_benefit(benchmark, frame):
+    res = benchmark(coalesce_trace, frame)
+
+    lengths = sorted(res.runs_by_length.items())
+    top = lengths[-3:]
+    show(
+        "§5: strided-request coalescing",
+        f"simple requests:  {res.simple_requests}\n"
+        f"strided requests: {res.strided_requests}\n"
+        f"reduction factor: {res.reduction_factor:.1f}x\n"
+        f"requests coalesced into runs: {100 * res.fraction_coalesced:.1f}%\n"
+        + format_table(["run length", "runs"], top, title="longest run lengths"),
+    )
+
+    assert res.reduction_factor > 5.0
+    assert res.fraction_coalesced > 0.5

@@ -1,0 +1,33 @@
+"""Table 1: number of files opened per traced job.
+
+Paper (of 470 traced jobs): 1 file: 71, 2: 15, 3: 24, 4: 120, 5+: 240 —
+most jobs open only a few files, but the tail is long (one job opened
+2217, roughly one per node per snapshot).
+"""
+
+from conftest import show
+
+from repro.core.jobstats import files_per_job_table, max_files_one_job
+from repro.util.tables import format_table
+
+PAPER_PCT = {"1": 15.1, "2": 3.2, "3": 5.1, "4": 25.5, "5+": 51.1}
+
+
+def test_table1_files_per_job(benchmark, frame):
+    table = benchmark(files_per_job_table, frame)
+
+    total = sum(table.values())
+    show(
+        "Table 1: files opened per traced job",
+        format_table(
+            ["files", "jobs", "%", "paper %"],
+            [
+                (k, v, f"{100 * v / total:.1f}", PAPER_PCT.get(k, "-"))
+                for k, v in table.items()
+            ],
+        )
+        + f"\nmax files one job opened: {max_files_one_job(frame)} (paper: 2217)",
+    )
+
+    assert table["5+"] / total > 0.25          # the long tail dominates
+    assert (table["1"] + table["2"] + table["3"] + table["4"]) > 0

@@ -1,0 +1,32 @@
+"""Table 3: number of distinct request sizes used in each file.
+
+Paper: 0 sizes (opened, never accessed) 3.9 %, one 40.0 %, two 51.4 %,
+three 3.9 %, 4+ 0.8 % — over 90 % of files use at most two request
+sizes; combined with Table 2, access is regular and matrix-structured.
+"""
+
+from conftest import show
+
+from repro.core.intervals import request_size_table
+from repro.util.tables import format_table
+
+PAPER_PCT = {"0": 3.9, "1": 40.0, "2": 51.4, "3": 3.9, "4+": 0.8}
+
+
+def test_table3_request_sizes(benchmark, frame):
+    table = benchmark(request_size_table, frame)
+
+    total = sum(table.values())
+    show(
+        "Table 3: distinct request sizes per file",
+        format_table(
+            ["sizes", "files", "%", "paper %"],
+            [
+                (k, v, f"{100 * v / total:.1f}", PAPER_PCT[k])
+                for k, v in table.items()
+            ],
+        ),
+    )
+
+    assert (table["1"] + table["2"]) / total > 0.75
+    assert table["4+"] / total < 0.06

@@ -1,0 +1,34 @@
+"""§5's cited write-policy study (Kotz & Ellis [19]) on our trace.
+
+Compares write-through, write-back (flush on eviction), and WriteFull
+(flush when a block fills) at the I/O nodes, in disk writes and disk
+busy time.
+"""
+
+from conftest import show
+
+from repro.caching import compare_write_policies
+from repro.util.tables import format_table
+
+
+def test_write_policies(benchmark, frame):
+    results = benchmark.pedantic(
+        compare_write_policies, args=(frame, 500), rounds=1, iterations=1,
+    )
+
+    rows = [
+        (name, r.write_requests, r.disk_writes,
+         f"{r.writes_per_request:.2f}", f"{r.disk_busy_seconds:.0f}")
+        for name, r in results.items()
+    ]
+    show(
+        "Write policies at the I/O nodes (500 buffers)",
+        format_table(
+            ["policy", "write requests", "disk writes", "writes/request", "busy s"],
+            rows,
+        ),
+    )
+
+    wt, wb, wf = (results[k] for k in ("write-through", "write-back", "write-full"))
+    assert wb.disk_writes <= wt.disk_writes
+    assert wf.disk_busy_seconds <= wb.disk_busy_seconds <= wt.disk_busy_seconds

@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+One calibrated workload is generated per session (the expensive part) and
+every figure/table benchmark analyzes it.  ``REPRO_BENCH_SCALE`` scales
+the traced period (default 0.06 — about 9.4 synthetic hours, a few
+hundred thousand events; the shapes are scale-invariant).
+"""
+
+import os
+
+import pytest
+
+from repro.workload import WorkloadGenerator, ames1993
+
+
+def _scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.06"))
+
+
+def _seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The benchmark trace (generated once)."""
+    return WorkloadGenerator(ames1993(_scale()), seed=_seed()).run("direct")
+
+
+@pytest.fixture(scope="session")
+def frame(workload):
+    return workload.frame
+
+
+def show(title: str, body: str) -> None:
+    """Print a reproduction block (visible with ``pytest -s`` and in
+    captured output on failure)."""
+    bar = "=" * len(title)
+    print(f"\n{title}\n{bar}\n{body}\n")

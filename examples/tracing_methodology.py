@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""The CHARISMA tracing methodology, end to end, on a hand-written program.
+
+This example plays the role of a *user application* on the traced
+machine: a small parallel program written directly against the
+(instrumented) CFS API.  It then walks the full measurement pipeline the
+paper describes in §3:
+
+1. per-node 4 KB trace buffers (watch the >90% message saving),
+2. the collector stamping blocks on the drifting service-node clock,
+3. the raw, only partially ordered, trace file,
+4. postprocessing: per-node clock-drift estimation and re-sorting,
+5. the final analysis-ready frame.
+
+Usage::
+
+    python examples/tracing_methodology.py
+"""
+
+from repro.cfs import ConcurrentFileSystem, InstrumentedCFS, IOMode
+from repro.machine import IPSC860
+from repro.trace import Collector, TraceWriter, postprocess, trace_overhead
+from repro.trace.postprocess import estimate_drift
+from repro.trace.records import OpenFlags, TraceHeader
+
+
+def user_program(icfs: InstrumentedCFS, machine: IPSC860, job: int, nodes: range) -> None:
+    """A little parallel program: broadcast-read a grid, write per-node
+    results, and append to a shared log through I/O mode 1."""
+    icfs.fs.prepopulate("/cfs/grid.dat", 48 * 1024)
+    icfs.job_start(job, base_node=nodes.start, n_nodes=len(nodes))
+
+    grid_fds = {}
+    out_fds = {}
+    log_fds = {}
+    for node in nodes:
+        machine.timebase.advance_by(0.002)
+        grid_fds[node] = icfs.open("/cfs/grid.dat", node, job, OpenFlags.READ)
+        out_fds[node] = icfs.open(
+            f"/cfs/result.{node}", node, job, OpenFlags.WRITE | OpenFlags.CREATE
+        )
+        log_fds[node] = icfs.open(
+            "/cfs/run.log", node, job, OpenFlags.WRITE | OpenFlags.CREATE,
+            IOMode.SHARED,
+        )
+    for step in range(40):
+        for node in nodes:
+            machine.timebase.advance_by(0.0007)
+            icfs.read(grid_fds[node], 1200)         # small records: Figure 4
+            icfs.write(out_fds[node], b"\x55" * 800)
+        if step % 10 == 0:
+            for node in nodes:
+                machine.timebase.advance_by(0.0003)
+                icfs.write(log_fds[node], b"step log entry\n")
+    for node in nodes:
+        machine.timebase.advance_by(0.001)
+        icfs.close(grid_fds[node])
+        icfs.close(out_fds[node])
+        icfs.close(log_fds[node])
+    icfs.job_end(job, base_node=nodes.start)
+
+
+def main() -> None:
+    machine = IPSC860(seed=42)
+    fs = ConcurrentFileSystem(
+        n_io_nodes=machine.n_io_nodes,
+        disks=[io.disk for io in machine.io_nodes],
+    )
+    collector = Collector(TraceHeader(site="methodology-demo"),
+                          clock=machine.collector_stamp)
+    writer = TraceWriter(collector, machine.node_clock_reader)
+    icfs = InstrumentedCFS(fs, writer, machine.node_clock_reader)
+
+    print(machine.describe())
+    print(f"worst-case clock divergence after 1 hour: "
+          f"{machine.clocks.max_divergence(3600.0) * 1000:.1f} ms\n")
+
+    user_program(icfs, machine, job=0, nodes=range(0, 8))
+    icfs.finish()
+
+    raw = collector.finish()
+    print(f"instrumented calls: {icfs.calls_traced}")
+    print(f"trace blocks shipped: {len(raw)} "
+          f"(message saving {writer.message_savings:.1%} — paper: >90%)")
+    print(f"raw records: {raw.n_records}, partially ordered by construction")
+
+    models = estimate_drift(raw)
+    worst = max(models.values(), key=lambda m: abs(m.b))
+    print(f"drift models fitted for {len(models)} nodes; "
+          f"largest offset {worst.b * 1000:+.1f} ms on node {worst.node}")
+
+    frame = postprocess(raw)
+    overhead = trace_overhead(raw, frame)
+    print(f"instrumentation overhead: {overhead.describe()}")
+    print(f"\npostprocessed frame: {frame.n_events} events, "
+          f"time-sorted: {frame.is_time_sorted()}")
+    print(f"reads: {len(frame.reads)}, writes: {len(frame.writes)}, "
+          f"opens: {len(frame.opens)}")
+    shared_log = fs.stat("/cfs/run.log")
+    print(f"shared mode-1 log grew to {shared_log.size} bytes "
+          f"({shared_log.size // 15} entries appended through one pointer)")
+    stats = fs.cache_stats()
+    print(f"live I/O-node caches: {stats.hit_rate:.1%} hit rate over "
+          f"{stats.accesses} block touches")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e .`` on this machine has no network access and an old
+setuptools that cannot build PEP 660 editable wheels, so we keep a classic
+``setup.py`` to enable the legacy ``develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

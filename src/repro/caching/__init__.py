@@ -1,0 +1,92 @@
+"""Trace-driven cache simulation: §4.8, Figures 8 and 9.
+
+The paper evaluates buffer caches at both ends of the I/O path:
+
+- **compute-node caches** (Figure 8) — small per-node caches of 4 KB
+  read-only buffers with LRU replacement; a hit is a read fully satisfied
+  locally.  The result is trimodal: a cache either works (>75 % hit rate,
+  spatial locality from small sequential requests) or it doesn't (0 %),
+  and one buffer is about as good as fifty — there is spatial but little
+  temporal locality;
+- **I/O-node caches** (Figure 9) — caches at the 10 I/O nodes serving all
+  jobs, with LRU or FIFO replacement over round-robin-striped blocks.
+  LRU reaches ~90 % with a few thousand buffers; FIFO needs ~5× more —
+  and the hits come mostly from *interprocess* spatial locality, as the
+  combined experiment (§4.8) shows: adding compute-node caches barely
+  dents the I/O-node hit rate.
+
+:mod:`repro.caching.policies` also carries two policies beyond the paper
+(Belady's OPT and an interprocess-locality-aware policy) as the §5
+"replacement policies other than LRU or FIFO should be developed"
+extension.
+"""
+
+from repro.caching.compute_node import (
+    ComputeNodeCacheResult,
+    simulate_compute_node_caches,
+)
+from repro.caching.diskdirected import (
+    DiskDirectedComparison,
+    compare_interfaces,
+    simulate_disk_directed,
+)
+from repro.caching.disktime import DiskTimeResult, simulate_disk_time
+from repro.caching.combined import CombinedResult, simulate_combined
+from repro.caching.latency import (
+    LatencyComparison,
+    LatencyResult,
+    compare_latency,
+    simulate_request_latency,
+)
+from repro.caching.io_node import IONodeCacheResult, simulate_io_node_caches, sweep_buffer_counts
+from repro.caching.prefetch import (
+    PrefetchResult,
+    prefetch_benefit,
+    simulate_io_node_prefetch,
+)
+from repro.caching.policies import (
+    FIFOPolicy,
+    InterprocessAwarePolicy,
+    LRUPolicy,
+    OptimalPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.caching.results import HitRateCurve
+from repro.caching.writeback import (
+    WritebackResult,
+    compare_write_policies,
+    simulate_writeback,
+)
+
+__all__ = [
+    "CombinedResult",
+    "ComputeNodeCacheResult",
+    "DiskDirectedComparison",
+    "DiskTimeResult",
+    "compare_interfaces",
+    "simulate_disk_directed",
+    "FIFOPolicy",
+    "HitRateCurve",
+    "LatencyComparison",
+    "LatencyResult",
+    "compare_latency",
+    "simulate_request_latency",
+    "InterprocessAwarePolicy",
+    "IONodeCacheResult",
+    "LRUPolicy",
+    "OptimalPolicy",
+    "PrefetchResult",
+    "ReplacementPolicy",
+    "make_policy",
+    "prefetch_benefit",
+    "simulate_disk_time",
+    "simulate_io_node_prefetch",
+    "simulate_combined",
+    "simulate_compute_node_caches",
+    "simulate_io_node_caches",
+    "simulate_writeback",
+    "compare_write_policies",
+    "sweep_buffer_counts",
+    "WritebackResult",
+]

@@ -1,0 +1,270 @@
+"""Block replacement policies.
+
+All policies manage a fixed number of one-block buffers and expose the
+same ``access(key) -> hit`` interface, so the compute-node and I/O-node
+simulators can be parameterized by policy.  LRU and FIFO are the paper's
+two; OPT (Belady) and an interprocess-aware policy implement its §5 call
+for policies that "optimize for interprocess locality rather than
+traditional spatial and temporal locality".
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from collections import OrderedDict, deque
+
+from repro.errors import CacheConfigError
+
+Key = tuple[int, int]  # (file, block)
+
+
+class ReplacementPolicy(abc.ABC):
+    """A fixed-capacity block cache with pluggable replacement."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise CacheConfigError(f"capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0 when idle)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def access(self, key: Key) -> bool:
+        """Touch one block; returns True on a hit and updates counters."""
+        if self.capacity == 0:
+            self.misses += 1
+            return False
+        hit = self._touch(key)
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return hit
+
+    def touch(self, key: Key) -> bool:
+        """Touch one block *without* updating hit/miss counters.
+
+        For simulators whose hit definition is coarser than one block
+        (e.g. the compute-node simulation, where a hit is a whole request
+        satisfied locally) and who therefore keep their own counters.
+        """
+        if self.capacity == 0:
+            return False
+        return self._touch(key)
+
+    @abc.abstractmethod
+    def _touch(self, key: Key) -> bool:
+        """Policy-specific presence check + state update."""
+
+    @abc.abstractmethod
+    def __contains__(self, key: Key) -> bool: ...
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used replacement."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._store: OrderedDict[Key, None] = OrderedDict()
+
+    def _touch(self, key: Key) -> bool:
+        if key in self._store:
+            self._store.move_to_end(key)
+            return True
+        self._store[key] = None
+        if len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+        return False
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out replacement: residency is insertion-ordered and
+    hits do not refresh it — which is why FIFO "does not give preference
+    to blocks with high locality" and needs ~5× the buffers of LRU for
+    the same hit rate in Figure 9."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._store: OrderedDict[Key, None] = OrderedDict()
+
+    def _touch(self, key: Key) -> bool:
+        if key in self._store:
+            return True
+        self._store[key] = None
+        if len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+        return False
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class OptimalPolicy(ReplacementPolicy):
+    """Belady's OPT: evict the block whose next use is farthest away.
+
+    Offline — it must be primed with the whole access sequence via
+    :meth:`prime` before replay.  Serves as the upper bound the §5
+    policy discussion is aiming toward.
+
+    Implementation: a lazily-validated max-heap of next-use times.  Every
+    access records the key's *current* next-use index in ``_cur_next``
+    and pushes a matching heap entry; since per-key next-use indices
+    strictly increase, a popped entry is valid iff it equals the key's
+    current value (stale entries can only be smaller) — so each resident
+    key always has exactly one valid entry in the heap.
+    """
+
+    INFINITY = 1 << 60
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._uses: dict[Key, deque[int]] = {}
+        self._clock = 0
+        self._resident: set[Key] = set()
+        self._heap: list[tuple[int, Key]] = []  # (-next_use, key)
+        self._cur_next: dict[Key, int] = {}
+        self._primed = False
+
+    def prime(self, sequence: list[Key]) -> None:
+        """Load the future: the exact access sequence to be replayed."""
+        self._uses = {}
+        for i, key in enumerate(sequence):
+            self._uses.setdefault(key, deque()).append(i)
+        self._clock = 0
+        self._resident = set()
+        self._heap = []
+        self._cur_next = {}
+        self._primed = True
+
+    def _touch(self, key: Key) -> bool:
+        if not self._primed:
+            raise CacheConfigError("OptimalPolicy.prime() must be called first")
+        uses = self._uses.get(key)
+        while uses and uses[0] <= self._clock:
+            uses.popleft()
+        next_use = uses[0] if uses else self.INFINITY
+        self._clock += 1
+
+        hit = key in self._resident
+        if not hit:
+            if len(self._resident) >= self.capacity:
+                while True:
+                    far, victim = heapq.heappop(self._heap)
+                    if victim in self._resident and -far == self._cur_next.get(victim):
+                        self._resident.discard(victim)
+                        self._cur_next.pop(victim, None)
+                        break
+            self._resident.add(key)
+        self._cur_next[key] = next_use
+        heapq.heappush(self._heap, (-next_use, key))
+        return hit
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+
+class InterprocessAwarePolicy(ReplacementPolicy):
+    """LRU biased toward blocks exhibiting interprocess locality.
+
+    The paper's I/O-node hits come mostly from *different* compute nodes
+    touching the same block soon after each other.  This policy tracks
+    how many distinct nodes have touched each resident block and, on
+    eviction, discards from the blocks with the fewest distinct users
+    (ties broken by recency).  Callers should use :meth:`access_from`
+    so the node identity is known; plain :meth:`access` treats all
+    traffic as one node (degenerating to LRU).
+    """
+
+    def __init__(self, capacity: int, node_memory: int = 4) -> None:
+        super().__init__(capacity)
+        if node_memory < 1:
+            raise CacheConfigError("node_memory must be >= 1")
+        self._store: OrderedDict[Key, set[int]] = OrderedDict()
+        self.node_memory = node_memory
+
+    def access_from(self, key: Key, node: int) -> bool:
+        """Access with the requesting node's identity."""
+        self._current_node = node
+        return self.access(key)
+
+    def _touch(self, key: Key) -> bool:
+        node = getattr(self, "_current_node", 0)
+        if key in self._store:
+            users = self._store[key]
+            users.add(node)
+            if len(users) > self.node_memory:
+                users.pop()
+            self._store.move_to_end(key)
+            return True
+        self._store[key] = {node}
+        if len(self._store) > self.capacity:
+            self._evict()
+        return False
+
+    def _evict(self) -> None:
+        # scan the least-recent quarter of the cache for the block with
+        # the fewest distinct users; bounded scan keeps this O(capacity/4)
+        scan = max(2, len(self._store) // 4)
+        victim = None
+        victim_users = 1 << 30
+        for i, (key, users) in enumerate(self._store.items()):
+            if i >= scan:
+                break
+            if len(users) < victim_users:
+                victim, victim_users = key, len(users)
+                if victim_users == 1:
+                    break
+        if victim is None:  # pragma: no cover - defensive
+            victim = next(iter(self._store))
+        del self._store[victim]
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+#: registry for CLI/bench parameterization
+POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "opt": OptimalPolicy,
+    "interprocess": InterprocessAwarePolicy,
+}
+
+
+def make_policy(name: str, capacity: int) -> ReplacementPolicy:
+    """Instantiate a policy by registry name."""
+    try:
+        cls = POLICIES[name.lower()]
+    except KeyError:
+        raise CacheConfigError(
+            f"unknown policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None
+    return cls(capacity)

@@ -1,0 +1,180 @@
+"""CFS file objects: sparse striped data plus pointer state.
+
+A :class:`CFSFile` stores its bytes sparsely, one 4 KB block at a time
+(unwritten holes read back as zeros, as on Unix), and carries the pointer
+machinery for the four I/O modes: per-handle pointers for mode 0 and a
+:class:`SharedPointerGroup` per job for modes 1-3.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CFSError, ModeViolationError
+from repro.cfs.modes import IOMode
+from repro.util.units import BLOCK_SIZE
+
+
+class SharedPointerGroup:
+    """Shared-pointer state for one job's modes-1/2/3 open of a file.
+
+    Nodes register in open order; for the ordered modes (2 and 3) accesses
+    must then proceed round-robin through that order, and mode 3 pins the
+    request size to the first access's size.
+    """
+
+    def __init__(self, mode: IOMode) -> None:
+        if not mode.shares_pointer:
+            raise CFSError("shared pointer group requires mode 1, 2, or 3")
+        self.mode = mode
+        self.pointer = 0
+        self.members: list[int] = []
+        self.turn = 0
+        self.fixed_size: int | None = None
+
+    def register(self, node: int) -> None:
+        """Add a node to the group (at its open)."""
+        if node in self.members:
+            raise CFSError(f"node {node} already opened this shared-pointer file")
+        self.members.append(node)
+
+    def unregister(self, node: int) -> None:
+        """Remove a node (at its close); resets the turn pointer."""
+        try:
+            self.members.remove(node)
+        except ValueError:
+            raise CFSError(f"node {node} is not a member of this group") from None
+        self.turn = 0
+
+    def claim(self, node: int, size: int) -> int:
+        """Advance the shared pointer for an access by ``node``.
+
+        Returns the file offset the access starts at.  Enforces round-robin
+        order (modes 2-3) and the fixed request size (mode 3).
+        """
+        if node not in self.members:
+            raise CFSError(f"node {node} has not opened this file")
+        if self.mode.ordered:
+            expected = self.members[self.turn]
+            if node != expected:
+                raise ModeViolationError(
+                    f"mode-{int(self.mode)} access out of turn: node {node} "
+                    f"accessed but node {expected} is next"
+                )
+            self.turn = (self.turn + 1) % len(self.members)
+        if self.mode.fixed_size:
+            if self.fixed_size is None:
+                self.fixed_size = size
+            elif size != self.fixed_size:
+                raise ModeViolationError(
+                    f"mode-3 request of {size} bytes differs from the "
+                    f"established size {self.fixed_size}"
+                )
+        offset = self.pointer
+        self.pointer += size
+        return offset
+
+
+class CFSFile:
+    """One file: sparse block data, logical size, and pointer groups."""
+
+    def __init__(self, name: str, fid: int, block_size: int = BLOCK_SIZE) -> None:
+        if block_size <= 0:
+            raise CFSError("block size must be positive")
+        self.name = name
+        self.fid = fid
+        self.block_size = block_size
+        self.size = 0
+        self._blocks: dict[int, bytearray] = {}
+        #: shared-pointer groups keyed by job id (modes 1-3 only)
+        self.groups: dict[int, SharedPointerGroup] = {}
+        self.open_count = 0
+        self.creator_job: int | None = None
+        self.deleter_job: int | None = None
+        self.deleted = False
+
+    # -- data ---------------------------------------------------------------
+
+    @property
+    def n_allocated_blocks(self) -> int:
+        """Number of blocks actually holding data (holes excluded)."""
+        return len(self._blocks)
+
+    def read_at(self, offset: int, size: int) -> bytes:
+        """Read bytes at an absolute offset; short reads past EOF.
+
+        Reading a hole yields zero bytes, as with a Unix sparse file.
+        """
+        if offset < 0 or size < 0:
+            raise CFSError("offset and size must be non-negative")
+        if offset >= self.size:
+            return b""
+        size = min(size, self.size - offset)
+        out = bytearray(size)
+        pos = 0
+        while pos < size:
+            abs_off = offset + pos
+            block_idx = abs_off // self.block_size
+            within = abs_off % self.block_size
+            take = min(self.block_size - within, size - pos)
+            block = self._blocks.get(block_idx)
+            if block is not None:
+                out[pos : pos + take] = block[within : within + take]
+            pos += take
+        return bytes(out)
+
+    def write_at(self, offset: int, data: bytes) -> int:
+        """Write bytes at an absolute offset, growing the file as needed.
+
+        Returns the number of *newly allocated* blocks (the quantity the
+        file system charges against disk capacity).
+        """
+        if offset < 0:
+            raise CFSError("offset must be non-negative")
+        new_blocks = 0
+        pos = 0
+        size = len(data)
+        while pos < size:
+            abs_off = offset + pos
+            block_idx = abs_off // self.block_size
+            within = abs_off % self.block_size
+            take = min(self.block_size - within, size - pos)
+            block = self._blocks.get(block_idx)
+            if block is None:
+                block = bytearray(self.block_size)
+                self._blocks[block_idx] = block
+                new_blocks += 1
+            block[within : within + take] = data[pos : pos + take]
+            pos += take
+        self.size = max(self.size, offset + size)
+        return new_blocks
+
+    def extend_to(self, new_size: int) -> None:
+        """Grow the logical size without writing data (a CFS file extension)."""
+        if new_size < self.size:
+            raise CFSError(
+                f"extend_to({new_size}) would shrink file of size {self.size}"
+            )
+        self.size = new_size
+
+    # -- pointer groups -------------------------------------------------------
+
+    def group_for(self, job: int, mode: IOMode) -> SharedPointerGroup:
+        """Get or create the shared-pointer group for a job's open."""
+        group = self.groups.get(job)
+        if group is None:
+            group = SharedPointerGroup(mode)
+            self.groups[job] = group
+        elif group.mode is not mode:
+            raise ModeViolationError(
+                f"job {job} reopened {self.name!r} in mode {int(mode)} but the "
+                f"existing group uses mode {int(group.mode)}"
+            )
+        return group
+
+    def drop_group_member(self, job: int, node: int) -> None:
+        """Unregister a node from its job's group, dropping empty groups."""
+        group = self.groups.get(job)
+        if group is None:
+            return
+        group.unregister(node)
+        if not group.members:
+            del self.groups[job]

@@ -1,0 +1,62 @@
+"""Round-robin block striping across I/O nodes.
+
+CFS stripes every file across *all* disks in 4 KB blocks; block ``b`` of
+any file lives on I/O node ``b mod n``.  The same mapping is assumed by
+the paper's I/O-node cache simulation ("we assumed the file was striped in
+a round-robin fashion at a one-block granularity").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.util.units import BLOCK_SIZE
+
+
+class Striping:
+    """The file-block → I/O-node mapping."""
+
+    def __init__(self, n_io_nodes: int, block_size: int = BLOCK_SIZE) -> None:
+        if n_io_nodes <= 0:
+            raise MachineError("need at least one I/O node")
+        if block_size <= 0:
+            raise MachineError("block size must be positive")
+        self.n_io_nodes = n_io_nodes
+        self.block_size = block_size
+
+    def block_of(self, offset: int | np.ndarray) -> int | np.ndarray:
+        """File block index containing a byte offset."""
+        return offset // self.block_size
+
+    def io_node_of_block(self, block: int | np.ndarray) -> int | np.ndarray:
+        """I/O node owning a file block."""
+        return block % self.n_io_nodes
+
+    def io_node_of_offset(self, offset: int | np.ndarray) -> int | np.ndarray:
+        """I/O node owning the block containing a byte offset."""
+        return self.io_node_of_block(self.block_of(offset))
+
+    def blocks_of_extent(self, offset: int, size: int) -> np.ndarray:
+        """All file block indices touched by ``[offset, offset+size)``."""
+        if offset < 0 or size < 0:
+            raise MachineError("offset and size must be non-negative")
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        first = offset // self.block_size
+        last = (offset + size - 1) // self.block_size
+        return np.arange(first, last + 1, dtype=np.int64)
+
+    def io_nodes_of_extent(self, offset: int, size: int) -> np.ndarray:
+        """Distinct I/O nodes an extent touches, in block order."""
+        blocks = self.blocks_of_extent(offset, size)
+        return np.unique(blocks % self.n_io_nodes)
+
+    def request_fan_out(self, offset: int, size: int) -> int:
+        """How many I/O nodes a single request is split across.
+
+        A large parallel read fans out to every I/O node (good for
+        bandwidth); a sub-block request touches exactly one (and wastes a
+        whole disk access on a few bytes — the small-request problem).
+        """
+        return int(len(self.io_nodes_of_extent(offset, size)))

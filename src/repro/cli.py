@@ -1,0 +1,297 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the whole reproduction from a
+terminal::
+
+    python -m repro generate --scale 0.05 --out trace.npz
+    python -m repro characterize trace.npz
+    python -m repro figures trace.npz --figure fig4
+    python -m repro cache trace.npz --experiment fig9 --policy lru fifo
+    python -m repro strided trace.npz
+    python -m repro dump trace.npz --limit 40
+
+Every analysis command also accepts ``--scale/--seed`` instead of a
+trace file, generating a workload on the fly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.caching import (
+    simulate_combined,
+    simulate_compute_node_caches,
+    simulate_disk_time,
+    simulate_io_node_prefetch,
+    sweep_buffer_counts,
+)
+from repro.core import characterize
+from repro.core.figures import FIGURES, render_all, render_figure
+from repro.strided import coalesce_trace
+from repro.trace.dump import dump_frame
+from repro.trace.frame import TraceFrame
+from repro.util.tables import format_percent, format_table
+from repro.workload import WorkloadGenerator, ames1993, tiny, validate_workload
+
+SCENARIOS = {"ames1993": ames1993, "tiny": lambda scale: tiny(1.5 * scale * 156.0 / 1.5)}
+
+
+def _add_input_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("trace", nargs="?", help="a trace .npz written by 'generate'")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="generate on the fly: fraction of 156 hours")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _load_frame(args) -> TraceFrame:
+    if args.trace:
+        return TraceFrame.load(args.trace)
+    return WorkloadGenerator(ames1993(args.scale), seed=args.seed).run("direct").frame
+
+
+def cmd_generate(args) -> int:
+    scenario = ames1993(args.scale)
+    workload = WorkloadGenerator(scenario, seed=args.seed).run(args.pipeline)
+    workload.frame.save(args.out)
+    print(
+        f"wrote {args.out}: {workload.frame.n_events} events, "
+        f"{workload.n_jobs} jobs ({workload.n_traced_jobs} traced), "
+        f"{len(workload.frame.files)} files"
+    )
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    frame = _load_frame(args)
+    print(characterize(frame).render())
+    return 0
+
+
+def cmd_figures(args) -> int:
+    frame = _load_frame(args)
+    if args.svg:
+        from pathlib import Path
+
+        from repro.core.figures import render_figure_svg
+        from repro.errors import AnalysisError
+
+        out = Path(args.svg)
+        out.mkdir(parents=True, exist_ok=True)
+        wanted = [args.figure] if args.figure else sorted(FIGURES)
+        for figure in wanted:
+            try:
+                svg = render_figure_svg(frame, figure)
+            except AnalysisError as exc:
+                print(f"{figure}: skipped ({exc})")
+                continue
+            path = out / f"{figure}.svg"
+            path.write_text(svg)
+            print(f"wrote {path}")
+        return 0
+    if args.figure:
+        print(render_figure(frame, args.figure))
+    else:
+        print(render_all(frame))
+    return 0
+
+
+def cmd_cache(args) -> int:
+    frame = _load_frame(args)
+    if args.experiment == "fig8":
+        rows = []
+        for buffers in args.buffers or (1, 10, 50):
+            res = simulate_compute_node_caches(frame, buffers=int(buffers))
+            rows.append((
+                res.buffers, len(res.job_ids),
+                format_percent(res.fraction_above(0.75)),
+                format_percent(res.fraction_zero()),
+                format_percent(res.overall_hit_rate),
+            ))
+        print(format_table(
+            ["buffers", "jobs", ">75% hit", "0% hit", "overall"], rows,
+            title="Figure 8: compute-node caching",
+        ))
+    elif args.experiment == "fig9":
+        counts = [int(b) for b in (args.buffers or (50, 125, 250, 500, 1000, 2000, 4000))]
+        rows = []
+        for policy in args.policy:
+            curve = sweep_buffer_counts(frame, counts, n_io_nodes=args.io_nodes,
+                                        policy=policy)
+            rows.append([policy] + [f"{r:.3f}" for r in curve.hit_rates])
+        print(format_table(
+            ["policy"] + [str(c) for c in counts], rows,
+            title=f"Figure 9: I/O-node caching ({args.io_nodes} I/O nodes)",
+        ))
+    elif args.experiment == "combined":
+        res = simulate_combined(frame, n_io_nodes=args.io_nodes)
+        print("§4.8 combined caches:")
+        print(f"  I/O hit rate without compute layer: {format_percent(res.io_hit_rate_without)}")
+        print(f"  I/O hit rate with compute layer:    {format_percent(res.io_hit_rate_with)}")
+        print(f"  reduction: {format_percent(res.io_hit_rate_reduction)} (paper ~3%)")
+    elif args.experiment == "prefetch":
+        buffers = int((args.buffers or [500])[0])
+        rows = []
+        for depth in (0, 1, 2, 4):
+            r = simulate_io_node_prefetch(frame, buffers, n_io_nodes=args.io_nodes,
+                                          depth=depth)
+            rows.append((depth, f"{r.hit_rate:.3f}", r.prefetches_issued,
+                         format_percent(r.prefetch_accuracy)))
+        print(format_table(
+            ["depth", "hit rate", "prefetches", "accuracy"], rows,
+            title=f"tagged OBL prefetching at {buffers} buffers",
+        ))
+    else:  # disktime
+        buffers = int((args.buffers or [500])[0])
+        raw, cached = simulate_disk_time(frame, buffers, n_io_nodes=args.io_nodes)
+        print("disk activity, cacheless vs cached:")
+        print(f"  cacheless: {raw.n_disk_ops} ops, {raw.busy_seconds:.1f}s busy")
+        print(f"  cached:    {cached.n_disk_ops} ops, {cached.busy_seconds:.1f}s busy")
+        print(f"  busy-time reduction {1 - cached.busy_seconds / raw.busy_seconds:.1%}")
+    return 0
+
+
+def cmd_strided(args) -> int:
+    frame = _load_frame(args)
+    res = coalesce_trace(frame)
+    print(f"simple requests:  {res.simple_requests}")
+    print(f"strided requests: {res.strided_requests}")
+    print(f"reduction:        {res.reduction_factor:.1f}x")
+    print(f"coalesced:        {format_percent(res.fraction_coalesced)}")
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    """Run every experiment of the paper in one pass."""
+    import json
+
+    frame = _load_frame(args)
+    report = characterize(frame)
+    if args.json:
+        payload = report.to_dict()
+    else:
+        print(report.render())
+        print()
+
+    from repro.caching import simulate_compute_node_caches
+
+    fig8 = simulate_compute_node_caches(frame, buffers=1)
+    counts = [125, 500, 2000]
+    fig9 = {
+        policy: sweep_buffer_counts(frame, counts, n_io_nodes=10, policy=policy)
+        for policy in ("lru", "fifo")
+    }
+    combined = simulate_combined(frame)
+    strided = coalesce_trace(frame)
+
+    if args.json:
+        payload["caching"] = {
+            "fig8_jobs_above_75pct": fig8.fraction_above(0.75),
+            "fig8_jobs_at_zero": fig8.fraction_zero(),
+            "fig9": {
+                policy: dict(zip(map(int, curve.buffer_counts), map(float, curve.hit_rates)))
+                for policy, curve in fig9.items()
+            },
+            "combined_reduction": combined.io_hit_rate_reduction,
+        }
+        payload["strided"] = {
+            "reduction_factor": strided.reduction_factor,
+            "fraction_coalesced": strided.fraction_coalesced,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print("== Caching (Figures 8-9, §4.8) ==")
+    print(f"fig8 (1 buffer): {format_percent(fig8.fraction_above(0.75))} of jobs "
+          f">75% hit (paper 40%), {format_percent(fig8.fraction_zero())} at zero "
+          f"(paper 30%)")
+    for policy, curve in fig9.items():
+        rows = " ".join(f"{c}:{r:.2f}" for c, r in curve.rows())
+        print(f"fig9 {policy}: {rows}")
+    print(f"§4.8 combined: hit-rate drop "
+          f"{format_percent(combined.io_hit_rate_reduction)} (paper ~3%)")
+    print("== Strided interface (§5) ==")
+    print(f"{strided.simple_requests} requests -> {strided.strided_requests} "
+          f"strided ({strided.reduction_factor:.1f}x)")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    frame = _load_frame(args)
+    report = validate_workload(frame)
+    print(report.render())
+    return 0 if report.passed >= len(report.checks) - 3 else 1
+
+
+def cmd_dump(args) -> int:
+    frame = _load_frame(args)
+    for line in dump_frame(frame, limit=args.limit, job=args.job, file=args.file):
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CHARISMA reproduction: Kotz & Nieuwejaar, SC'94",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic trace")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--pipeline", choices=["direct", "full"], default="direct")
+    p.add_argument("--out", required=True, help="output .npz path")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("characterize", help="run the full §4 characterization")
+    _add_input_args(p)
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("figures", help="render the paper's figures as ASCII charts")
+    _add_input_args(p)
+    p.add_argument("--figure", choices=sorted(FIGURES))
+    p.add_argument("--svg", metavar="DIR",
+                   help="write SVG files into DIR instead of ASCII charts")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("cache", help="run the cache simulations")
+    _add_input_args(p)
+    p.add_argument("--experiment",
+                   choices=["fig8", "fig9", "combined", "prefetch", "disktime"],
+                   default="fig9")
+    p.add_argument("--policy", nargs="+", default=["lru", "fifo"])
+    p.add_argument("--buffers", nargs="+", type=int)
+    p.add_argument("--io-nodes", type=int, default=10)
+    p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("strided", help="measure the §5 strided-interface benefit")
+    _add_input_args(p)
+    p.set_defaults(func=cmd_strided)
+
+    p = sub.add_parser("reproduce", help="run every experiment in one pass")
+    _add_input_args(p)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=cmd_reproduce)
+
+    p = sub.add_parser("validate", help="check a trace against the paper's marginals")
+    _add_input_args(p)
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("dump", help="print trace events, one per line")
+    _add_input_args(p)
+    p.add_argument("--limit", type=int, default=50)
+    p.add_argument("--job", type=int)
+    p.add_argument("--file", type=int)
+    p.set_defaults(func=cmd_dump)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

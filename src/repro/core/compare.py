@@ -1,0 +1,112 @@
+"""Comparing characterizations across sites, scenarios, or periods.
+
+CHARISMA's charter was to "CHARacterize I/O in Scientific Multiprocessor
+Applications from a variety of production parallel computing platforms
+and sites" — comparison across workloads is the project's whole point.
+:func:`compare_reports` lines up two :class:`~repro.core.report.WorkloadReport`
+objects statistic by statistic, so a second scenario (another site's
+mix, a what-if calibration, a different period) can be read against a
+baseline the way the paper reads NASA Ames against the prior
+workstation and vector-machine studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.report import WorkloadReport
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class StatDelta:
+    """One statistic in both workloads."""
+
+    name: str
+    a: float
+    b: float
+
+    @property
+    def delta(self) -> float:
+        """b - a."""
+        return self.b - self.a
+
+    @property
+    def ratio(self) -> float:
+        """b / a (inf when a is zero and b is not)."""
+        if self.a == 0:
+            return float("inf") if self.b else 1.0
+        return self.b / self.a
+
+
+@dataclass
+class ReportComparison:
+    """All headline statistics of two workloads, side by side."""
+
+    label_a: str
+    label_b: str
+    deltas: list[StatDelta]
+
+    def largest_shifts(self, n: int = 5) -> list[StatDelta]:
+        """The ``n`` statistics that moved the most (by |log ratio|,
+        falling back to |delta| for zero-crossing stats)."""
+        import math
+
+        def key(d: StatDelta) -> float:
+            if d.a > 0 and d.b > 0:
+                return abs(math.log(d.b / d.a))
+            return abs(d.delta)
+
+        return sorted(self.deltas, key=key, reverse=True)[:n]
+
+    def render(self) -> str:
+        """The full side-by-side table."""
+        return format_table(
+            ["statistic", self.label_a, self.label_b, "delta"],
+            [(d.name, d.a, d.b, d.delta) for d in self.deltas],
+            title=f"workload comparison: {self.label_a} vs {self.label_b}",
+        )
+
+
+def compare_reports(
+    a: WorkloadReport,
+    b: WorkloadReport,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> ReportComparison:
+    """Line up every scalar headline statistic of two reports."""
+    def stats(r: WorkloadReport) -> dict[str, float]:
+        total2 = max(sum(r.intervals.values()), 1)
+        total3 = max(sum(r.request_sizes.values()), 1)
+        out = {
+            "idle fraction": r.concurrency.idle_fraction,
+            "multiprogrammed fraction": r.concurrency.multiprogrammed_fraction,
+            "max concurrent jobs": float(r.concurrency.max_level),
+            "write-only file fraction": r.files.fractions()["write_only"],
+            "read-only file fraction": r.files.fractions()["read_only"],
+            "read-write file fraction": r.files.fractions()["read_write"],
+            "untouched file fraction": r.files.fractions()["untouched"],
+            "temporary open fraction": r.files.temporary_open_fraction,
+            "median file size": r.size_cdf.median,
+            "MB read per reading file": r.files.mean_bytes_read_per_reading_file / 1e6,
+            "MB written per writing file": r.files.mean_bytes_written_per_writing_file / 1e6,
+            "reads <4000B (count)": r.reads.small_request_fraction,
+            "reads <4000B (bytes)": r.reads.small_byte_fraction,
+            "writes <4000B (count)": r.writes.small_request_fraction,
+            "writes <4000B (bytes)": r.writes.small_byte_fraction,
+            "files with <=1 interval size": (r.intervals["0"] + r.intervals["1"]) / total2,
+            "files with 1-2 request sizes": (r.request_sizes["1"] + r.request_sizes["2"]) / total3,
+            "mode-0 file fraction": r.modes.mode0_file_fraction,
+        }
+        if r.regularity is not None:
+            out["write-only fully consecutive"] = r.regularity.fully_consecutive_fraction("wo")
+            out["read-only fully consecutive"] = r.regularity.fully_consecutive_fraction("ro")
+        return out
+
+    sa, sb = stats(a), stats(b)
+    deltas = [
+        StatDelta(name, sa[name], sb[name])
+        for name in sa
+        if name in sb
+    ]
+    return ReportComparison(label_a=label_a, label_b=label_b, deltas=deltas)

@@ -1,0 +1,143 @@
+"""Every figure of the paper as data series, plus terminal renderings.
+
+:func:`figure_series` computes the exact (x, y) data behind each of the
+paper's nine figures from a trace; :func:`render_figure` draws it as an
+ASCII chart.  The CLI's ``figures`` command and downstream plotting
+scripts consume these, so the figure definitions live in exactly one
+place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.caching.compute_node import simulate_compute_node_caches
+from repro.caching.io_node import sweep_buffer_counts
+from repro.core.filestats import file_size_cdf
+from repro.core.jobstats import concurrency_profile, node_count_distribution
+from repro.core.requests import request_size_cdfs
+from repro.core.sequentiality import access_regularity_cdfs
+from repro.core.sharing import sharing_cdfs
+from repro.errors import AnalysisError
+from repro.trace.frame import TraceFrame
+from repro.trace.records import EventKind
+from repro.util.plot import ascii_bars, ascii_chart
+
+#: figure id → one-line caption (the paper's)
+FIGURES = {
+    "fig1": "Amount of time the machine spent with the given number of jobs",
+    "fig2": "Distribution of the number of compute nodes used by jobs",
+    "fig3": "CDF of the number of files of each size at close",
+    "fig4": "CDF of reads by request size and of data transferred",
+    "fig5": "CDF of sequential access to files on a per-node basis",
+    "fig6": "CDF of consecutive access to files on a per-node basis",
+    "fig7": "CDF of file sharing between nodes (byte and block)",
+    "fig8": "Compute-node caching: per-job hit-rate CDF",
+    "fig9": "I/O-node caching: hit rate vs buffers, LRU vs FIFO",
+}
+
+
+def figure_series(frame: TraceFrame, figure: str) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """The (x, y) series of one figure, keyed by series name."""
+    if figure == "fig1":
+        prof = concurrency_profile(frame)
+        return {"time at level": (prof.levels.astype(float), prof.fractions)}
+    if figure == "fig2":
+        dist = node_count_distribution(frame)
+        return {
+            "jobs": (dist.node_counts.astype(float), dist.job_fractions),
+            "node-seconds": (dist.node_counts.astype(float), dist.usage_fractions),
+        }
+    if figure == "fig3":
+        return {"files": file_size_cdf(frame).steps()}
+    if figure == "fig4":
+        by_count, by_bytes = request_size_cdfs(frame, EventKind.READ)
+        return {"reads": by_count.steps(), "data": by_bytes.steps()}
+    if figure in ("fig5", "fig6"):
+        cdfs = access_regularity_cdfs(frame)
+        idx = 0 if figure == "fig5" else 1
+        return {label: cdfs[label][idx].steps() for label in cdfs}
+    if figure == "fig7":
+        cdfs = sharing_cdfs(frame)
+        out = {}
+        for label, (bytes_cdf, blocks_cdf) in cdfs.items():
+            out[f"{label}/bytes"] = bytes_cdf.steps()
+            out[f"{label}/blocks"] = blocks_cdf.steps()
+        return out
+    if figure == "fig8":
+        out = {}
+        for buffers in (1, 10, 50):
+            res = simulate_compute_node_caches(frame, buffers=buffers)
+            out[f"{buffers} buffer{'s' if buffers > 1 else ''}"] = res.cdf().steps()
+        return out
+    if figure == "fig9":
+        counts = [50, 125, 250, 500, 1000, 2000, 4000]
+        out = {}
+        for policy in ("lru", "fifo"):
+            curve = sweep_buffer_counts(frame, counts, n_io_nodes=10, policy=policy)
+            out[policy] = (
+                curve.buffer_counts.astype(float), curve.hit_rates,
+            )
+        return out
+    raise AnalysisError(f"unknown figure {figure!r}; choose from {sorted(FIGURES)}")
+
+
+def render_figure(frame: TraceFrame, figure: str, width: int = 64, height: int = 14) -> str:
+    """One figure as a captioned ASCII chart."""
+    series = figure_series(frame, figure)
+    caption = f"{figure}: {FIGURES[figure]}"
+    if figure in ("fig1", "fig2"):
+        # categorical bars read better than a line for these
+        first = next(iter(series.values()))
+        labels = [int(x) for x in first[0]]
+        if figure == "fig2":
+            body = "\n".join(
+                f"-- {name} --\n" + ascii_bars(labels, list(ys))
+                for name, (xs, ys) in series.items()
+            )
+        else:
+            body = ascii_bars(labels, list(first[1]))
+        return f"{caption}\n{body}"
+    logx = figure in ("fig3", "fig4", "fig9")
+    chart = ascii_chart(
+        series, width=width, height=height, logx=logx,
+        x_label={"fig3": "file size (bytes)",
+                 "fig4": "request size (bytes)",
+                 "fig5": "% sequential", "fig6": "% consecutive",
+                 "fig7": "% shared", "fig8": "per-job hit rate (%)",
+                 "fig9": "total 4KB buffers"}[figure],
+    )
+    return f"{caption}\n{chart}"
+
+
+def render_figure_svg(frame: TraceFrame, figure: str,
+                      width: int = 640, height: int = 400) -> str:
+    """One figure as an SVG document string."""
+    from repro.util.svg import svg_bars, svg_chart
+
+    series = figure_series(frame, figure)
+    caption = f"{figure}: {FIGURES[figure]}"
+    if figure in ("fig1", "fig2"):
+        first = next(iter(series.values()))
+        labels = [int(x) for x in first[0]]
+        groups = {name: list(ys) for name, (xs, ys) in series.items()}
+        return svg_bars(labels, groups, title=caption, width=width, height=height)
+    logx = figure in ("fig3", "fig4", "fig9")
+    x_label = {"fig3": "file size (bytes)", "fig4": "request size (bytes)",
+               "fig5": "% sequential", "fig6": "% consecutive",
+               "fig7": "% shared", "fig8": "per-job hit rate (%)",
+               "fig9": "total 4KB buffers"}[figure]
+    return svg_chart(series, title=caption, x_label=x_label,
+                     y_label="CDF" if figure not in ("fig9",) else "hit rate",
+                     logx=logx, width=width, height=height)
+
+
+def render_all(frame: TraceFrame, width: int = 64, height: int = 12) -> str:
+    """All nine figures, skipping any the trace cannot support."""
+    blocks = []
+    for figure in FIGURES:
+        try:
+            blocks.append(render_figure(frame, figure, width=width, height=height))
+        except AnalysisError as exc:
+            blocks.append(f"{figure}: skipped ({exc})")
+    return "\n\n".join(blocks)

@@ -1,0 +1,151 @@
+"""File-population characterization: §4.2 and Figure 3.
+
+Classifies every file that appears in the trace by how it was actually
+used — read-only, write-only, read-write, or opened-but-untouched — and
+measures sizes at close, bytes moved per file, and temporary files
+(deleted by the job that created them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.trace.frame import TraceFrame
+from repro.trace.records import NO_VALUE
+from repro.util.cdf import EmpiricalCDF
+
+
+@dataclass(frozen=True)
+class FilePopulation:
+    """§4.2's file counts and per-file byte averages."""
+
+    n_files: int
+    n_opens: int
+    read_only: int
+    write_only: int
+    read_write: int
+    untouched: int
+    temporary_files: int
+    temporary_open_fraction: float
+    bytes_read_total: int
+    bytes_written_total: int
+
+    @property
+    def mean_bytes_read_per_reading_file(self) -> float:
+        """Average bytes read per file that was read (paper: 3.3 MB)."""
+        readers = self.read_only + self.read_write
+        return self.bytes_read_total / readers if readers else 0.0
+
+    @property
+    def mean_bytes_written_per_writing_file(self) -> float:
+        """Average bytes written per file that was written (paper: 1.2 MB)."""
+        writers = self.write_only + self.read_write
+        return self.bytes_written_total / writers if writers else 0.0
+
+    @property
+    def write_to_read_ratio(self) -> float:
+        """Write-only : read-only file count ratio (paper: ~3.1)."""
+        return self.write_only / self.read_only if self.read_only else float("inf")
+
+    def fractions(self) -> dict[str, float]:
+        """Population fractions by class."""
+        n = max(self.n_files, 1)
+        return {
+            "read_only": self.read_only / n,
+            "write_only": self.write_only / n,
+            "read_write": self.read_write / n,
+            "untouched": self.untouched / n,
+        }
+
+
+def _file_classes(frame: TraceFrame) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(file_ids, was_read, was_written, opened) boolean arrays."""
+    ev = frame.events
+    file_ids = np.unique(ev["file"][ev["file"] != NO_VALUE]).astype(np.int64)
+    if len(file_ids) == 0:
+        raise AnalysisError("no file events in trace")
+    reads = np.unique(frame.reads["file"]).astype(np.int64)
+    writes = np.unique(frame.writes["file"]).astype(np.int64)
+    was_read = np.isin(file_ids, reads)
+    was_written = np.isin(file_ids, writes)
+    opened = np.isin(file_ids, np.unique(frame.opens["file"]).astype(np.int64))
+    return file_ids, was_read, was_written, opened
+
+
+def population(frame: TraceFrame) -> FilePopulation:
+    """Compute the §4.2 file-population summary."""
+    file_ids, was_read, was_written, _ = _file_classes(frame)
+    read_only = int((was_read & ~was_written).sum())
+    write_only = int((~was_read & was_written).sum())
+    read_write = int((was_read & was_written).sum())
+    untouched = int((~was_read & ~was_written).sum())
+
+    ft = frame.files.data
+    temp_mask = frame.files.temporary
+    temp_ids = set(ft["file"][temp_mask].tolist())
+    opens = frame.opens
+    n_opens = len(opens)
+    temp_opens = int(np.isin(opens["file"].astype(np.int64), list(temp_ids)).sum()) if temp_ids else 0
+
+    return FilePopulation(
+        n_files=len(file_ids),
+        n_opens=n_opens,
+        read_only=read_only,
+        write_only=write_only,
+        read_write=read_write,
+        untouched=untouched,
+        temporary_files=len(temp_ids),
+        temporary_open_fraction=temp_opens / n_opens if n_opens else 0.0,
+        bytes_read_total=int(frame.reads["size"].sum()),
+        bytes_written_total=int(frame.writes["size"].sum()),
+    )
+
+
+def file_size_cdf(frame: TraceFrame, include_untouched: bool = False) -> EmpiricalCDF:
+    """Figure 3: CDF of file sizes at close.
+
+    Sizes come from the file table (the larger of the pre-existing size
+    and the highest byte written).  Untouched files are excluded by
+    default — they close at whatever size they were opened at, usually
+    zero, and the paper's CDF starts at ~10 bytes.
+    """
+    ft = frame.files.data
+    if len(ft) == 0:
+        raise AnalysisError("no files in trace")
+    sizes = ft["final_size"].astype(np.float64)
+    if not include_untouched:
+        _, was_read, was_written, _ = _file_classes(frame)
+        # the file table and _file_classes enumerate the same ids in the
+        # same sorted order only if the table is sorted; align explicitly
+        file_ids = np.unique(
+            frame.events["file"][frame.events["file"] != NO_VALUE]
+        ).astype(np.int64)
+        touched_ids = file_ids[was_read | was_written]
+        keep = np.isin(ft["file"].astype(np.int64), touched_ids)
+        sizes = sizes[keep]
+    if len(sizes) == 0:
+        raise AnalysisError("no accessed files in trace")
+    return EmpiricalCDF(sizes)
+
+
+def file_class_labels(frame: TraceFrame) -> dict[int, str]:
+    """Map file id → "ro" | "wo" | "rw" | "untouched".
+
+    Shared by the sequentiality and sharing analyses, which split their
+    CDFs by file class.
+    """
+    file_ids, was_read, was_written, _ = _file_classes(frame)
+    labels = {}
+    for fid, r, w in zip(file_ids.tolist(), was_read.tolist(), was_written.tolist()):
+        if r and w:
+            labels[fid] = "rw"
+        elif r:
+            labels[fid] = "ro"
+        elif w:
+            labels[fid] = "wo"
+        else:
+            labels[fid] = "untouched"
+    return labels

@@ -1,0 +1,99 @@
+"""Access regularity: Tables 2 and 3.
+
+The *interval* of a request is the number of bytes skipped since the end
+of the previous request from the same node (0 for consecutive access).
+Table 2 buckets files by how many distinct interval sizes they exhibit
+across all accessing nodes; Table 3 does the same for distinct request
+sizes.  The paper's conclusion — over 90 % of files use at most two
+request sizes and at most one interval size — is what motivates its
+strided-interface recommendation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.trace.frame import TraceFrame
+from repro.trace.records import NO_VALUE
+from repro.core.sequentiality import _grouped_transitions
+from repro.util.histogram import bucket_counts
+
+
+def per_file_distinct_intervals(frame: TraceFrame) -> dict[int, int]:
+    """Map file id → number of distinct interval sizes (Table 2).
+
+    Files with at most one access per node have no intervals and map to
+    zero; so do opened-but-untouched files.
+    """
+    ev = frame.events
+    all_files = np.unique(ev["file"][ev["file"] != NO_VALUE]).astype(np.int64)
+    if len(all_files) == 0:
+        raise AnalysisError("no file events in trace")
+    counts = {int(f): 0 for f in all_files}
+    try:
+        tr, same = _grouped_transitions(frame)
+    except AnalysisError:
+        return counts
+    if same.any():
+        prev_end = np.zeros(len(tr), dtype=np.int64)
+        prev_end[1:] = tr["offset"][:-1] + tr["size"][:-1]
+        intervals = (tr["offset"] - prev_end)[same]
+        files = tr["file"].astype(np.int64)[same]
+        pairs = np.unique(np.stack([files, intervals], axis=1), axis=0)
+        uniq, n = np.unique(pairs[:, 0], return_counts=True)
+        for f, c in zip(uniq.tolist(), n.tolist()):
+            counts[int(f)] = int(c)
+    return counts
+
+
+def per_file_distinct_request_sizes(frame: TraceFrame) -> dict[int, int]:
+    """Map file id → number of distinct request sizes (Table 3).
+
+    Untouched files (opened and closed without access) map to zero — the
+    paper's explicit 0 bucket.
+    """
+    ev = frame.events
+    all_files = np.unique(ev["file"][ev["file"] != NO_VALUE]).astype(np.int64)
+    if len(all_files) == 0:
+        raise AnalysisError("no file events in trace")
+    counts = {int(f): 0 for f in all_files}
+    tr = frame.transfers
+    if len(tr):
+        pairs = np.unique(
+            np.stack([tr["file"].astype(np.int64), tr["size"].astype(np.int64)], axis=1),
+            axis=0,
+        )
+        uniq, n = np.unique(pairs[:, 0], return_counts=True)
+        for f, c in zip(uniq.tolist(), n.tolist()):
+            counts[int(f)] = int(c)
+    return counts
+
+
+def interval_size_table(frame: TraceFrame, cap: int = 4) -> dict[str, int]:
+    """Table 2: files bucketed by distinct interval-size count
+    (buckets "0", "1", ..., "<cap>+")."""
+    return bucket_counts(per_file_distinct_intervals(frame).values(), cap=cap)
+
+
+def request_size_table(frame: TraceFrame, cap: int = 4) -> dict[str, int]:
+    """Table 3: files bucketed by distinct request-size count."""
+    return bucket_counts(per_file_distinct_request_sizes(frame).values(), cap=cap)
+
+
+def zero_interval_dominance(frame: TraceFrame) -> float:
+    """Among files with exactly one distinct interval size, the fraction
+    whose single interval is zero (the paper: over 99 % — i.e. regular
+    access is overwhelmingly *consecutive* access)."""
+    tr, same = _grouped_transitions(frame)
+    prev_end = np.zeros(len(tr), dtype=np.int64)
+    prev_end[1:] = tr["offset"][:-1] + tr["size"][:-1]
+    intervals = (tr["offset"] - prev_end)[same]
+    files = tr["file"].astype(np.int64)[same]
+    pairs = np.unique(np.stack([files, intervals], axis=1), axis=0)
+    uniq, n = np.unique(pairs[:, 0], return_counts=True)
+    one = set(uniq[n == 1].tolist())
+    if not one:
+        raise AnalysisError("no single-interval files in trace")
+    single = pairs[np.isin(pairs[:, 0], list(one))]
+    return float(np.mean(single[:, 1] == 0))

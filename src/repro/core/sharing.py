@@ -1,0 +1,242 @@
+"""Inter-node file sharing: Figure 7.
+
+A file is *concurrently shared* when opens from different compute nodes
+overlap in time.  For each such file the analysis measures what fraction
+of its accessed bytes (and of its accessed 4 KB blocks) was touched by
+more than one node.  The paper's findings — reads heavily byte-shared,
+writes almost never, and read-write files block-shared even when not
+byte-shared — are what make I/O-node caching attractive and compute-node
+write-caching hazardous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.filestats import file_class_labels
+from repro.errors import AnalysisError
+from repro.trace.frame import TraceFrame
+from repro.util.cdf import EmpiricalCDF
+from repro.util.units import BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class SharingResult:
+    """Per-file sharing fractions for concurrently multi-node files."""
+
+    file_ids: np.ndarray
+    byte_shared: np.ndarray   # fraction of accessed bytes touched by >1 node
+    block_shared: np.ndarray  # same at block granularity
+    labels: list[str]
+
+    def __len__(self) -> int:
+        return len(self.file_ids)
+
+    def select(self, label: str) -> tuple[np.ndarray, np.ndarray]:
+        """(byte_shared, block_shared) arrays for one file class."""
+        mask = np.array([lab == label for lab in self.labels])
+        return self.byte_shared[mask], self.block_shared[mask]
+
+
+def concurrently_multi_node_files(frame: TraceFrame) -> np.ndarray:
+    """File ids opened by ≥2 distinct nodes with overlapping open spans.
+
+    A node's span on a file runs from its first OPEN to its last CLOSE
+    (or last event on the file, when a CLOSE is missing from the traced
+    period).
+    """
+    opens = frame.opens
+    closes = frame.closes
+    if len(opens) == 0:
+        raise AnalysisError("no OPEN events in trace")
+
+    def spans(ev, reducer):
+        keys = np.stack([ev["file"].astype(np.int64), ev["node"].astype(np.int64)], axis=1)
+        uniq, inv = np.unique(keys, axis=0, return_inverse=True)
+        agg = np.full(len(uniq), -np.inf if reducer is np.maximum else np.inf)
+        ufunc = reducer
+        ufunc.at(agg, inv, ev["time"])
+        return {tuple(k): float(v) for k, v in zip(map(tuple, uniq.tolist()), agg.tolist())}
+
+    first_open = spans(opens, np.minimum)
+    last_close = spans(closes, np.maximum) if len(closes) else {}
+
+    by_file: dict[int, list[tuple[float, float]]] = {}
+    for (fid, node), t0 in first_open.items():
+        t1 = last_close.get((fid, node), t0)
+        by_file.setdefault(int(fid), []).append((t0, max(t0, t1)))
+
+    shared = []
+    for fid, windows in by_file.items():
+        if len(windows) < 2:
+            continue
+        windows.sort()
+        max_end = windows[0][1]
+        for t0, t1 in windows[1:]:
+            if t0 <= max_end:
+                shared.append(fid)
+                break
+            max_end = max(max_end, t1)
+    return np.asarray(sorted(shared), dtype=np.int64)
+
+
+def interjob_shared_files(frame: TraceFrame) -> tuple[np.ndarray, np.ndarray]:
+    """(shared, concurrently_shared) file ids across *jobs*.
+
+    §4.7: "A file is shared if more than one job or process opens it...
+    in our traces we saw ... no concurrent file sharing between jobs."
+    The first array holds files opened by more than one job at any time;
+    the second, those whose openings by different jobs overlapped in
+    time.
+    """
+    opens = frame.opens
+    closes = frame.closes
+    if len(opens) == 0:
+        raise AnalysisError("no OPEN events in trace")
+
+    first_open: dict[tuple[int, int], float] = {}
+    for row in opens:
+        key = (int(row["file"]), int(row["job"]))
+        t = float(row["time"])
+        if key not in first_open or t < first_open[key]:
+            first_open[key] = t
+    last_close: dict[tuple[int, int], float] = {}
+    for row in closes:
+        key = (int(row["file"]), int(row["job"]))
+        t = float(row["time"])
+        if key not in last_close or t > last_close[key]:
+            last_close[key] = t
+
+    by_file: dict[int, list[tuple[float, float]]] = {}
+    for (fid, job), t0 in first_open.items():
+        t1 = max(t0, last_close.get((fid, job), t0))
+        by_file.setdefault(fid, []).append((t0, t1))
+
+    shared = []
+    concurrent = []
+    for fid, windows in by_file.items():
+        if len(windows) < 2:
+            continue
+        shared.append(fid)
+        windows.sort()
+        max_end = windows[0][1]
+        for t0, t1 in windows[1:]:
+            if t0 <= max_end:
+                concurrent.append(fid)
+                break
+            max_end = max(max_end, t1)
+    return (
+        np.asarray(sorted(shared), dtype=np.int64),
+        np.asarray(sorted(concurrent), dtype=np.int64),
+    )
+
+
+def _overlap_fraction(starts: np.ndarray, ends: np.ndarray, nodes: np.ndarray) -> float:
+    """Fraction of covered length touched by ≥2 distinct nodes.
+
+    Each (start, end, node) is a half-open byte interval accessed by a
+    node.  Per node the intervals are first unioned, so repeated access by
+    the *same* node does not count as sharing.
+    """
+    pieces = []
+    for node in np.unique(nodes):
+        m = nodes == node
+        s = starts[m]
+        e = ends[m]
+        order = np.argsort(s, kind="stable")
+        s, e = s[order], e[order]
+        # union of this node's intervals
+        merged_s = [int(s[0])]
+        merged_e = [int(e[0])]
+        for a, b in zip(s[1:].tolist(), e[1:].tolist()):
+            if a <= merged_e[-1]:
+                merged_e[-1] = max(merged_e[-1], b)
+            else:
+                merged_s.append(a)
+                merged_e.append(b)
+        pieces.append((np.asarray(merged_s), np.asarray(merged_e)))
+
+    edges = np.concatenate([p[0] for p in pieces] + [p[1] for p in pieces])
+    deltas = np.concatenate(
+        [np.ones(sum(len(p[0]) for p in pieces), dtype=np.int64),
+         -np.ones(sum(len(p[1]) for p in pieces), dtype=np.int64)]
+    )
+    order = np.argsort(edges, kind="stable")
+    edges = edges[order]
+    # process +1 before -1 at equal coordinates so touching intervals from
+    # different nodes do not register phantom sharing of zero length
+    depth = np.cumsum(deltas[order])
+    lengths = np.diff(edges).astype(np.float64)
+    d = depth[:-1]
+    covered = float(lengths[d >= 1].sum())
+    if covered == 0.0:
+        return 0.0
+    shared = float(lengths[d >= 2].sum())
+    return shared / covered
+
+
+def sharing_per_file(frame: TraceFrame, block_size: int = BLOCK_SIZE) -> SharingResult:
+    """Figure 7's per-file byte- and block-sharing fractions."""
+    candidates = concurrently_multi_node_files(frame)
+    if len(candidates) == 0:
+        raise AnalysisError("no concurrently multi-node-opened files in trace")
+    tr = frame.transfers
+    order = np.argsort(tr["file"], kind="stable")
+    tr = tr[order]
+    labels_all = file_class_labels(frame)
+
+    file_ids = []
+    byte_fracs = []
+    block_fracs = []
+    labels = []
+    lo = np.searchsorted(tr["file"], candidates, side="left")
+    hi = np.searchsorted(tr["file"], candidates, side="right")
+    for fid, a, b in zip(candidates.tolist(), lo.tolist(), hi.tolist()):
+        if b <= a:
+            continue  # opened by many nodes but never accessed
+        chunk = tr[a:b]
+        starts = chunk["offset"].astype(np.int64)
+        ends = starts + chunk["size"].astype(np.int64)
+        keep = ends > starts
+        if not keep.any():
+            continue
+        starts, ends = starts[keep], ends[keep]
+        nodes = chunk["node"].astype(np.int64)[keep]
+        if len(np.unique(nodes)) < 2:
+            # concurrently opened by several nodes but accessed by one
+            byte_fracs.append(0.0)
+            block_fracs.append(0.0)
+        else:
+            byte_fracs.append(_overlap_fraction(starts, ends, nodes))
+            blk_s = (starts // block_size) * block_size
+            blk_e = -(-ends // block_size) * block_size
+            block_fracs.append(_overlap_fraction(blk_s, blk_e, nodes))
+        file_ids.append(fid)
+        labels.append(labels_all[fid])
+
+    if not file_ids:
+        raise AnalysisError("no accessed multi-node files in trace")
+    return SharingResult(
+        file_ids=np.asarray(file_ids, dtype=np.int64),
+        byte_shared=np.asarray(byte_fracs),
+        block_shared=np.asarray(block_fracs),
+        labels=labels,
+    )
+
+
+def sharing_cdfs(
+    frame: TraceFrame, block_size: int = BLOCK_SIZE
+) -> dict[str, tuple[EmpiricalCDF, EmpiricalCDF]]:
+    """Figure 7: per file class, (byte %, block %) sharing CDFs.
+
+    Keys are "ro", "wo", "rw"; values are percentages in [0, 100].
+    """
+    res = sharing_per_file(frame, block_size=block_size)
+    out = {}
+    for label in ("ro", "wo", "rw"):
+        bytes_, blocks = res.select(label)
+        if len(bytes_):
+            out[label] = (EmpiricalCDF(bytes_ * 100.0), EmpiricalCDF(blocks * 100.0))
+    return out

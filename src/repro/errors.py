@@ -1,0 +1,47 @@
+"""Exception hierarchy for the CHARISMA reproduction.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch one base class; subclasses mirror the major subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TraceError(ReproError):
+    """A trace file or record stream is malformed or inconsistent."""
+
+
+class TraceFormatError(TraceError):
+    """Binary trace data failed to decode (bad magic, truncation, ...)."""
+
+
+class MachineError(ReproError):
+    """Invalid machine configuration or node addressing."""
+
+
+class CFSError(ReproError):
+    """Concurrent File System call failed (bad fd, mode violation, ...)."""
+
+
+class FileNotOpenError(CFSError):
+    """Operation on a file descriptor that is not open."""
+
+
+class ModeViolationError(CFSError):
+    """An I/O-mode constraint was violated (e.g. mode-3 size mismatch)."""
+
+
+class WorkloadError(ReproError):
+    """Workload generation was configured inconsistently."""
+
+
+class AnalysisError(ReproError):
+    """A characterization was asked of a trace that cannot support it."""
+
+
+class CacheConfigError(ReproError):
+    """Cache simulation parameters are invalid."""

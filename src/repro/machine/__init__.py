@@ -1,0 +1,34 @@
+"""Model of the traced machine: a 128-node Intel iPSC/860.
+
+The iPSC/860 at NASA Ames NAS had 128 compute nodes (i860, 8 MB each) on a
+hypercube interconnect, 10 I/O nodes (i386, 4 MB, one 760 MB SCSI disk
+each) hanging off individual compute nodes, and one service node with the
+Ethernet connection — total I/O capacity 7.6 GB at under 10 MB/s.
+
+This package models the pieces of that machine the tracing study actually
+depends on: per-node clocks that drift apart (the reason postprocessing
+exists), the hypercube topology and message packetization (the reason
+trace buffers are 4 KB), the disks (capacity and bandwidth ceilings that
+shaped user behaviour), and the node inventory.
+"""
+
+from repro.machine.clock import ClockEnsemble, DriftingClock
+from repro.machine.disk import Disk
+from repro.machine.machine import IPSC860, MachineConfig
+from repro.machine.message import Message, MessageModel
+from repro.machine.nodes import ComputeNode, IONode, ServiceNode
+from repro.machine.topology import Hypercube
+
+__all__ = [
+    "ClockEnsemble",
+    "ComputeNode",
+    "Disk",
+    "DriftingClock",
+    "Hypercube",
+    "IONode",
+    "IPSC860",
+    "MachineConfig",
+    "Message",
+    "MessageModel",
+    "ServiceNode",
+]

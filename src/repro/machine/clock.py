@@ -1,0 +1,134 @@
+"""Per-node drifting clocks.
+
+iPSC/860 node clocks were synchronized only at system startup and then
+drifted "significantly and differently" (French, 1989).  We model each
+node clock as an affine function of true time — an initial offset plus a
+constant drift rate — which is both a good model of crystal oscillators
+over hours and exactly the model the postprocessor fits when correcting
+timestamps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MachineError
+
+
+class DriftingClock:
+    """An affine clock: ``local = offset + (1 + rate) * true``.
+
+    ``rate`` is the fractional frequency error (e.g. ``50e-6`` for a clock
+    gaining 50 µs per second, at the high end of commodity crystals);
+    ``offset`` is the residual error left by the boot-time synchronization.
+    """
+
+    def __init__(self, offset: float = 0.0, rate: float = 0.0) -> None:
+        if rate <= -1.0:
+            raise MachineError(f"drift rate {rate} would stop or reverse the clock")
+        self.offset = float(offset)
+        self.rate = float(rate)
+
+    def local(self, true_time: float | np.ndarray) -> float | np.ndarray:
+        """Node-local reading at a given true time."""
+        return self.offset + (1.0 + self.rate) * true_time
+
+    def true(self, local_time: float | np.ndarray) -> float | np.ndarray:
+        """Invert :meth:`local` — the true time at a local reading."""
+        return (local_time - self.offset) / (1.0 + self.rate)
+
+    def reader(self, now: "Timebase") -> "_BoundReader":
+        """A zero-argument callable reading this clock off a shared timebase.
+
+        This is the shape :class:`~repro.trace.writer.NodeTraceBuffer`
+        expects for its send-stamp clock.
+        """
+        return _BoundReader(self, now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DriftingClock(offset={self.offset:g}, rate={self.rate:g})"
+
+
+class Timebase:
+    """The simulation's true time, advanced by whoever drives the model."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current true time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move true time forward; rejects travel into the past."""
+        if t < self._now:
+            raise MachineError(f"cannot move time backwards ({t} < {self._now})")
+        self._now = float(t)
+
+    def advance_by(self, dt: float) -> None:
+        """Move true time forward by ``dt`` seconds."""
+        if dt < 0:
+            raise MachineError(f"cannot advance by negative {dt}")
+        self._now += float(dt)
+
+
+class _BoundReader:
+    """Callable reading one clock against one timebase."""
+
+    __slots__ = ("_clock", "_timebase")
+
+    def __init__(self, clock: DriftingClock, timebase: Timebase) -> None:
+        self._clock = clock
+        self._timebase = timebase
+
+    def __call__(self) -> float:
+        return float(self._clock.local(self._timebase.now))
+
+
+class ClockEnsemble:
+    """The full set of node clocks, sampled from boot-sync statistics.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of clocks (compute nodes plus, by convention, index
+        ``n_nodes`` for the service node if ``include_service``).
+    offset_sigma:
+        Std-dev of the residual boot-time offset, seconds.
+    rate_sigma:
+        Std-dev of the fractional drift rate (50 ppm is realistic for the
+        era's crystals).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        rng: np.random.Generator,
+        offset_sigma: float = 0.010,
+        rate_sigma: float = 50e-6,
+        include_service: bool = True,
+    ) -> None:
+        if n_nodes <= 0:
+            raise MachineError("need at least one clock")
+        total = n_nodes + (1 if include_service else 0)
+        offsets = rng.normal(0.0, offset_sigma, size=total)
+        rates = rng.normal(0.0, rate_sigma, size=total)
+        self.clocks = [DriftingClock(o, r) for o, r in zip(offsets, rates)]
+        self.n_nodes = n_nodes
+        self.include_service = include_service
+
+    def __getitem__(self, node: int) -> DriftingClock:
+        return self.clocks[node]
+
+    @property
+    def service(self) -> DriftingClock:
+        """The service node's clock — the collector's time reference."""
+        if not self.include_service:
+            raise MachineError("ensemble was built without a service clock")
+        return self.clocks[-1]
+
+    def max_divergence(self, true_time: float) -> float:
+        """Largest pairwise disagreement between any two clocks at a time."""
+        readings = np.array([c.local(true_time) for c in self.clocks])
+        return float(readings.max() - readings.min())

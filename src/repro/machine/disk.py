@@ -1,0 +1,82 @@
+"""Disk model for the I/O nodes.
+
+Each iPSC I/O node carried a single 760 MB SCSI drive; the whole machine
+offered 7.6 GB and under 10 MB/s aggregate.  The paper argues these limits
+explain why users kept files smaller than a supercomputing environment
+would otherwise suggest, so the model exposes exactly those two ceilings
+plus a conventional seek+rotate+transfer service-time estimate used by the
+caching discussion (small requests are disastrous at the disk).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineError
+from repro.util.units import MB
+
+
+class Disk:
+    """A single disk: capacity accounting plus a service-time model."""
+
+    def __init__(
+        self,
+        capacity: int = 760 * MB,
+        avg_seek: float = 0.016,
+        rotation_time: float = 0.0167,  # 3600 rpm
+        transfer_rate: float = 1.0 * MB,
+    ) -> None:
+        if capacity <= 0:
+            raise MachineError("disk capacity must be positive")
+        if transfer_rate <= 0:
+            raise MachineError("transfer rate must be positive")
+        if avg_seek < 0 or rotation_time < 0:
+            raise MachineError("seek/rotation times must be non-negative")
+        self.capacity = capacity
+        self.avg_seek = avg_seek
+        self.rotation_time = rotation_time
+        self.transfer_rate = transfer_rate
+        self.used = 0
+        #: cumulative busy time accounted by :meth:`service_time` callers
+        self.busy_time = 0.0
+
+    @property
+    def free(self) -> int:
+        """Unallocated bytes."""
+        return self.capacity - self.used
+
+    def allocate(self, nbytes: int) -> None:
+        """Claim space; raises when the disk would overflow."""
+        if nbytes < 0:
+            raise MachineError("cannot allocate negative bytes")
+        if self.used + nbytes > self.capacity:
+            raise MachineError(
+                f"disk full: {nbytes} bytes requested, {self.free} free"
+            )
+        self.used += nbytes
+
+    def release(self, nbytes: int) -> None:
+        """Return space (on file deletion/truncation)."""
+        if nbytes < 0 or nbytes > self.used:
+            raise MachineError(f"cannot release {nbytes} of {self.used} used bytes")
+        self.used -= nbytes
+
+    def service_time(self, nbytes: int, sequential: bool = False) -> float:
+        """Estimated time to serve one request of ``nbytes``.
+
+        Sequential requests skip the seek and rotational delay; random
+        requests pay the average of each.  This is the mechanism behind
+        the paper's point that I/O-node caches which coalesce many small
+        requests into few large disk transfers are a big win.
+        """
+        if nbytes < 0:
+            raise MachineError("cannot service a negative-size request")
+        positioning = 0.0 if sequential else self.avg_seek + self.rotation_time / 2.0
+        t = positioning + nbytes / self.transfer_rate
+        self.busy_time += t
+        return t
+
+    def effective_bandwidth(self, nbytes: int, sequential: bool = False) -> float:
+        """Bytes/second achieved by requests of a given size."""
+        if nbytes <= 0:
+            return 0.0
+        positioning = 0.0 if sequential else self.avg_seek + self.rotation_time / 2.0
+        return nbytes / (positioning + nbytes / self.transfer_rate)

@@ -1,0 +1,90 @@
+"""Message-passing model.
+
+Large iPSC messages are broken into 4 KB fragments — the fact that sized
+the instrumentation's per-node trace buffers.  The latency model is the
+classic startup + per-hop + per-byte form; precise numbers matter little
+to the study (analysis is spatial), but the model gives the collector its
+receive-stamp delays and lets tests reason about buffering savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MachineError
+from repro.machine.topology import Hypercube
+from repro.util.units import BLOCK_SIZE
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One point-to-point message."""
+
+    src: int
+    dst: int
+    size: int
+    tag: int = 0
+    payload: bytes | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise MachineError(f"message size must be non-negative, got {self.size}")
+        if self.payload is not None and len(self.payload) != self.size:
+            raise MachineError(
+                f"payload of {len(self.payload)} bytes disagrees with size {self.size}"
+            )
+
+    def fragments(self, fragment_size: int = BLOCK_SIZE) -> list[int]:
+        """Fragment sizes after packetization (last may be short)."""
+        if fragment_size <= 0:
+            raise MachineError("fragment size must be positive")
+        if self.size == 0:
+            return [0]
+        full, rest = divmod(self.size, fragment_size)
+        sizes = [fragment_size] * full
+        if rest:
+            sizes.append(rest)
+        return sizes
+
+
+class MessageModel:
+    """Latency model: ``startup + hops*per_hop + bytes/bandwidth``.
+
+    Defaults approximate the iPSC/860: ~75 µs startup, ~11 µs per hop,
+    ~2.8 MB/s sustained point-to-point bandwidth.
+    """
+
+    def __init__(
+        self,
+        cube: Hypercube,
+        startup: float = 75e-6,
+        per_hop: float = 11e-6,
+        bandwidth: float = 2.8e6,
+        fragment_size: int = BLOCK_SIZE,
+    ) -> None:
+        if startup < 0 or per_hop < 0:
+            raise MachineError("latency terms must be non-negative")
+        if bandwidth <= 0:
+            raise MachineError("bandwidth must be positive")
+        self.cube = cube
+        self.startup = startup
+        self.per_hop = per_hop
+        self.bandwidth = bandwidth
+        self.fragment_size = fragment_size
+
+    def latency(self, message: Message) -> float:
+        """End-to-end delivery time for one message, in seconds.
+
+        Each fragment pays the startup cost (the fragmentation penalty
+        that made record buffering worthwhile); hop costs are paid once
+        per fragment along the e-cube route.
+        """
+        hops = self.cube.distance(message.src, message.dst)
+        total = 0.0
+        for frag in message.fragments(self.fragment_size):
+            total += self.startup + hops * self.per_hop + frag / self.bandwidth
+        return total
+
+    def latency_bytes(self, src: int, dst: int, size: int) -> float:
+        """Convenience: latency of an anonymous message of ``size`` bytes."""
+        return self.latency(Message(src=src, dst=dst, size=size))

@@ -1,0 +1,62 @@
+"""Node inventory: compute nodes, I/O nodes, and the service node."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MachineError
+from repro.machine.clock import DriftingClock
+from repro.machine.disk import Disk
+from repro.util.units import MB
+
+
+@dataclass(slots=True)
+class ComputeNode:
+    """One i860 compute node (8 MB of memory on the NAS machine)."""
+
+    index: int
+    clock: DriftingClock
+    memory: int = 8 * MB
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise MachineError("node index must be non-negative")
+        if self.memory <= 0:
+            raise MachineError("node memory must be positive")
+
+
+@dataclass(slots=True)
+class IONode:
+    """One i386 I/O node: 4 MB of memory and a single SCSI disk.
+
+    Only the I/O nodes have a buffer cache in CFS; ``attached_to`` is the
+    compute node the I/O node hangs off (I/O nodes are not directly on the
+    hypercube).
+    """
+
+    index: int
+    disk: Disk = field(default_factory=Disk)
+    memory: int = 4 * MB
+    attached_to: int = 0
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise MachineError("I/O node index must be non-negative")
+        if self.memory <= 0:
+            raise MachineError("I/O node memory must be positive")
+
+    def max_cache_buffers(self, block_size: int = 4096, reserve: int = 1 * MB) -> int:
+        """How many cache buffers fit in memory after a code/heap reserve."""
+        usable = self.memory - reserve
+        if usable <= 0:
+            return 0
+        return usable // block_size
+
+
+@dataclass(slots=True)
+class ServiceNode:
+    """The service node: Ethernet connection, interactive shells — and,
+    during the study, the trace data collector."""
+
+    clock: DriftingClock
+    ethernet_bandwidth: float = 10e6 / 8  # 10 Mbit/s in bytes/s

@@ -1,0 +1,116 @@
+"""Hypercube interconnect topology.
+
+The iPSC/860's compute nodes sit on a binary hypercube; jobs are allocated
+aligned subcubes, which is why the machine "limits the choice to powers of
+2" for job sizes (Figure 2).  This module provides addressing, e-cube
+routing, and subcube allocation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MachineError
+
+
+class Hypercube:
+    """A ``dim``-dimensional binary hypercube of ``2**dim`` nodes."""
+
+    def __init__(self, dim: int) -> None:
+        if not 0 <= dim <= 20:
+            raise MachineError(f"unreasonable hypercube dimension {dim}")
+        self.dim = dim
+        self.n_nodes = 1 << dim
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise MachineError(f"node {node} outside hypercube of {self.n_nodes} nodes")
+
+    def neighbors(self, node: int) -> list[int]:
+        """The ``dim`` nodes differing from ``node`` in exactly one bit."""
+        self._check(node)
+        return [node ^ (1 << i) for i in range(self.dim)]
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop count between two nodes (Hamming distance)."""
+        self._check(a)
+        self._check(b)
+        return (a ^ b).bit_count()
+
+    def route(self, src: int, dst: int) -> list[int]:
+        """E-cube route from ``src`` to ``dst`` (corrects bits low to high).
+
+        Returns the node sequence including both endpoints.
+        """
+        self._check(src)
+        self._check(dst)
+        path = [src]
+        current = src
+        diff = src ^ dst
+        bit = 0
+        while diff:
+            if diff & 1:
+                current ^= 1 << bit
+                path.append(current)
+            diff >>= 1
+            bit += 1
+        return path
+
+    def subcube(self, base: int, size: int) -> range:
+        """The aligned subcube of ``size`` nodes starting at ``base``.
+
+        ``size`` must be a power of two and ``base`` a multiple of it.
+        """
+        if size <= 0 or size & (size - 1):
+            raise MachineError(f"subcube size {size} is not a power of two")
+        if size > self.n_nodes:
+            raise MachineError(f"subcube of {size} exceeds machine of {self.n_nodes}")
+        if base % size:
+            raise MachineError(f"subcube base {base} not aligned to size {size}")
+        self._check(base)
+        return range(base, base + size)
+
+    def subcube_bases(self, size: int) -> range:
+        """All valid bases for aligned subcubes of a given size."""
+        if size <= 0 or size & (size - 1) or size > self.n_nodes:
+            raise MachineError(f"invalid subcube size {size}")
+        return range(0, self.n_nodes, size)
+
+
+class SubcubeAllocator:
+    """First-fit allocator of aligned subcubes, modeling iPSC space sharing.
+
+    Jobs ask for a power-of-two node count; the allocator hands back an
+    aligned subcube or ``None`` when the machine is too fragmented/full.
+    """
+
+    def __init__(self, cube: Hypercube) -> None:
+        self.cube = cube
+        self._free = [True] * cube.n_nodes
+        self._allocations: dict[int, range] = {}
+        self._next_token = 0
+
+    @property
+    def free_nodes(self) -> int:
+        """Number of currently unallocated nodes."""
+        return sum(self._free)
+
+    def allocate(self, size: int) -> tuple[int, range] | None:
+        """Try to allocate a subcube; returns (token, node range) or None."""
+        for base in self.cube.subcube_bases(size):
+            nodes = self.cube.subcube(base, size)
+            if all(self._free[n] for n in nodes):
+                for n in nodes:
+                    self._free[n] = False
+                token = self._next_token
+                self._next_token += 1
+                self._allocations[token] = nodes
+                return token, nodes
+        return None
+
+    def release(self, token: int) -> None:
+        """Return a previously allocated subcube to the free pool."""
+        try:
+            nodes = self._allocations.pop(token)
+        except KeyError:
+            raise MachineError(f"unknown allocation token {token}") from None
+        for n in nodes:
+            self._free[n] = True

@@ -1,0 +1,58 @@
+"""The strided request abstraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True, slots=True)
+class StridedRequest:
+    """``count`` transfers of ``size`` bytes, starts ``stride`` apart.
+
+    ``stride == size`` expresses a plain contiguous transfer; a simple
+    request is the ``count == 1`` special case.  This is the shape of the
+    strided interfaces the paper cites (Vesta, nCUBE, and Kotz's
+    multiprocessor interface proposals).
+    """
+
+    offset: int
+    size: int
+    stride: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise AnalysisError("offset must be non-negative")
+        if self.size <= 0:
+            raise AnalysisError("size must be positive")
+        if self.count <= 0:
+            raise AnalysisError("count must be positive")
+        if self.count > 1 and self.stride < self.size:
+            raise AnalysisError(
+                f"stride {self.stride} below size {self.size} would overlap"
+            )
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes actually transferred."""
+        return self.size * self.count
+
+    @property
+    def extent(self) -> int:
+        """Bytes from the first offset to the end of the last transfer."""
+        return (self.count - 1) * self.stride + self.size
+
+    @property
+    def interval(self) -> int:
+        """Bytes skipped between transfers (the paper's interval size)."""
+        return self.stride - self.size
+
+    def expand(self) -> tuple[np.ndarray, np.ndarray]:
+        """The equivalent simple-request stream (offsets, sizes)."""
+        offsets = self.offset + self.stride * np.arange(self.count, dtype=np.int64)
+        sizes = np.full(self.count, self.size, dtype=np.int64)
+        return offsets, sizes

@@ -1,0 +1,80 @@
+"""Trace anonymization for sharing.
+
+CHARISMA's stated goal was "to organize and facilitate a multi-platform
+file system tracing effort" — which means shipping traces off-site.  A
+shareable trace must not leak who ran what when: job and file
+identifiers get densely renumbered in a keyed-random order and
+timestamps are shifted to a zero-based origin.  Spatial structure
+(offsets, sizes, per-node streams, inter-event gaps) is preserved
+exactly, so every analysis in :mod:`repro.core` and every cache
+simulation produces identical results on the anonymized trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.frame import FileTable, JobTable, TraceFrame
+from repro.trace.records import NO_VALUE
+from repro.util.rng import SeedSequencePool
+
+
+def _keyed_permutation(ids: np.ndarray, rng: np.random.Generator) -> dict[int, int]:
+    """Map each distinct id to a dense index in keyed-random order."""
+    distinct = np.unique(ids)
+    shuffled = distinct.copy()
+    rng.shuffle(shuffled)
+    return {int(old): new for new, old in enumerate(shuffled.tolist())}
+
+
+def anonymize(frame: TraceFrame, key: int = 0) -> TraceFrame:
+    """Return an anonymized copy of a trace.
+
+    ``key`` seeds the renumbering: the same key reproduces the same
+    mapping (so multi-period traces anonymized separately stay
+    consistent *only* if merged first — renumbering is per-call).
+    """
+    if len(frame.events) == 0:
+        raise TraceError("nothing to anonymize")
+    pool = SeedSequencePool(key)
+    ev = frame.events.copy()
+    jobs = frame.jobs.data.copy()
+    files = frame.files.data.copy()
+
+    job_map = _keyed_permutation(jobs["job"], pool.rng("jobs"))
+    file_ids = ev["file"][ev["file"] != NO_VALUE]
+    file_map = _keyed_permutation(
+        np.concatenate([file_ids, files["file"]]), pool.rng("files")
+    )
+
+    ev["job"] = np.vectorize(job_map.__getitem__, otypes=[np.int32])(ev["job"])
+    mask = ev["file"] != NO_VALUE
+    if mask.any():
+        ev["file"][mask] = np.vectorize(file_map.__getitem__, otypes=[np.int32])(
+            ev["file"][mask]
+        )
+    t0 = float(min(ev["time"].min(), jobs["start"].min()))
+    ev["time"] -= t0
+
+    jobs["job"] = np.vectorize(job_map.__getitem__, otypes=[np.int32])(jobs["job"])
+    jobs["start"] -= t0
+    jobs["end"] -= t0
+
+    files["file"] = np.vectorize(file_map.__getitem__, otypes=[np.int32])(files["file"])
+    for col in ("creator_job", "deleter_job"):
+        m = files[col] != NO_VALUE
+        if m.any():
+            files[col][m] = np.vectorize(job_map.__getitem__, otypes=[np.int32])(
+                files[col][m]
+            )
+
+    from dataclasses import replace as dc_replace
+
+    header = dc_replace(
+        frame.header, site="anonymized", notes="", start_time=0.0
+    )
+    order = np.argsort(ev["time"], kind="stable")
+    return TraceFrame(
+        ev[order], jobs=JobTable(jobs), files=FileTable(files), header=header
+    )

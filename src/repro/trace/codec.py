@@ -1,0 +1,139 @@
+"""Binary encoding of trace records and file headers.
+
+Records are fixed-width (40 bytes, little-endian) so that a node's 4 KB
+trace buffer holds a whole number of records and the reader can recover
+record boundaries without a length prefix — the same property the original
+instrumentation relied on to pack records into iPSC message fragments.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import TraceFormatError
+from repro.trace.records import EventKind, Record, TraceHeader
+
+#: struct format of one record: time, node, job, file, kind, mode, flags,
+#: (2 pad bytes), offset, size.
+_RECORD_STRUCT = struct.Struct("<diiiBbHxxqq")
+
+#: Encoded size of one record in bytes.
+RECORD_SIZE: int = _RECORD_STRUCT.size
+
+#: Magic string opening every raw trace file.
+HEADER_MAGIC: bytes = b"CHARISMA1\n"
+
+
+def encode_record(record: Record) -> bytes:
+    """Encode one record into its fixed-width binary form."""
+    return _RECORD_STRUCT.pack(
+        record.time,
+        record.node,
+        record.job,
+        record.file,
+        int(record.kind),
+        record.mode,
+        record.flags,
+        record.offset,
+        record.size,
+    )
+
+
+def decode_records(payload: bytes) -> list[Record]:
+    """Decode a byte string holding zero or more concatenated records.
+
+    Raises :class:`TraceFormatError` on a payload that is not a whole
+    number of records or contains an unknown event kind.
+    """
+    if len(payload) % RECORD_SIZE != 0:
+        raise TraceFormatError(
+            f"payload of {len(payload)} bytes is not a multiple of the "
+            f"{RECORD_SIZE}-byte record size"
+        )
+    records = []
+    for time, node, job, file, kind, mode, flags, offset, size in _RECORD_STRUCT.iter_unpack(payload):
+        try:
+            ekind = EventKind(kind)
+        except ValueError:
+            raise TraceFormatError(f"unknown event kind {kind}") from None
+        try:
+            records.append(
+                Record(
+                    time=time,
+                    node=node,
+                    job=job,
+                    kind=ekind,
+                    file=file,
+                    offset=offset,
+                    size=size,
+                    mode=mode,
+                    flags=flags,
+                )
+            )
+        except ValueError as exc:
+            # a corrupt payload can carry a valid kind byte but invalid
+            # field values; surface it as a format error, not a crash
+            raise TraceFormatError(f"corrupt record: {exc}") from exc
+    return records
+
+
+def encode_header(header: TraceHeader) -> bytes:
+    """Encode the self-descriptive trace header as magic + one JSON line."""
+    body = json.dumps(
+        {
+            "machine": header.machine,
+            "site": header.site,
+            "n_compute_nodes": header.n_compute_nodes,
+            "n_io_nodes": header.n_io_nodes,
+            "block_size": header.block_size,
+            "start_time": header.start_time,
+            "version": header.version,
+            "notes": header.notes,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    return HEADER_MAGIC + body + b"\n"
+
+
+def decode_header(data: bytes) -> tuple[TraceHeader, int]:
+    """Decode a header from the front of ``data``.
+
+    Returns the header and the number of bytes consumed.
+    """
+    if not data.startswith(HEADER_MAGIC):
+        raise TraceFormatError("missing CHARISMA trace magic")
+    end = data.find(b"\n", len(HEADER_MAGIC))
+    if end < 0:
+        raise TraceFormatError("unterminated trace header")
+    try:
+        fields = json.loads(data[len(HEADER_MAGIC):end].decode("utf-8"))
+        header = TraceHeader(**fields)
+    except (ValueError, TypeError) as exc:
+        raise TraceFormatError(f"bad trace header: {exc}") from exc
+    return header, end + 1
+
+
+#: struct format of a block header: node, seq, n_records, send & recv stamps.
+_BLOCK_STRUCT = struct.Struct("<4sIIIdd")
+BLOCK_MAGIC: bytes = b"CBLK"
+BLOCK_HEADER_SIZE: int = _BLOCK_STRUCT.size
+
+
+def encode_block_header(
+    node: int, seq: int, n_records: int, send_stamp: float, recv_stamp: float
+) -> bytes:
+    """Encode the framing header preceding one buffer-flush of records."""
+    return _BLOCK_STRUCT.pack(BLOCK_MAGIC, node, seq, n_records, send_stamp, recv_stamp)
+
+
+def decode_block_header(data: bytes) -> tuple[int, int, int, float, float]:
+    """Decode a block header; returns (node, seq, n_records, send, recv)."""
+    if len(data) < BLOCK_HEADER_SIZE:
+        raise TraceFormatError("truncated block header")
+    magic, node, seq, n_records, send_stamp, recv_stamp = _BLOCK_STRUCT.unpack(
+        data[:BLOCK_HEADER_SIZE]
+    )
+    if magic != BLOCK_MAGIC:
+        raise TraceFormatError(f"bad block magic {magic!r}")
+    return node, seq, n_records, send_stamp, recv_stamp

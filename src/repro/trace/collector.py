@@ -1,0 +1,157 @@
+"""The data collector and the raw (pre-postprocessing) trace.
+
+In the original study a collector process on the iPSC's service node
+received buffered record blocks from all compute nodes, stamped each with
+its own clock on receipt, and appended them to one central trace file
+(large sequential writes, so the tracing itself stayed under 1 % of CFS
+traffic).  The collector's clock is the common reference against which
+per-node drift is later estimated.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.errors import TraceFormatError
+from repro.trace.codec import (
+    BLOCK_HEADER_SIZE,
+    RECORD_SIZE,
+    decode_block_header,
+    decode_records,
+    encode_block_header,
+    encode_header,
+)
+from repro.trace.records import Record, TraceHeader
+
+
+@dataclass(frozen=True, slots=True)
+class RawBlock:
+    """One flushed node buffer: a batch of encoded records plus stamps.
+
+    ``send_stamp`` is the emitting node's local clock at flush time;
+    ``recv_stamp`` is the collector's clock at receipt.  Their difference
+    (network latency + relative clock offset) drives drift correction.
+    """
+
+    node: int
+    seq: int
+    send_stamp: float
+    recv_stamp: float
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.payload) % RECORD_SIZE != 0:
+            raise TraceFormatError(
+                f"block payload of {len(self.payload)} bytes is not a whole "
+                f"number of {RECORD_SIZE}-byte records"
+            )
+
+    @property
+    def n_records(self) -> int:
+        """Number of records in this block."""
+        return len(self.payload) // RECORD_SIZE
+
+    def records(self) -> list[Record]:
+        """Decode the block's records."""
+        return decode_records(self.payload)
+
+
+class RawTrace:
+    """A raw trace: header plus blocks in collector-arrival order."""
+
+    def __init__(self, header: TraceHeader, blocks: list[RawBlock] | None = None) -> None:
+        self.header = header
+        self.blocks: list[RawBlock] = list(blocks) if blocks else []
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def n_records(self) -> int:
+        """Total records across all blocks."""
+        return sum(b.n_records for b in self.blocks)
+
+    def records(self) -> list[Record]:
+        """All records, in raw (block-arrival) order — only partially sorted."""
+        out: list[Record] = []
+        for block in self.blocks:
+            out.extend(block.records())
+        return out
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the raw trace in the on-disk CHARISMA format."""
+        with open(path, "wb") as fh:
+            self.write(fh)
+
+    def write(self, fh: io.RawIOBase | io.BufferedIOBase) -> None:
+        """Serialize into an open binary stream."""
+        fh.write(encode_header(self.header))
+        for block in self.blocks:
+            fh.write(
+                encode_block_header(
+                    block.node, block.seq, block.n_records, block.send_stamp, block.recv_stamp
+                )
+            )
+            fh.write(block.payload)
+
+    def to_bytes(self) -> bytes:
+        """Serialize to an in-memory byte string."""
+        buf = io.BytesIO()
+        self.write(buf)
+        return buf.getvalue()
+
+
+class Collector:
+    """Service-node data collector.
+
+    Receives blocks, stamps them with the collector clock, and appends them
+    to the growing :class:`RawTrace`.  ``clock`` defaults to echoing the
+    block's send stamp (zero skew), which is convenient in unit tests; the
+    machine simulation passes the service node's own drifting clock plus
+    message latency.
+    """
+
+    def __init__(
+        self,
+        header: TraceHeader | None = None,
+        clock: Callable[[RawBlock], float] | None = None,
+    ) -> None:
+        self.trace = RawTrace(header if header is not None else TraceHeader())
+        self._clock = clock if clock is not None else (lambda block: block.send_stamp)
+        self.blocks_received = 0
+
+    def receive(self, block: RawBlock) -> None:
+        """Accept one block, stamping its receive time."""
+        stamped = replace(block, recv_stamp=float(self._clock(block)))
+        self.trace.blocks.append(stamped)
+        self.blocks_received += 1
+
+    def finish(self) -> RawTrace:
+        """Return the completed raw trace."""
+        return self.trace
+
+
+def parse_raw_trace(data: bytes) -> RawTrace:
+    """Parse an on-disk raw trace byte string back into a :class:`RawTrace`."""
+    from repro.trace.codec import decode_header
+
+    header, pos = decode_header(data)
+    blocks: list[RawBlock] = []
+    while pos < len(data):
+        if pos + BLOCK_HEADER_SIZE > len(data):
+            raise TraceFormatError("truncated block header at end of trace")
+        node, seq, n_records, send, recv = decode_block_header(data[pos:])
+        pos += BLOCK_HEADER_SIZE
+        nbytes = n_records * RECORD_SIZE
+        if pos + nbytes > len(data):
+            raise TraceFormatError("truncated block payload at end of trace")
+        blocks.append(
+            RawBlock(node=node, seq=seq, send_stamp=send, recv_stamp=recv, payload=data[pos : pos + nbytes])
+        )
+        pos += nbytes
+    return RawTrace(header, blocks)

@@ -1,0 +1,90 @@
+"""Human-readable trace listings.
+
+``tcpdump`` for CHARISMA traces: renders events one per line for manual
+inspection and debugging, from either a post-processed frame or a raw
+trace (where the block structure itself is of interest).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.trace.collector import RawTrace
+from repro.trace.frame import TraceFrame
+from repro.trace.records import NO_VALUE, EventKind
+
+_KIND_NAMES = {int(k): k.name for k in EventKind}
+
+
+def format_event(row) -> str:
+    """One event as a fixed-layout line."""
+    kind = _KIND_NAMES.get(int(row["kind"]), f"?{int(row['kind'])}")
+    base = (
+        f"{float(row['time']):14.6f} n{int(row['node']):<4d} "
+        f"j{int(row['job']):<6d} {kind:<9s}"
+    )
+    if int(row["file"]) != NO_VALUE:
+        base += f" f{int(row['file']):<6d}"
+    if kind in ("READ", "WRITE"):
+        base += f" off={int(row['offset'])} len={int(row['size'])}"
+    elif kind == "SEEK":
+        base += f" off={int(row['offset'])}"
+    elif kind == "OPEN":
+        base += f" mode={int(row['mode'])} flags={int(row['flags']):#x}"
+    elif kind == "JOB_START":
+        base += f" nodes={int(row['size'])}"
+    return base
+
+
+def dump_frame(
+    frame: TraceFrame,
+    limit: int | None = None,
+    job: int | None = None,
+    file: int | None = None,
+) -> Iterator[str]:
+    """Yield formatted event lines, optionally filtered by job or file."""
+    events = frame.events
+    if job is not None:
+        events = events[events["job"] == job]
+    if file is not None:
+        events = events[events["file"] == file]
+    count = 0
+    for row in events:
+        yield format_event(row)
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
+def dump_raw(raw: RawTrace, limit_blocks: int | None = None) -> Iterator[str]:
+    """Yield block headers and their records, in arrival order.
+
+    Shows the partial ordering the postprocessor has to fix: blocks from
+    one node arrive together even though their records interleave in
+    time with other nodes'.
+    """
+    h = raw.header
+    yield (
+        f"# {h.machine} at {h.site}: {h.n_compute_nodes} compute / "
+        f"{h.n_io_nodes} I/O nodes, block {h.block_size}B"
+    )
+    for i, block in enumerate(raw.blocks):
+        if limit_blocks is not None and i >= limit_blocks:
+            yield f"# ... {len(raw.blocks) - i} more blocks"
+            return
+        yield (
+            f"-- block {i}: node {block.node} seq {block.seq} "
+            f"({block.n_records} records, sent {block.send_stamp:.6f}, "
+            f"received {block.recv_stamp:.6f})"
+        )
+        for rec in block.records():
+            yield "   " + format_event(_record_row(rec))
+
+
+def _record_row(rec):
+    """Adapt a Record to the field access format_event expects."""
+    return {
+        "time": rec.time, "node": rec.node, "job": rec.job,
+        "kind": int(rec.kind), "file": rec.file, "offset": rec.offset,
+        "size": rec.size, "mode": rec.mode, "flags": rec.flags,
+    }

@@ -1,0 +1,86 @@
+"""Combining multiple tracing periods into one study.
+
+The published characterization splices many separate trace files (about
+156 hours collected over three weeks, each file covering 30 minutes to 22
+hours).  Individual periods carry their own job/file id spaces; merging
+renumbers them so a combined frame can be analyzed exactly like a single
+long trace.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.collector import RawTrace
+from repro.trace.frame import FileTable, JobTable, TraceFrame
+from repro.trace.records import NO_VALUE
+
+
+def concat_frames(frames: Sequence[TraceFrame], renumber: bool = True) -> TraceFrame:
+    """Concatenate trace frames from disjoint tracing periods.
+
+    With ``renumber`` (default) each period's job and file ids are shifted
+    into a fresh range so ids never collide across periods.  Event times
+    are preserved (periods are assumed to carry non-overlapping wall-clock
+    ranges already, as the paper's did).
+    """
+    if not frames:
+        raise TraceError("nothing to concatenate")
+    if len(frames) == 1:
+        return frames[0]
+
+    event_parts = []
+    job_parts = []
+    file_parts = []
+    job_base = 0
+    file_base = 0
+    for frame in frames:
+        ev = frame.events.copy()
+        jt = frame.jobs.data.copy()
+        ft = frame.files.data.copy()
+        if renumber:
+            ev["job"] += job_base
+            jt["job"] += job_base
+            file_mask = ev["file"] != NO_VALUE
+            ev["file"][file_mask] += file_base
+            ft["file"] += file_base
+            for col in ("creator_job", "deleter_job"):
+                mask = ft[col] != NO_VALUE
+                ft[col][mask] += job_base
+            job_base = int(jt["job"].max()) + 1 if len(jt) else job_base
+            file_base = int(ft["file"].max()) + 1 if len(ft) else file_base
+        event_parts.append(ev)
+        job_parts.append(jt)
+        file_parts.append(ft)
+
+    events = np.concatenate(event_parts)
+    order = np.argsort(events["time"], kind="stable")
+    events = events[order]
+    jobs = JobTable(np.concatenate(job_parts))
+    files = FileTable(np.concatenate(file_parts))
+    return TraceFrame(events, jobs=jobs, files=files, header=frames[0].header)
+
+
+def merge_raw_traces(traces: Sequence[RawTrace]) -> RawTrace:
+    """Append raw traces end-to-end under the first trace's header.
+
+    Raises when headers describe different machines, since stamp-based
+    drift correction is only meaningful within one machine.
+    """
+    if not traces:
+        raise TraceError("nothing to merge")
+    head = traces[0].header
+    merged = RawTrace(head)
+    for trace in traces:
+        h = trace.header
+        if (h.machine, h.n_compute_nodes, h.n_io_nodes) != (
+            head.machine,
+            head.n_compute_nodes,
+            head.n_io_nodes,
+        ):
+            raise TraceError("cannot merge traces from different machines")
+        merged.blocks.extend(trace.blocks)
+    return merged

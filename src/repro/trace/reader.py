@@ -1,0 +1,13 @@
+"""Reading raw trace files from disk."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.trace.collector import RawTrace, parse_raw_trace
+
+
+def read_raw_trace(path: str | Path) -> RawTrace:
+    """Load a raw trace previously written by :meth:`RawTrace.save`."""
+    data = Path(path).read_bytes()
+    return parse_raw_trace(data)

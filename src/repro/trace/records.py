@@ -1,0 +1,149 @@
+"""Trace event records.
+
+The CHARISMA format defines one record per file-system event plus job
+start/end markers.  A record carries the node-local timestamp (node clocks
+drift — see :mod:`repro.trace.postprocess`), the issuing compute node, the
+job, the file, and for data-transfer events the byte offset and size.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EventKind(enum.IntEnum):
+    """Kinds of trace event record.
+
+    ``JOB_START``/``JOB_END`` were recorded through a separate mechanism in
+    the original study (so even untraced jobs appear); everything else is
+    emitted by the instrumented CFS library.
+    """
+
+    JOB_START = 0
+    JOB_END = 1
+    OPEN = 2
+    CLOSE = 3
+    READ = 4
+    WRITE = 5
+    SEEK = 6
+    EXTEND = 7
+    DELETE = 8
+
+    @property
+    def is_transfer(self) -> bool:
+        """True for READ and WRITE — the events with offset/size payloads."""
+        return self in (EventKind.READ, EventKind.WRITE)
+
+    @property
+    def is_job_marker(self) -> bool:
+        """True for the job start/end records."""
+        return self in (EventKind.JOB_START, EventKind.JOB_END)
+
+
+class OpenFlags(enum.IntFlag):
+    """Flags carried on an OPEN record.
+
+    ``TRACED`` distinguishes instrumented opens from job-marker-only jobs;
+    ``CREATE`` marks files created by this open (used, with DELETE records,
+    to identify the paper's "temporary" files — files deleted by the same
+    job that created them).
+    """
+
+    NONE = 0
+    READ = 1
+    WRITE = 2
+    CREATE = 4
+    TRUNC = 8
+    TRACED = 16
+
+
+#: Sentinel for "field not applicable to this record kind".
+NO_VALUE: int = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """One trace event.
+
+    Attributes
+    ----------
+    time:
+        Node-local timestamp in seconds.  Only approximately comparable
+        across nodes until postprocessing corrects for clock drift.
+    node:
+        Compute-node index (0-based).  Job markers use the job's base node.
+    job:
+        Job identifier, unique within a tracing period.
+    file:
+        File identifier, or :data:`NO_VALUE` for job markers.
+    kind:
+        The :class:`EventKind`.
+    offset:
+        Byte offset of a transfer/seek, else :data:`NO_VALUE`.
+    size:
+        Byte count of a transfer (or node count on JOB_START, new size on
+        EXTEND), else :data:`NO_VALUE`.
+    mode:
+        CFS I/O mode (0-3) on OPEN records, else :data:`NO_VALUE`.
+    flags:
+        :class:`OpenFlags` bits on OPEN records, else 0.
+    """
+
+    time: float
+    node: int
+    job: int
+    kind: EventKind
+    file: int = NO_VALUE
+    offset: int = NO_VALUE
+    size: int = NO_VALUE
+    mode: int = NO_VALUE
+    flags: int = 0
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError(f"node must be non-negative, got {self.node}")
+        if self.job < 0:
+            raise ValueError(f"job must be non-negative, got {self.job}")
+        kind = EventKind(self.kind)
+        if kind.is_transfer:
+            if self.offset < 0 or self.size < 0:
+                raise ValueError(
+                    f"{kind.name} record requires non-negative offset/size, "
+                    f"got offset={self.offset} size={self.size}"
+                )
+            if self.file < 0:
+                raise ValueError(f"{kind.name} record requires a file id")
+        if kind is EventKind.OPEN and not 0 <= self.mode <= 3:
+            raise ValueError(f"OPEN record requires I/O mode 0-3, got {self.mode}")
+
+    @property
+    def end_offset(self) -> int:
+        """One past the last byte touched by a transfer record."""
+        if not EventKind(self.kind).is_transfer:
+            raise ValueError(f"end_offset undefined for {EventKind(self.kind).name}")
+        return self.offset + self.size
+
+
+@dataclass(frozen=True, slots=True)
+class TraceHeader:
+    """Self-descriptive header at the front of every trace file.
+
+    Mirrors the paper's "header record containing enough information to
+    make the file self-descriptive".
+    """
+
+    machine: str = "iPSC/860"
+    site: str = "synthetic-ames"
+    n_compute_nodes: int = 128
+    n_io_nodes: int = 10
+    block_size: int = 4096
+    start_time: float = 0.0
+    version: int = 1
+    notes: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.n_compute_nodes <= 0 or self.n_io_nodes <= 0:
+            raise ValueError("node counts must be positive")
+        if self.block_size <= 0:
+            raise ValueError("block size must be positive")

@@ -1,0 +1,148 @@
+"""Per-node buffered trace writing.
+
+The original instrumentation kept a 4 KB buffer of encoded event records on
+every compute node and shipped it to the collector only when full (or at
+job teardown), cutting the number of trace messages by over 90 % while
+stealing almost no memory from user programs.  The buffering is also why
+the raw trace is only *partially* ordered: records from different nodes
+interleave at block, not record, granularity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import TraceError
+from repro.trace.codec import RECORD_SIZE, encode_record
+from repro.trace.collector import Collector, RawBlock
+from repro.trace.records import Record
+from repro.util.units import BLOCK_SIZE
+
+
+class NodeTraceBuffer:
+    """One compute node's trace buffer.
+
+    Holds encoded records until ``capacity`` bytes accumulate, then emits a
+    :class:`~repro.trace.collector.RawBlock` stamped with the node's *local*
+    clock (the stamp the postprocessor later uses, together with the
+    collector's receive stamp, to correct for clock drift).
+    """
+
+    def __init__(
+        self,
+        node: int,
+        local_clock: Callable[[], float],
+        capacity: int = BLOCK_SIZE,
+    ) -> None:
+        if capacity < RECORD_SIZE:
+            raise TraceError(
+                f"buffer capacity {capacity} cannot hold even one "
+                f"{RECORD_SIZE}-byte record"
+            )
+        self.node = node
+        self.capacity = capacity
+        self._local_clock = local_clock
+        self._chunks: list[bytes] = []
+        self._bytes = 0
+        self._seq = 0
+        self.records_buffered = 0
+        self.blocks_emitted = 0
+
+    @property
+    def records_per_block(self) -> int:
+        """How many records fit in one full buffer."""
+        return self.capacity // RECORD_SIZE
+
+    def append(self, record: Record) -> RawBlock | None:
+        """Buffer one record; returns a flushed block if the buffer filled."""
+        if record.node != self.node:
+            raise TraceError(
+                f"record from node {record.node} appended to buffer of node {self.node}"
+            )
+        self._chunks.append(encode_record(record))
+        self._bytes += RECORD_SIZE
+        self.records_buffered += 1
+        if self._bytes + RECORD_SIZE > self.capacity:
+            return self.flush()
+        return None
+
+    def flush(self) -> RawBlock | None:
+        """Emit whatever is buffered as a block; None when empty."""
+        if not self._chunks:
+            return None
+        payload = b"".join(self._chunks)
+        block = RawBlock(
+            node=self.node,
+            seq=self._seq,
+            send_stamp=float(self._local_clock()),
+            recv_stamp=0.0,
+            payload=payload,
+        )
+        self._chunks = []
+        self._bytes = 0
+        self._seq += 1
+        self.blocks_emitted += 1
+        return block
+
+    def __len__(self) -> int:
+        return self._bytes // RECORD_SIZE
+
+
+class TraceWriter:
+    """Whole-machine trace writer: one buffer per compute node + a collector.
+
+    ``clock_for(node)`` supplies each node's local-clock callable, so drift
+    between nodes appears in both record timestamps and block send stamps —
+    faithfully reproducing the asynchrony the postprocessor must undo.
+    """
+
+    def __init__(
+        self,
+        collector: Collector,
+        clock_for: Callable[[int], Callable[[], float]],
+        buffer_capacity: int = BLOCK_SIZE,
+    ) -> None:
+        self.collector = collector
+        self._clock_for = clock_for
+        self._capacity = buffer_capacity
+        self._buffers: dict[int, NodeTraceBuffer] = {}
+
+    def buffer(self, node: int) -> NodeTraceBuffer:
+        """The (lazily created) buffer for one node."""
+        buf = self._buffers.get(node)
+        if buf is None:
+            buf = NodeTraceBuffer(node, self._clock_for(node), self._capacity)
+            self._buffers[node] = buf
+        return buf
+
+    def emit(self, record: Record) -> None:
+        """Record one event; ships a block to the collector on buffer fill."""
+        block = self.buffer(record.node).append(record)
+        if block is not None:
+            self.collector.receive(block)
+
+    def flush_all(self) -> None:
+        """Drain every node buffer (done at end of tracing / job teardown)."""
+        for buf in self._buffers.values():
+            block = buf.flush()
+            if block is not None:
+                self.collector.receive(block)
+
+    @property
+    def records_emitted(self) -> int:
+        """Total records handed to :meth:`emit` so far."""
+        return sum(b.records_buffered for b in self._buffers.values())
+
+    @property
+    def message_savings(self) -> float:
+        """Fraction of messages saved by buffering vs one message per record.
+
+        The paper reports buffering "reduce[d] the number of messages sent
+        by over 90%"; this lets tests assert the same property.
+        """
+        records = self.records_emitted
+        if records == 0:
+            return 0.0
+        blocks = sum(b.blocks_emitted for b in self._buffers.values())
+        pending = sum(1 for b in self._buffers.values() if len(b) > 0)
+        return 1.0 - (blocks + pending) / records

@@ -1,0 +1,35 @@
+"""Shared numeric and formatting utilities used across the library.
+
+Nothing in this package is specific to the CHARISMA study; it provides the
+general building blocks (unit constants, seeded random-number streams,
+empirical CDFs, histograms and ASCII tables) that the trace, workload,
+characterization and caching layers are built on.
+"""
+
+from repro.util.cdf import EmpiricalCDF
+from repro.util.histogram import LogHistogram, distinct_count
+from repro.util.rng import SeedSequencePool, make_rng
+from repro.util.tables import format_table
+from repro.util.units import (
+    BLOCK_SIZE,
+    GB,
+    KB,
+    MB,
+    format_bytes,
+    parse_bytes,
+)
+
+__all__ = [
+    "BLOCK_SIZE",
+    "EmpiricalCDF",
+    "GB",
+    "KB",
+    "LogHistogram",
+    "MB",
+    "SeedSequencePool",
+    "distinct_count",
+    "format_bytes",
+    "format_table",
+    "make_rng",
+    "parse_bytes",
+]

@@ -1,0 +1,174 @@
+"""Empirical cumulative distribution functions.
+
+Most of the paper's figures are CDFs — of file sizes (Figure 3), request
+sizes by count and by bytes moved (Figure 4), per-file sequentiality
+(Figures 5–6), sharing fractions (Figure 7), and per-job cache hit rates
+(Figure 8).  :class:`EmpiricalCDF` is the single representation all those
+analyses return, supporting optional weights (for the byte-weighted curve
+of Figure 4) and tabulation at chosen thresholds for the benchmark output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+
+class EmpiricalCDF:
+    """A weighted empirical CDF over real-valued samples.
+
+    ``CDF(x)`` is the fraction of total weight carried by samples with
+    value ``<= x`` — matching the paper's convention ("for a file size x,
+    CDF(x) represents the fraction of all files that had x or fewer
+    bytes").
+    """
+
+    def __init__(
+        self,
+        samples: Iterable[float],
+        weights: Iterable[float] | None = None,
+    ) -> None:
+        values = np.asarray(list(samples) if not isinstance(samples, np.ndarray) else samples, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError("samples must be one-dimensional")
+        if weights is None:
+            w = np.ones_like(values)
+        else:
+            w = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights, dtype=np.float64)
+            if w.shape != values.shape:
+                raise ValueError(
+                    f"weights shape {w.shape} does not match samples shape {values.shape}"
+                )
+            if np.any(w < 0):
+                raise ValueError("weights must be non-negative")
+        order = np.argsort(values, kind="stable")
+        self._values = values[order]
+        self._cum = np.cumsum(w[order])
+        self._total = float(self._cum[-1]) if len(self._cum) else 0.0
+
+    # -- basic properties -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def n(self) -> int:
+        """Number of samples."""
+        return len(self._values)
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all weights (sample count when unweighted)."""
+        return self._total
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sorted sample values (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def min(self) -> float:
+        """Smallest sample value."""
+        self._require_nonempty()
+        return float(self._values[0])
+
+    @property
+    def max(self) -> float:
+        """Largest sample value."""
+        self._require_nonempty()
+        return float(self._values[-1])
+
+    def _require_nonempty(self) -> None:
+        if len(self._values) == 0:
+            raise ValueError("empty CDF")
+
+    # -- evaluation --------------------------------------------------------
+
+    def at(self, x: float) -> float:
+        """Fraction of weight at values ``<= x``."""
+        self._require_nonempty()
+        idx = int(np.searchsorted(self._values, x, side="right"))
+        if idx == 0:
+            return 0.0
+        if self._total == 0.0:
+            return 0.0
+        return float(self._cum[idx - 1] / self._total)
+
+    def __call__(self, x: float | np.ndarray) -> float | np.ndarray:
+        if np.isscalar(x):
+            return self.at(float(x))
+        xs = np.asarray(x, dtype=np.float64)
+        return np.array([self.at(float(v)) for v in xs])
+
+    def below(self, x: float) -> float:
+        """Fraction of weight at values strictly ``< x``."""
+        self._require_nonempty()
+        idx = int(np.searchsorted(self._values, x, side="left"))
+        if idx == 0 or self._total == 0.0:
+            return 0.0
+        return float(self._cum[idx - 1] / self._total)
+
+    def quantile(self, q: float) -> float:
+        """Smallest value ``v`` such that ``CDF(v) >= q`` (0 <= q <= 1)."""
+        self._require_nonempty()
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._total == 0.0:
+            return float(self._values[0])
+        target = q * self._total
+        idx = int(np.searchsorted(self._cum, target, side="left"))
+        idx = min(idx, len(self._values) - 1)
+        return float(self._values[idx])
+
+    @property
+    def median(self) -> float:
+        """The 0.5 quantile."""
+        return self.quantile(0.5)
+
+    def mean(self) -> float:
+        """Weighted mean of the samples."""
+        self._require_nonempty()
+        if self._total == 0.0:
+            return float(np.mean(self._values))
+        w = np.diff(self._cum, prepend=0.0)
+        return float(np.sum(self._values * w) / self._total)
+
+    # -- fractions at notable points (for figure "spikes") ------------------
+
+    def fraction_equal(self, x: float) -> float:
+        """Fraction of weight exactly at value ``x`` (spike height)."""
+        self._require_nonempty()
+        return self.at(x) - self.below(x)
+
+    def tabulate(self, thresholds: Sequence[float]) -> list[tuple[float, float]]:
+        """Evaluate the CDF at each threshold; returns (x, CDF(x)) pairs."""
+        return [(float(t), self.at(float(t))) for t in thresholds]
+
+    # -- plotting-style export ----------------------------------------------
+
+    def steps(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (x, y) arrays tracing the CDF step function.
+
+        Suitable for ``matplotlib.step(x, y, where="post")`` or for
+        serializing the curve into a benchmark report.
+        """
+        self._require_nonempty()
+        xs, last_idx = np.unique(self._values, return_index=True)
+        # last cumulative weight at each distinct value
+        ends = np.append(last_idx[1:], len(self._values)) - 1
+        if self._total == 0.0:
+            ys = np.zeros_like(xs)
+        else:
+            ys = self._cum[ends] / self._total
+        return xs, ys
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if len(self) == 0:
+            return "EmpiricalCDF(empty)"
+        return (
+            f"EmpiricalCDF(n={self.n}, min={self.min:g}, "
+            f"median={self.median:g}, max={self.max:g})"
+        )

@@ -1,0 +1,108 @@
+"""Histograms and distinct-value counting.
+
+Tables 2 and 3 of the paper bucket files by *how many distinct* interval
+sizes / request sizes they were accessed with; Figures 1 and 2 are plain
+categorical histograms.  This module supplies both shapes plus a
+logarithmically-binned histogram used for request-size summaries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+import numpy as np
+
+
+def distinct_count(values: Iterable[float]) -> int:
+    """Number of distinct values in ``values`` (0 for an empty iterable)."""
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+    if arr.size == 0:
+        return 0
+    return int(np.unique(arr).size)
+
+
+def bucket_counts(
+    counts: Iterable[int],
+    cap: int = 4,
+) -> dict[str, int]:
+    """Bucket integer counts into ``{"0": n0, "1": n1, ..., f"{cap}+": rest}``.
+
+    This is exactly the row structure of Tables 2 and 3: files are grouped
+    by how many distinct interval (or request) sizes they exhibited, with
+    everything at or above ``cap`` pooled into one terminal bucket.
+    """
+    if cap < 1:
+        raise ValueError("cap must be >= 1")
+    buckets: dict[str, int] = {str(i): 0 for i in range(cap)}
+    buckets[f"{cap}+"] = 0
+    for c in counts:
+        if c < 0:
+            raise ValueError(f"counts must be non-negative, got {c}")
+        if c >= cap:
+            buckets[f"{cap}+"] += 1
+        else:
+            buckets[str(int(c))] += 1
+    return buckets
+
+
+class LogHistogram:
+    """Histogram with logarithmically-spaced bins, for byte-size data.
+
+    Bins are powers of ``base`` starting at ``lo``; values below ``lo``
+    fall into an underflow bin and values at or above the top edge into an
+    overflow bin.  Supports weighted accumulation so the same structure
+    serves both "number of requests of this size" and "bytes moved by
+    requests of this size".
+    """
+
+    def __init__(self, lo: float = 1.0, hi: float = 2**30, base: float = 2.0) -> None:
+        if lo <= 0 or hi <= lo:
+            raise ValueError("need 0 < lo < hi")
+        if base <= 1:
+            raise ValueError("base must exceed 1")
+        n_edges = int(np.ceil(np.log(hi / lo) / np.log(base))) + 1
+        self.edges = lo * base ** np.arange(n_edges)
+        self.counts = np.zeros(n_edges + 1, dtype=np.float64)  # +under/overflow
+
+    def add(self, values: Iterable[float], weights: Iterable[float] | None = None) -> None:
+        """Accumulate samples (optionally weighted) into the bins."""
+        vals = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=np.float64)
+        if weights is None:
+            w = np.ones_like(vals)
+        else:
+            w = np.asarray(list(weights) if not isinstance(weights, np.ndarray) else weights, dtype=np.float64)
+            if w.shape != vals.shape:
+                raise ValueError("weights must match values in shape")
+        idx = np.searchsorted(self.edges, vals, side="right")
+        np.add.at(self.counts, idx, w)
+
+    @property
+    def total(self) -> float:
+        """Total accumulated weight."""
+        return float(self.counts.sum())
+
+    def bins(self) -> list[tuple[float, float, float]]:
+        """Return (lo_edge, hi_edge, weight) triples for the interior bins."""
+        out = []
+        for i in range(len(self.edges) - 1):
+            out.append((float(self.edges[i]), float(self.edges[i + 1]), float(self.counts[i + 1])))
+        return out
+
+    def mode_bin(self) -> tuple[float, float]:
+        """Edges of the heaviest interior bin."""
+        interior = self.counts[1:-1]
+        if interior.sum() == 0:
+            raise ValueError("histogram is empty")
+        i = int(np.argmax(interior))
+        return float(self.edges[i]), float(self.edges[i + 1])
+
+
+def categorical_histogram(values: Iterable[int]) -> dict[int, int]:
+    """Exact counts per distinct integer value, sorted by value.
+
+    Used for Figure 1 (number of concurrent jobs) and Figure 2 (number of
+    compute nodes per job, always a power of two on the iPSC).
+    """
+    counter = Counter(int(v) for v in values)
+    return dict(sorted(counter.items()))

@@ -1,0 +1,144 @@
+"""Terminal plotting: ASCII renderings of the paper's figures.
+
+The benchmarks and the CLI reproduce figures as data series; this module
+draws them in a terminal so a reproduction run can be *seen* without a
+plotting stack.  Two primitives cover every figure in the paper:
+
+- :func:`ascii_chart` — line/step chart of one or more (x, y) series
+  (Figures 3-9);
+- :func:`ascii_bars` — labelled horizontal bars (Figures 1-2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: characters used to draw successive series in a chart
+SERIES_MARKS = "*o+x#@"
+
+
+def ascii_bars(
+    labels: Sequence[object],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with one row per label.
+
+    >>> print(ascii_bars(["a", "b"], [1.0, 0.5], width=4))  # doctest: +SKIP
+    a | #### 1
+    b | ##   0.5
+    """
+    if len(labels) != len(values):
+        raise ReproError("labels and values must be parallel")
+    if not labels:
+        raise ReproError("nothing to plot")
+    if width < 1:
+        raise ReproError("width must be positive")
+    peak = max(values)
+    scale = width / peak if peak > 0 else 0.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(value * scale))
+        lines.append(f"{str(label).rjust(label_w)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    logx: bool = False,
+) -> str:
+    """Plot one or more (x, y) series on a character grid.
+
+    Each series is drawn with its own mark; a legend maps marks to
+    series names.  With ``logx`` the x axis is log-scaled (request and
+    file sizes span five decades, exactly like the paper's figures).
+    """
+    if not series:
+        raise ReproError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ReproError("plot area too small")
+
+    def tx(x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if logx:
+            if (x <= 0).any():
+                raise ReproError("log x axis requires positive x values")
+            return np.log10(x)
+        return x
+
+    all_x = np.concatenate([tx(x) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=np.float64) for _, y in series.values()])
+    x0, x1 = float(all_x.min()), float(all_x.max())
+    y0, y1 = float(all_y.min()), float(all_y.max())
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, (xs, ys)), mark in zip(series.items(), SERIES_MARKS):
+        txs = tx(xs)
+        tys = np.asarray(ys, dtype=np.float64)
+        cols = np.clip(((txs - x0) / (x1 - x0) * (width - 1)).round(), 0, width - 1)
+        rows = np.clip(((tys - y0) / (y1 - y0) * (height - 1)).round(), 0, height - 1)
+        # connect consecutive points column-by-column so curves read as lines
+        for i in range(len(cols) - 1):
+            c_a, c_b = int(cols[i]), int(cols[i + 1])
+            r_a, r_b = int(rows[i]), int(rows[i + 1])
+            span = max(abs(c_b - c_a), 1)
+            for step in range(span + 1):
+                c = c_a + (c_b - c_a) * step // span
+                r = r_a + (r_b - r_a) * step // span
+                grid[height - 1 - r][c] = mark
+        if len(cols) == 1:
+            grid[height - 1 - int(rows[0])][int(cols[0])] = mark
+
+    lines = []
+    y_hi = f"{y1:g}"
+    y_lo = f"{y0:g}"
+    margin = max(len(y_hi), len(y_lo))
+    for i, row in enumerate(grid):
+        prefix = y_hi if i == 0 else (y_lo if i == height - 1 else "")
+        lines.append(f"{prefix.rjust(margin)} |{''.join(row)}")
+    x_lo = f"{10**x0:g}" if logx else f"{x0:g}"
+    x_hi = f"{10**x1:g}" if logx else f"{x1:g}"
+    axis = " " * margin + " +" + "-" * width
+    lines.append(axis)
+    footer = f"{x_lo}{' ' * max(width - len(x_lo) - len(x_hi), 1)}{x_hi}"
+    lines.append(" " * (margin + 2) + footer)
+    if x_label or y_label:
+        lines.append(" " * (margin + 2) + f"x: {x_label}{'  y: ' + y_label if y_label else ''}")
+    legend = "   ".join(
+        f"{mark} {name}" for (name, _), mark in zip(series.items(), SERIES_MARKS)
+    )
+    lines.append(" " * (margin + 2) + legend)
+    return "\n".join(lines)
+
+
+def cdf_chart(
+    cdfs: dict[str, "object"],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    x_label: str = "",
+) -> str:
+    """Convenience: chart :class:`~repro.util.cdf.EmpiricalCDF` objects."""
+    series = {}
+    for name, cdf in cdfs.items():
+        xs, ys = cdf.steps()
+        if logx:
+            keep = xs > 0
+            xs, ys = xs[keep], ys[keep]
+        series[name] = (xs, ys)
+    return ascii_chart(series, width=width, height=height, logx=logx,
+                       x_label=x_label, y_label="CDF")

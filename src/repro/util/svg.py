@@ -1,0 +1,204 @@
+"""Hand-rolled SVG charts — publication output with no plotting stack.
+
+Two chart kinds cover the paper's nine figures, mirroring
+:mod:`repro.util.plot`'s ASCII versions: step/line charts for the CDFs
+and curves, bar charts for the categorical job figures.  Output is
+plain, valid SVG 1.1; every element is generated here so the library
+stays dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: stroke colors for successive series
+SERIES_COLORS = ("#1f4e79", "#c0504d", "#4f8f4f", "#8064a2", "#d88a2d", "#4bacc6")
+
+_FONT = 'font-family="Helvetica, Arial, sans-serif"'
+
+
+def _header(width: int, height: int) -> list[str]:
+    return [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+
+
+def svg_chart(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    logx: bool = False,
+    width: int = 640,
+    height: int = 400,
+) -> str:
+    """Line chart of one or more (x, y) series as an SVG document string."""
+    if not series:
+        raise ReproError("nothing to plot")
+    margin_l, margin_r, margin_t, margin_b = 64, 16, 40, 56
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    if plot_w <= 0 or plot_h <= 0:
+        raise ReproError("plot area too small")
+
+    def tx(x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if logx:
+            if (x <= 0).any():
+                raise ReproError("log x axis requires positive x values")
+            return np.log10(x)
+        return x
+
+    all_x = np.concatenate([tx(x) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=np.float64) for _, y in series.values()])
+    x0, x1 = float(all_x.min()), float(all_x.max())
+    y0, y1 = float(min(all_y.min(), 0.0)), float(all_y.max())
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+
+    def px(x: float) -> float:
+        return margin_l + (x - x0) / (x1 - x0) * plot_w
+
+    def py(y: float) -> float:
+        return margin_t + plot_h - (y - y0) / (y1 - y0) * plot_h
+
+    parts = _header(width, height)
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="22" text-anchor="middle" '
+            f'{_FONT} font-size="14">{escape(title)}</text>'
+        )
+    # axes
+    parts.append(
+        f'<rect x="{margin_l}" y="{margin_t}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#444" stroke-width="1"/>'
+    )
+    # x ticks (4) and y ticks (4)
+    for i in range(5):
+        xv = x0 + (x1 - x0) * i / 4
+        label = f"{10 ** xv:.3g}" if logx else f"{xv:.3g}"
+        xp = px(xv)
+        parts.append(
+            f'<line x1="{xp:.1f}" y1="{margin_t + plot_h}" x2="{xp:.1f}" '
+            f'y2="{margin_t + plot_h + 5}" stroke="#444"/>'
+        )
+        parts.append(
+            f'<text x="{xp:.1f}" y="{margin_t + plot_h + 18}" '
+            f'text-anchor="middle" {_FONT} font-size="11">{escape(label)}</text>'
+        )
+        yv = y0 + (y1 - y0) * i / 4
+        yp = py(yv)
+        parts.append(
+            f'<line x1="{margin_l - 5}" y1="{yp:.1f}" x2="{margin_l}" '
+            f'y2="{yp:.1f}" stroke="#444"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 8}" y="{yp + 4:.1f}" text-anchor="end" '
+            f'{_FONT} font-size="11">{yv:.3g}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{margin_l + plot_w / 2:.0f}" y="{height - 12}" '
+            f'text-anchor="middle" {_FONT} font-size="12">{escape(x_label)}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="16" y="{margin_t + plot_h / 2:.0f}" {_FONT} font-size="12" '
+            f'text-anchor="middle" transform="rotate(-90 16 '
+            f'{margin_t + plot_h / 2:.0f})">{escape(y_label)}</text>'
+        )
+    # series
+    for (name, (xs, ys)), color in zip(series.items(), SERIES_COLORS):
+        txs = tx(xs)
+        tys = np.asarray(ys, dtype=np.float64)
+        points = " ".join(f"{px(float(a)):.1f},{py(float(b)):.1f}" for a, b in zip(txs, tys))
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"/>'
+        )
+    # legend
+    ly = margin_t + 8
+    for (name, _), color in zip(series.items(), SERIES_COLORS):
+        parts.append(
+            f'<line x1="{margin_l + 10}" y1="{ly}" x2="{margin_l + 34}" '
+            f'y2="{ly}" stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l + 40}" y="{ly + 4}" {_FONT} '
+            f'font-size="11">{escape(name)}</text>'
+        )
+        ly += 16
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_bars(
+    labels: Sequence[object],
+    groups: dict[str, Sequence[float]],
+    title: str = "",
+    width: int = 640,
+    height: int = 400,
+) -> str:
+    """Grouped vertical bar chart (Figures 1-2)."""
+    if not groups or not labels:
+        raise ReproError("nothing to plot")
+    for name, values in groups.items():
+        if len(values) != len(labels):
+            raise ReproError(f"group {name!r} length disagrees with labels")
+    margin_l, margin_r, margin_t, margin_b = 56, 16, 40, 48
+    plot_w = width - margin_l - margin_r
+    plot_h = height - margin_t - margin_b
+    peak = max(max(v) for v in groups.values())
+    peak = peak if peak > 0 else 1.0
+
+    parts = _header(width, height)
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="22" text-anchor="middle" '
+            f'{_FONT} font-size="14">{escape(title)}</text>'
+        )
+    parts.append(
+        f'<line x1="{margin_l}" y1="{margin_t + plot_h}" '
+        f'x2="{margin_l + plot_w}" y2="{margin_t + plot_h}" stroke="#444"/>'
+    )
+    slot = plot_w / len(labels)
+    bar_w = slot * 0.8 / len(groups)
+    for i, label in enumerate(labels):
+        for g, (name, values) in enumerate(groups.items()):
+            h = float(values[i]) / peak * plot_h
+            x = margin_l + i * slot + slot * 0.1 + g * bar_w
+            y = margin_t + plot_h - h
+            color = SERIES_COLORS[g % len(SERIES_COLORS)]
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                f'height="{h:.1f}" fill="{color}"/>'
+            )
+        parts.append(
+            f'<text x="{margin_l + i * slot + slot / 2:.1f}" '
+            f'y="{margin_t + plot_h + 16}" text-anchor="middle" {_FONT} '
+            f'font-size="11">{escape(str(label))}</text>'
+        )
+    ly = margin_t + 8
+    for g, name in enumerate(groups):
+        color = SERIES_COLORS[g % len(SERIES_COLORS)]
+        parts.append(
+            f'<rect x="{margin_l + 10}" y="{ly - 8}" width="12" height="10" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l + 28}" y="{ly}" {_FONT} '
+            f'font-size="11">{escape(name)}</text>'
+        )
+        ly += 16
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,68 @@
+"""Plain-text table rendering for reports and benchmark output.
+
+Every benchmark prints the same rows the paper's tables and figure
+captions report; this keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.3g}",
+) -> str:
+    """Render an ASCII table with right-aligned numeric columns.
+
+    Floats are formatted with ``float_fmt``; everything else via ``str``.
+    Raises if any row's length disagrees with the header.
+    """
+    ncols = len(headers)
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {ncols}"
+            )
+        cells = []
+        for cell in row:
+            if isinstance(cell, bool):
+                cells.append(str(cell))
+            elif isinstance(cell, float):
+                cells.append(float_fmt.format(cell))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+
+    widths = [max(len(r[i]) for r in rendered) for i in range(ncols)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(rendered[0]))
+    lines.append(header_line)
+    lines.append(sep)
+    for cells in rendered[1:]:
+        lines.append(
+            " | ".join(
+                cells[i].rjust(widths[i]) if _numeric(cells[i]) else cells[i].ljust(widths[i])
+                for i in range(ncols)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _numeric(text: str) -> bool:
+    try:
+        float(text.rstrip("%"))
+        return True
+    except ValueError:
+        return False
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """Render ``0.961`` as ``"96.1%"``."""
+    return f"{100.0 * fraction:.{digits}f}%"

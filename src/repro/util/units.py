@@ -1,0 +1,110 @@
+"""Byte-size units and helpers.
+
+The iPSC/860's Concurrent File System striped files in 4 KB blocks and the
+CHARISMA instrumentation buffered trace records in 4 KB messages, so the
+4096-byte block size shows up throughout the library as :data:`BLOCK_SIZE`.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: One kilobyte (binary), in bytes.
+KB: int = 1024
+#: One megabyte (binary), in bytes.
+MB: int = 1024 * KB
+#: One gigabyte (binary), in bytes.
+GB: int = 1024 * MB
+
+#: The CFS striping unit and iPSC message fragment size (4 KB).
+BLOCK_SIZE: int = 4 * KB
+
+_SUFFIXES: dict[str, int] = {
+    "": 1,
+    "b": 1,
+    "k": KB,
+    "kb": KB,
+    "kib": KB,
+    "m": MB,
+    "mb": MB,
+    "mib": MB,
+    "g": GB,
+    "gb": GB,
+    "gib": GB,
+}
+
+_PARSE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_bytes(text: str | int | float) -> int:
+    """Parse a human-readable byte size such as ``"25KB"`` or ``"1.5 MB"``.
+
+    Integers and floats pass through (floats are rounded).  Suffixes are
+    case-insensitive and binary (``1 KB == 1024``).
+
+    >>> parse_bytes("4kb")
+    4096
+    >>> parse_bytes(512)
+    512
+    """
+    if isinstance(text, bool):
+        raise TypeError("byte size must not be a bool")
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"byte size must be non-negative, got {text!r}")
+        return int(round(text))
+    match = _PARSE_RE.match(text)
+    if match is None:
+        raise ValueError(f"unparseable byte size: {text!r}")
+    value, suffix = match.groups()
+    try:
+        scale = _SUFFIXES[suffix.lower()]
+    except KeyError:
+        raise ValueError(f"unknown byte-size suffix in {text!r}") from None
+    return int(round(float(value) * scale))
+
+
+def format_bytes(n: int | float) -> str:
+    """Render a byte count compactly, e.g. ``format_bytes(4096) == "4.0KB"``.
+
+    Negative counts keep their sign; sub-kilobyte counts render as ``"123B"``.
+    """
+    sign = "-" if n < 0 else ""
+    n = abs(float(n))
+    for unit, scale in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if n >= scale:
+            return f"{sign}{n / scale:.1f}{unit}"
+    return f"{sign}{n:.0f}B"
+
+
+def blocks_spanned(offset: int, size: int, block_size: int = BLOCK_SIZE) -> range:
+    """Return the range of block indices touched by ``[offset, offset+size)``.
+
+    A zero-size request touches no blocks.
+
+    >>> list(blocks_spanned(4095, 2))
+    [0, 1]
+    """
+    if offset < 0 or size < 0:
+        raise ValueError("offset and size must be non-negative")
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    if size == 0:
+        return range(0)
+    first = offset // block_size
+    last = (offset + size - 1) // block_size
+    return range(first, last + 1)
+
+
+def align_down(offset: int, block_size: int = BLOCK_SIZE) -> int:
+    """Round ``offset`` down to a block boundary."""
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    return (offset // block_size) * block_size
+
+
+def align_up(offset: int, block_size: int = BLOCK_SIZE) -> int:
+    """Round ``offset`` up to a block boundary."""
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    return -(-offset // block_size) * block_size

@@ -1,0 +1,83 @@
+"""Synthetic production workload, calibrated to the NASA Ames study.
+
+The original traces are unpublishable history; this package generates a
+workload with the same *shape*: a production job mix (interactive status
+checks, small serial tools, and parallel CFD-style applications on 1-128
+nodes) whose file accesses reproduce the paper's published marginals —
+the write-only/read-only file split, the dominance of small requests, the
+bimodal sequentiality, the interval/request-size regularity of Tables 2-3,
+the sharing profile of Figure 7, and >99 % use of I/O mode 0.
+
+Layers:
+
+- :mod:`repro.workload.access` — access-pattern primitives (consecutive,
+  strided/interleaved, segmented, broadcast, random) as numpy arrays;
+- :mod:`repro.workload.distributions` — calibrated samplers for node
+  counts, file sizes, record sizes, job arrivals and durations;
+- :mod:`repro.workload.apps` — application models that compose primitives
+  into per-job file-use plans;
+- :mod:`repro.workload.jobs` — the job mix and machine occupancy;
+- :mod:`repro.workload.generator` — turns a schedule of planned jobs into
+  a :class:`~repro.trace.frame.TraceFrame` (fast direct path) or into real
+  instrumented CFS calls (full-pipeline path);
+- :mod:`repro.workload.scenarios` — packaged configurations, chiefly
+  :func:`~repro.workload.scenarios.ames1993`.
+"""
+
+from repro.workload.apps import (
+    APP_REGISTRY,
+    AppModel,
+    BroadcastReadApp,
+    CheckpointApp,
+    FileUse,
+    InterleavedScanApp,
+    OpsPlan,
+    OutOfCoreApp,
+    PerNodeFilterApp,
+    PerNodeOutputApp,
+    SegmentedReadApp,
+    SharedPointerApp,
+    SmallToolApp,
+)
+from repro.workload.distributions import (
+    FileSizeModel,
+    JobArrivalModel,
+    NodeCountModel,
+    RecordSizeModel,
+)
+from repro.workload.generator import GeneratedWorkload, WorkloadGenerator
+from repro.workload.jobs import JobMix, JobSpec, PlacedJob, schedule_jobs
+from repro.workload.scenarios import Scenario, ames1993, tiny
+from repro.workload.validate import Check, ValidationReport, validate_workload
+
+__all__ = [
+    "APP_REGISTRY",
+    "AppModel",
+    "BroadcastReadApp",
+    "CheckpointApp",
+    "FileSizeModel",
+    "FileUse",
+    "GeneratedWorkload",
+    "InterleavedScanApp",
+    "JobArrivalModel",
+    "JobMix",
+    "JobSpec",
+    "NodeCountModel",
+    "OpsPlan",
+    "OutOfCoreApp",
+    "PerNodeFilterApp",
+    "PerNodeOutputApp",
+    "PlacedJob",
+    "RecordSizeModel",
+    "Scenario",
+    "SegmentedReadApp",
+    "SharedPointerApp",
+    "SmallToolApp",
+    "WorkloadGenerator",
+    "Check",
+    "ValidationReport",
+    "ames1993",
+    "schedule_jobs",
+    "tiny",
+    "validate_workload",
+]

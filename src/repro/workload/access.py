@@ -1,0 +1,236 @@
+"""Access-pattern primitives.
+
+Each function returns parallel ``(offsets, sizes)`` int64 arrays giving
+one compute node's request stream against one file, in issue order.  The
+paper's taxonomy maps onto these directly:
+
+- *consecutive* — each request begins where the previous ended;
+- *sequential* — each request is at a higher offset than the previous
+  (consecutive is the zero-gap special case);
+- *interleaved* — a sequential-but-not-consecutive pattern produced when
+  successive records of a file go to different nodes, so each node skips
+  ``(P-1)`` records between its own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def _check(n_requests: int, request_size: int) -> None:
+    if n_requests < 0:
+        raise WorkloadError(f"negative request count {n_requests}")
+    if request_size <= 0 and n_requests > 0:
+        raise WorkloadError(f"request size must be positive, got {request_size}")
+
+
+def consecutive_run(
+    start: int, n_requests: int, request_size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """``n`` back-to-back requests of one size from ``start``.
+
+    100 % sequential, 100 % consecutive — the signature pattern of the
+    workload's write-only, one-file-per-node outputs.
+    """
+    _check(n_requests, request_size)
+    offsets = start + request_size * np.arange(n_requests, dtype=np.int64)
+    sizes = np.full(n_requests, request_size, dtype=np.int64)
+    return offsets, sizes
+
+
+def strided_run(
+    start: int, n_requests: int, request_size: int, stride: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Requests of one size whose *starts* are ``stride`` bytes apart.
+
+    ``stride == request_size`` degenerates to a consecutive run; a larger
+    stride yields sequential, non-consecutive access with one constant
+    interval of ``stride - request_size`` bytes.
+    """
+    _check(n_requests, request_size)
+    if n_requests > 0 and stride < request_size:
+        raise WorkloadError(
+            f"stride {stride} smaller than request size {request_size} "
+            "would make requests overlap"
+        )
+    offsets = start + stride * np.arange(n_requests, dtype=np.int64)
+    sizes = np.full(n_requests, request_size, dtype=np.int64)
+    return offsets, sizes
+
+
+def interleaved_partition(
+    rank: int,
+    n_nodes: int,
+    record_size: int,
+    n_records: int,
+    start: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Node ``rank``'s share of a record-interleaved scan.
+
+    The file is a sequence of ``n_records`` fixed-size records; node ``r``
+    of ``P`` handles records ``r, r+P, r+2P, ...``.  Per node this is a
+    strided run with stride ``P * record_size`` — the interleaved pattern
+    the paper singles out as new to parallel workloads.
+    """
+    if not 0 <= rank < n_nodes:
+        raise WorkloadError(f"rank {rank} outside 0..{n_nodes - 1}")
+    _check(n_records, record_size)
+    mine = np.arange(rank, n_records, n_nodes, dtype=np.int64)
+    offsets = start + mine * record_size
+    sizes = np.full(len(mine), record_size, dtype=np.int64)
+    return offsets, sizes
+
+
+def segmented_partition(
+    rank: int,
+    n_nodes: int,
+    total_bytes: int,
+    request_size: int,
+    start: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Node ``rank``'s contiguous ``1/P`` segment, read in equal requests.
+
+    Segment boundaries are request-aligned; the final node absorbs the
+    remainder (its last request may be short).  Within a node the access
+    is 100 % consecutive; across nodes bytes are disjoint (0 % shared).
+    """
+    if not 0 <= rank < n_nodes:
+        raise WorkloadError(f"rank {rank} outside 0..{n_nodes - 1}")
+    if total_bytes < 0:
+        raise WorkloadError("total_bytes must be non-negative")
+    _check(1, request_size)
+    n_requests_total = -(-total_bytes // request_size)  # ceil
+    per_node = n_requests_total // n_nodes
+    extra = n_requests_total % n_nodes
+    my_count = per_node + (1 if rank < extra else 0)
+    first = rank * per_node + min(rank, extra)
+    offsets = start + (first + np.arange(my_count, dtype=np.int64)) * request_size
+    sizes = np.full(my_count, request_size, dtype=np.int64)
+    if my_count:
+        end = start + total_bytes
+        last_end = offsets[-1] + sizes[-1]
+        if last_end > end:
+            sizes[-1] -= last_end - end
+        keep = sizes > 0
+        offsets, sizes = offsets[keep], sizes[keep]
+    return offsets, sizes
+
+
+def tiled_run(
+    start: int,
+    n_tiles: int,
+    tile_records: int,
+    record_size: int,
+    skip_records: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Tiles of consecutive records separated by skipped records.
+
+    The access pattern of reading a submatrix out of a row-major 2D
+    array: ``tile_records`` records back-to-back, then a jump over
+    ``skip_records``.  Produces exactly two distinct interval sizes
+    (0 within a tile, ``skip_records * record_size`` between tiles) —
+    the second-most-common regularity in Table 2.
+    """
+    if n_tiles < 0 or tile_records <= 0 or skip_records < 0:
+        raise WorkloadError("invalid tiling parameters")
+    _check(n_tiles, record_size)
+    period = (tile_records + skip_records) * record_size
+    tile_base = start + period * np.arange(n_tiles, dtype=np.int64)
+    within = record_size * np.arange(tile_records, dtype=np.int64)
+    offsets = (tile_base[:, None] + within[None, :]).reshape(-1)
+    sizes = np.full(len(offsets), record_size, dtype=np.int64)
+    return offsets, sizes
+
+
+def whole_file(
+    total_bytes: int, request_size: int, start: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Read/write an entire extent in equal requests (last may be short).
+
+    Every node performing this against the same file yields the broadcast
+    pattern: 100 % of bytes shared by all nodes.
+    """
+    if total_bytes < 0:
+        raise WorkloadError("total_bytes must be non-negative")
+    if total_bytes == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    _check(1, request_size)
+    n = -(-total_bytes // request_size)
+    offsets, sizes = consecutive_run(start, n, request_size)
+    overshoot = int(offsets[-1] + sizes[-1] - (start + total_bytes))
+    if overshoot > 0:
+        sizes[-1] -= overshoot
+    return offsets, sizes
+
+
+def random_requests(
+    rng: np.random.Generator,
+    n_requests: int,
+    request_size: int,
+    file_size: int,
+    align: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniform random offsets within a file — the non-sequential pattern
+    of read-write, out-of-core style access."""
+    _check(n_requests, request_size)
+    if file_size < request_size:
+        raise WorkloadError(
+            f"file of {file_size} bytes cannot hold a {request_size}-byte request"
+        )
+    if align <= 0:
+        raise WorkloadError("align must be positive")
+    span = (file_size - request_size) // align + 1
+    offsets = rng.integers(0, span, size=n_requests, dtype=np.int64) * align
+    sizes = np.full(n_requests, request_size, dtype=np.int64)
+    return offsets, sizes
+
+
+def with_header(
+    header_size: int,
+    body: tuple[np.ndarray, np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Prefix a stream with one header request at offset 0.
+
+    Header-then-records is how the workload ends up with files showing
+    exactly two distinct request sizes (51 % of all files, Table 3).  The
+    body offsets are shifted up by the header size.
+    """
+    if header_size <= 0:
+        raise WorkloadError("header size must be positive")
+    offsets, sizes = body
+    out_off = np.concatenate(([0], offsets + header_size)).astype(np.int64)
+    out_sz = np.concatenate(([header_size], sizes)).astype(np.int64)
+    return out_off, out_sz
+
+
+# -- pattern metrics (ground truth for tests; the analysis recomputes these
+#    from traces independently) ------------------------------------------------
+
+
+def sequential_fraction(offsets: np.ndarray) -> float:
+    """Fraction of requests after the first at a strictly higher offset."""
+    if len(offsets) < 2:
+        return 1.0
+    return float(np.mean(np.diff(offsets) > 0))
+
+
+def consecutive_fraction(offsets: np.ndarray, sizes: np.ndarray) -> float:
+    """Fraction of requests after the first starting exactly at the
+    previous request's end."""
+    if len(offsets) < 2:
+        return 1.0
+    ends = offsets[:-1] + sizes[:-1]
+    return float(np.mean(offsets[1:] == ends))
+
+
+def interval_sizes(offsets: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+    """Bytes skipped between successive requests (consecutive → 0).
+
+    Matches the paper's definition: the interval is the gap between the
+    end of one request and the start of the next from the same node.
+    """
+    if len(offsets) < 2:
+        return np.empty(0, dtype=np.int64)
+    return (offsets[1:] - (offsets[:-1] + sizes[:-1])).astype(np.int64)

@@ -1,0 +1,518 @@
+"""Workload realization.
+
+:class:`WorkloadGenerator` turns a :class:`~repro.workload.scenarios.Scenario`
+into a trace.  Two pipelines produce the same logical event stream:
+
+- ``direct`` — events are assembled straight into a columnar
+  :class:`~repro.trace.frame.TraceFrame` (vectorized; use this for
+  characterization and cache studies at scale);
+- ``full`` — every planned operation is replayed as a real call against
+  the instrumented Concurrent File System on a simulated machine, flowing
+  through per-node trace buffers, the collector, and drift-correcting
+  postprocessing (use this to exercise the whole CHARISMA methodology).
+
+Event *timing* within a job: a job's file uses are laid out in phases
+across its lifetime; within a use, each rank's requests are paced evenly
+over the phase window, so record-interleaved accesses from different
+nodes genuinely interleave in time — the property that creates the
+interprocess spatial locality the I/O-node cache study measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cfs.filesystem import ConcurrentFileSystem
+from repro.cfs.instrument import InstrumentedCFS
+from repro.cfs.modes import IOMode
+from repro.errors import WorkloadError
+from repro.machine.machine import IPSC860
+from repro.trace.collector import Collector, RawTrace
+from repro.trace.frame import FILE_DTYPE, FileTable, JobTable, TraceFrame
+from repro.trace.postprocess import postprocess
+from repro.trace.records import NO_VALUE, EventKind, OpenFlags, TraceHeader
+from repro.trace.writer import TraceWriter
+from repro.util.rng import SeedSequencePool
+from repro.workload.apps import APP_REGISTRY, FileUse
+from repro.workload.jobs import PlacedJob, schedule_jobs
+from repro.workload.scenarios import Scenario
+
+#: guard against accidentally planning an unrepresentable trace
+MAX_EVENTS: int = 50_000_000
+
+
+@dataclass
+class GeneratedWorkload:
+    """The output of a generation run."""
+
+    frame: TraceFrame
+    placed: list[PlacedJob]
+    scenario: Scenario
+    seed: int
+    raw: RawTrace | None = None
+    fs: ConcurrentFileSystem | None = None
+
+    @property
+    def n_jobs(self) -> int:
+        """Total jobs in the period (traced or not)."""
+        return len(self.placed)
+
+    @property
+    def n_traced_jobs(self) -> int:
+        """Jobs whose file activity is in the trace."""
+        return sum(1 for p in self.placed if p.spec.traced)
+
+
+class _Columns:
+    """Accumulator for event columns, concatenated once at the end."""
+
+    def __init__(self) -> None:
+        self.time: list[np.ndarray] = []
+        self.node: list[np.ndarray] = []
+        self.job: list[np.ndarray] = []
+        self.file: list[np.ndarray] = []
+        self.kind: list[np.ndarray] = []
+        self.mode: list[np.ndarray] = []
+        self.flags: list[np.ndarray] = []
+        self.offset: list[np.ndarray] = []
+        self.size: list[np.ndarray] = []
+        self.n = 0
+
+    def add(
+        self,
+        time: np.ndarray,
+        node: np.ndarray,
+        job: int,
+        file: int,
+        kind: np.ndarray | int,
+        offset: np.ndarray | int,
+        size: np.ndarray | int,
+        mode: int = NO_VALUE,
+        flags: int = 0,
+    ) -> None:
+        n = len(time)
+        if n == 0:
+            return
+        self.time.append(np.asarray(time, dtype=np.float64))
+        self.node.append(np.asarray(node, dtype=np.int32))
+        self.job.append(np.full(n, job, dtype=np.int32))
+        self.file.append(np.full(n, file, dtype=np.int32))
+        self.kind.append(
+            np.asarray(kind, dtype=np.uint8)
+            if isinstance(kind, np.ndarray)
+            else np.full(n, kind, dtype=np.uint8)
+        )
+        self.mode.append(np.full(n, mode, dtype=np.int8))
+        self.flags.append(np.full(n, flags, dtype=np.uint16))
+        self.offset.append(
+            np.asarray(offset, dtype=np.int64)
+            if isinstance(offset, np.ndarray)
+            else np.full(n, offset, dtype=np.int64)
+        )
+        self.size.append(
+            np.asarray(size, dtype=np.int64)
+            if isinstance(size, np.ndarray)
+            else np.full(n, size, dtype=np.int64)
+        )
+        self.n += n
+        if self.n > MAX_EVENTS:
+            raise WorkloadError(
+                f"planned trace exceeds {MAX_EVENTS} events; reduce the "
+                "scenario scale or tighten max_requests_per_node_file"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class _UseSchedule:
+    """Times assigned to one file use: opens, per-rank op times, closes."""
+
+    open_times: dict[int, float]
+    op_times: dict[int, np.ndarray]
+    close_times: dict[int, float]
+    delete_time: float | None
+
+
+def _schedule_use(
+    use: FileUse, w0: float, w1: float, rng: np.random.Generator
+) -> _UseSchedule:
+    """Lay one use's operations over its phase window ``[w0, w1]``."""
+    span = w1 - w0
+    if span <= 0:
+        raise WorkloadError("empty phase window")
+    ranks = sorted(use.open_ranks)
+    # opens fit strictly inside [w0, w0 + 4% of span), closes mirror them,
+    # and all data operations live between — regardless of rank count
+    stagger = min(span * 0.002, 0.04 * span / (len(ranks) + 1))
+    open_times = {r: w0 + i * stagger for i, r in enumerate(ranks)}
+    ops_lo = w0 + 0.05 * span
+    ops_hi = w1 - 0.05 * span
+    op_times: dict[int, np.ndarray] = {}
+    if use.rr_schedule:
+        members = sorted(use.node_plans)
+        lengths = {r: len(use.node_plans[r]) for r in members}
+        total = sum(lengths.values())
+        if total:
+            times = np.linspace(ops_lo, ops_hi, total)
+            cursor = {r: 0 for r in members}
+            per_rank: dict[int, list[float]] = {r: [] for r in members}
+            k = 0
+            rounds = max(lengths.values())
+            for _ in range(rounds):
+                for r in members:
+                    if cursor[r] < lengths[r]:
+                        per_rank[r].append(times[k])
+                        cursor[r] += 1
+                        k += 1
+            op_times = {r: np.asarray(ts) for r, ts in per_rank.items()}
+    else:
+        max_len = max((len(p) for p in use.node_plans.values()), default=0)
+        if max_len:
+            dt = (ops_hi - ops_lo) / (max_len + 1)
+            for r, plan in use.node_plans.items():
+                phase_jitter = float(rng.random())
+                noise = rng.uniform(-0.35, 0.35, size=len(plan))
+                times = ops_lo + (np.arange(len(plan)) + phase_jitter + noise) * dt
+                op_times[r] = np.clip(times, ops_lo, ops_hi)
+    close_times = {r: w1 - (len(ranks) - i) * stagger for i, r in enumerate(ranks)}
+    delete_time = w1 if use.delete_at_end else None
+    return _UseSchedule(open_times, op_times, close_times, delete_time)
+
+
+class WorkloadGenerator:
+    """Generates traces from a scenario; see the module docstring."""
+
+    def __init__(self, scenario: Scenario, seed: int = 0) -> None:
+        self.scenario = scenario
+        self.seed = seed
+
+    # -- planning ----------------------------------------------------------------
+
+    def plan(self) -> tuple[list[PlacedJob], dict[int, list[FileUse]]]:
+        """Sample and place the job mix, then plan each traced job's files.
+
+        Returns the placed jobs and, per traced job id, its file uses.
+        """
+        pool = SeedSequencePool(self.seed)
+        specs = self.scenario.job_mix().sample(
+            self.scenario.duration_s, pool.rng("jobmix")
+        )
+        placed = schedule_jobs(
+            specs,
+            n_compute_nodes=self.scenario.machine.n_compute_nodes,
+            max_concurrent=self.scenario.max_concurrent_jobs,
+        )
+        uses_by_job: dict[int, list[FileUse]] = {}
+        for p in placed:
+            if not p.spec.traced or p.spec.is_status:
+                continue
+            app = APP_REGISTRY[p.spec.app]
+            rng = pool.rng(f"job/{p.job}")
+            uses_by_job[p.job] = app.build(
+                p.job, p.spec.n_nodes, self.scenario.models, rng
+            )
+        return placed, uses_by_job
+
+    # -- direct pipeline ------------------------------------------------------------
+
+    def run(self, pipeline: str = "direct") -> GeneratedWorkload:
+        """Generate the workload trace via the chosen pipeline."""
+        if pipeline == "direct":
+            return self._run_direct()
+        if pipeline == "full":
+            return self._run_full()
+        raise WorkloadError(f"unknown pipeline {pipeline!r} (use 'direct' or 'full')")
+
+    def _header(self) -> TraceHeader:
+        m = self.scenario.machine
+        return TraceHeader(
+            site=f"synthetic-{self.scenario.name}",
+            n_compute_nodes=m.n_compute_nodes,
+            n_io_nodes=m.n_io_nodes,
+            notes=f"seed={self.seed}",
+        )
+
+    def _run_direct(self) -> GeneratedWorkload:
+        pool = SeedSequencePool(self.seed)
+        placed, uses_by_job = self.plan()
+        cols = _Columns()
+        file_rows: list[tuple[int, int, int, int]] = []
+        next_fid = 0
+
+        for p in placed:
+            # job markers for every job, traced or not
+            cols.add(
+                np.array([p.start]), np.array([p.base_node]), p.job, NO_VALUE,
+                int(EventKind.JOB_START), 0, p.spec.n_nodes,
+            )
+            cols.add(
+                np.array([p.end]), np.array([p.base_node]), p.job, NO_VALUE,
+                int(EventKind.JOB_END), 0, 0,
+            )
+            uses = uses_by_job.get(p.job)
+            if not uses:
+                continue
+            rng = pool.rng(f"timing/{p.job}")
+            next_fid = self._emit_job_direct(p, uses, cols, file_rows, next_fid, rng)
+
+        frame = TraceFrame.from_arrays(
+            time=np.concatenate(cols.time),
+            node=np.concatenate(cols.node),
+            job=np.concatenate(cols.job),
+            file=np.concatenate(cols.file),
+            kind=np.concatenate(cols.kind),
+            offset=np.concatenate(cols.offset),
+            size=np.concatenate(cols.size),
+            mode=np.concatenate(cols.mode),
+            flags=np.concatenate(cols.flags),
+            jobs=JobTable.from_rows(
+                (p.job, p.start, p.end, p.spec.n_nodes, p.spec.traced) for p in placed
+            ),
+            files=_file_table(file_rows),
+            header=self._header(),
+        )
+        return GeneratedWorkload(
+            frame=frame, placed=placed, scenario=self.scenario, seed=self.seed
+        )
+
+    def _emit_job_direct(
+        self,
+        p: PlacedJob,
+        uses: list[FileUse],
+        cols: _Columns,
+        file_rows: list[tuple[int, int, int, int]],
+        next_fid: int,
+        rng: np.random.Generator,
+    ) -> int:
+        windows = _phase_windows(p, uses)
+        for use, (w0, w1) in zip(uses, windows):
+            fid = next_fid
+            next_fid += 1
+            sched = _schedule_use(use, w0, w1, rng)
+            base = p.base_node
+            flags = int(use.flags | OpenFlags.TRACED)
+            for rank in sorted(use.open_ranks):
+                cols.add(
+                    np.array([sched.open_times[rank]]),
+                    np.array([base + rank]),
+                    p.job, fid, int(EventKind.OPEN), NO_VALUE, NO_VALUE,
+                    mode=int(use.mode), flags=flags,
+                )
+            for rank, plan in use.node_plans.items():
+                times = sched.op_times.get(rank)
+                if times is None or len(plan) == 0:
+                    continue
+                cols.add(
+                    times,
+                    np.full(len(plan), base + rank, dtype=np.int32),
+                    p.job, fid, plan.kinds, plan.offsets, plan.sizes,
+                )
+            for rank in sorted(use.open_ranks):
+                cols.add(
+                    np.array([sched.close_times[rank]]),
+                    np.array([base + rank]),
+                    p.job, fid, int(EventKind.CLOSE), NO_VALUE, NO_VALUE,
+                )
+            if sched.delete_time is not None:
+                cols.add(
+                    np.array([sched.delete_time]),
+                    np.array([base]),
+                    p.job, fid, int(EventKind.DELETE), NO_VALUE, NO_VALUE,
+                )
+            final_size = use.preexisting_size
+            for plan in use.node_plans.values():
+                w = plan.kinds == int(EventKind.WRITE)
+                if w.any():
+                    final_size = max(
+                        final_size, int((plan.offsets[w] + plan.sizes[w]).max())
+                    )
+            file_rows.append(
+                (
+                    fid,
+                    p.job if use.creates else NO_VALUE,
+                    p.job if use.delete_at_end else NO_VALUE,
+                    final_size,
+                )
+            )
+        return next_fid
+
+    # -- full pipeline ----------------------------------------------------------------
+
+    def _run_full(self) -> GeneratedWorkload:
+        pool = SeedSequencePool(self.seed)
+        placed, uses_by_job = self.plan()
+        machine = IPSC860(
+            config=self.scenario.machine, seed=int(pool.rng("machine").integers(2**31))
+        )
+        fs = ConcurrentFileSystem(
+            n_io_nodes=self.scenario.machine.n_io_nodes,
+            disks=[io.disk for io in machine.io_nodes],
+        )
+        collector = Collector(self._header(), clock=machine.collector_stamp)
+        writer = TraceWriter(collector, machine.node_clock_reader)
+        icfs = InstrumentedCFS(fs, writer, machine.node_clock_reader)
+
+        actions = self._global_actions(placed, uses_by_job, pool)
+        use_index: dict[int, FileUse] = actions.pop("_uses")  # type: ignore[assignment]
+        replay = _Replayer(icfs, fs, machine, use_index)
+        order = np.argsort(actions["time"], kind="stable")
+        for idx in order:
+            replay.step(
+                float(actions["time"][idx]),
+                int(actions["kind"][idx]),
+                int(actions["job"][idx]),
+                int(actions["node"][idx]),
+                int(actions["use"][idx]),
+                int(actions["rank"][idx]),
+                int(actions["offset"][idx]),
+                int(actions["size"][idx]),
+            )
+        icfs.finish()
+        raw = collector.finish()
+        frame = postprocess(raw)
+        # attach the authoritative job table (placement metadata)
+        frame = TraceFrame(
+            frame.events,
+            jobs=JobTable.from_rows(
+                (p.job, p.start, p.end, p.spec.n_nodes, p.spec.traced) for p in placed
+            ),
+            header=frame.header,
+        )
+        return GeneratedWorkload(
+            frame=frame, placed=placed, scenario=self.scenario, seed=self.seed,
+            raw=raw, fs=fs,
+        )
+
+    def _global_actions(self, placed, uses_by_job, pool):
+        """Flatten every planned operation into sortable parallel arrays."""
+        time_, kind_, job_, node_, use_, rank_, off_, size_ = (
+            [] for _ in range(8)
+        )
+        use_index: dict[int, FileUse] = {}
+        next_use = 0
+
+        def add(t, kind, job, node, use, rank, off, size):
+            time_.append(t)
+            kind_.append(kind)
+            job_.append(job)
+            node_.append(node)
+            use_.append(use)
+            rank_.append(rank)
+            off_.append(off)
+            size_.append(size)
+
+        for p in placed:
+            add(p.start, int(EventKind.JOB_START), p.job, p.base_node, -1, -1, 0, p.spec.n_nodes)
+            add(p.end, int(EventKind.JOB_END), p.job, p.base_node, -1, -1, 0, 0)
+            uses = uses_by_job.get(p.job)
+            if not uses:
+                continue
+            rng = pool.rng(f"timing/{p.job}")
+            windows = _phase_windows(p, uses)
+            for use, (w0, w1) in zip(uses, windows):
+                uid = next_use
+                next_use += 1
+                use_index[uid] = use
+                sched = _schedule_use(use, w0, w1, rng)
+                for rank in sorted(use.open_ranks):
+                    add(sched.open_times[rank], int(EventKind.OPEN), p.job,
+                        p.base_node + rank, uid, rank, 0, 0)
+                for rank, plan in use.node_plans.items():
+                    times = sched.op_times.get(rank)
+                    if times is None:
+                        continue
+                    for i in range(len(plan)):
+                        add(float(times[i]), int(plan.kinds[i]), p.job,
+                            p.base_node + rank, uid, rank,
+                            int(plan.offsets[i]), int(plan.sizes[i]))
+                for rank in sorted(use.open_ranks):
+                    add(sched.close_times[rank], int(EventKind.CLOSE), p.job,
+                        p.base_node + rank, uid, rank, 0, 0)
+                if sched.delete_time is not None:
+                    add(sched.delete_time, int(EventKind.DELETE), p.job,
+                        p.base_node, uid, 0, 0, 0)
+
+        return {
+            "time": np.asarray(time_, dtype=np.float64),
+            "kind": np.asarray(kind_, dtype=np.uint8),
+            "job": np.asarray(job_, dtype=np.int64),
+            "node": np.asarray(node_, dtype=np.int64),
+            "use": np.asarray(use_, dtype=np.int64),
+            "rank": np.asarray(rank_, dtype=np.int64),
+            "offset": np.asarray(off_, dtype=np.int64),
+            "size": np.asarray(size_, dtype=np.int64),
+            "_uses": use_index,
+        }
+
+
+class _Replayer:
+    """Executes globally time-sorted actions against the instrumented CFS."""
+
+    def __init__(self, icfs: InstrumentedCFS, fs: ConcurrentFileSystem, machine, use_index):
+        self.icfs = icfs
+        self.fs = fs
+        self.machine = machine
+        self.uses = use_index
+        self.fds: dict[tuple[int, int], int] = {}
+        self.pointers: dict[int, int] = {}
+        self.prepopulated: set[int] = set()
+
+    def step(self, t, kind, job, node, uid, rank, offset, size) -> None:
+        self.machine.timebase.advance_to(max(self.machine.timebase.now, t))
+        ek = EventKind(kind)
+        if ek is EventKind.JOB_START:
+            self.icfs.job_start(job, node, size)
+            return
+        if ek is EventKind.JOB_END:
+            self.icfs.job_end(job, node)
+            return
+        use = self.uses[uid]
+        if ek is EventKind.OPEN:
+            if use.preexisting_size > 0 and uid not in self.prepopulated:
+                if not self.fs.exists(use.name):
+                    self.fs.prepopulate(use.name, use.preexisting_size)
+                self.prepopulated.add(uid)
+            fd = self.icfs.open(use.name, node, job, use.flags, use.mode)
+            self.fds[(uid, rank)] = fd
+            self.pointers[fd] = 0
+            return
+        if ek is EventKind.CLOSE:
+            fd = self.fds.pop((uid, rank))
+            self.pointers.pop(fd, None)
+            self.icfs.close(fd)
+            return
+        if ek is EventKind.DELETE:
+            self.icfs.unlink(use.name, node, job)
+            return
+        fd = self.fds[(uid, rank)]
+        if use.mode is IOMode.INDEPENDENT and self.pointers[fd] != offset:
+            self.icfs.lseek(fd, offset)
+            self.pointers[fd] = offset
+        if ek is EventKind.READ:
+            data = self.icfs.read(fd, size)
+            self.pointers[fd] = offset + len(data)
+        elif ek is EventKind.WRITE:
+            self.icfs.write(fd, b"\x00" * size)
+            self.pointers[fd] = offset + size
+        else:  # pragma: no cover - defensive
+            raise WorkloadError(f"unexpected action kind {ek}")
+
+
+def _phase_windows(p: PlacedJob, uses: list[FileUse]) -> list[tuple[float, float]]:
+    """Assign each use its time window from the job's phase layout."""
+    phases = sorted({u.phase for u in uses})
+    dur = p.spec.duration
+    lo = p.start + 0.02 * dur
+    hi = p.end - 0.02 * dur
+    n = len(phases)
+    width = (hi - lo) / n
+    bounds = {ph: (lo + i * width, lo + (i + 1) * width) for i, ph in enumerate(phases)}
+    return [bounds[u.phase] for u in uses]
+
+
+def _file_table(rows: list[tuple[int, int, int, int]]) -> FileTable:
+    arr = np.zeros(len(rows), dtype=FILE_DTYPE)
+    for i, row in enumerate(rows):
+        arr[i] = row
+    return FileTable(arr)

@@ -1,0 +1,230 @@
+"""The job mix and machine occupancy.
+
+Builds the population of jobs over a tracing period — user jobs with
+Poisson arrivals, the periodic status job — and places them on the
+machine: aligned subcube allocation, FIFO queueing when the machine is
+full, and a cap on concurrent jobs (the NQS-style limit that keeps the
+concurrency profile of Figure 1 bounded at about eight).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.machine.topology import Hypercube, SubcubeAllocator
+from repro.workload.distributions import JobArrivalModel, NodeCountModel
+
+
+@dataclass(frozen=True, slots=True)
+class JobSpec:
+    """One job before placement."""
+
+    job: int
+    arrival: float
+    duration: float
+    n_nodes: int
+    app: str
+    traced: bool
+    is_status: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise WorkloadError(f"job {self.job} has non-positive duration")
+        if self.n_nodes <= 0 or self.n_nodes & (self.n_nodes - 1):
+            raise WorkloadError(
+                f"job {self.job} wants {self.n_nodes} nodes (not a power of two)"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class PlacedJob:
+    """A job with its actual start time and node allocation."""
+
+    spec: JobSpec
+    start: float
+    base_node: int
+
+    @property
+    def job(self) -> int:
+        """Job id."""
+        return self.spec.job
+
+    @property
+    def end(self) -> float:
+        """Completion time."""
+        return self.start + self.spec.duration
+
+    @property
+    def nodes(self) -> range:
+        """The allocated compute nodes."""
+        return range(self.base_node, self.base_node + self.spec.n_nodes)
+
+
+class JobMix:
+    """Samples the population of job specs for one tracing period.
+
+    Parameters are drawn from the calibrated models; the app of each
+    parallel job is drawn from ``parallel_app_weights`` and every
+    single-node user job runs the small-tool model.
+    """
+
+    def __init__(
+        self,
+        arrivals: JobArrivalModel,
+        node_counts: NodeCountModel,
+        parallel_app_weights: dict[str, float],
+        traced_multi_fraction: float = 0.55,
+        traced_single_fraction: float = 0.03,
+    ) -> None:
+        if not parallel_app_weights:
+            raise WorkloadError("need at least one parallel app")
+        if not 0 <= traced_multi_fraction <= 1 or not 0 <= traced_single_fraction <= 1:
+            raise WorkloadError("traced fractions must be in [0, 1]")
+        self.arrivals = arrivals
+        self.node_counts = node_counts
+        self.parallel_app_weights = dict(parallel_app_weights)
+        self.traced_multi_fraction = traced_multi_fraction
+        self.traced_single_fraction = traced_single_fraction
+
+    def sample(self, duration_s: float, rng: np.random.Generator) -> list[JobSpec]:
+        """Draw the full job population for a period of ``duration_s``."""
+        arrivals, durations = self.arrivals.sample_user_jobs(rng, duration_s)
+        n_user = len(arrivals)
+        nodes = self.node_counts.sample(rng, n_user)
+
+        app_names = sorted(self.parallel_app_weights)
+        app_probs = np.array([self.parallel_app_weights[a] for a in app_names])
+        app_probs = app_probs / app_probs.sum()
+
+        specs: list[JobSpec] = []
+        job_id = 0
+        for i in range(n_user):
+            n = int(nodes[i])
+            if n == 1:
+                app = "tool"
+                traced = bool(rng.random() < self.traced_single_fraction)
+            else:
+                app = str(rng.choice(app_names, p=app_probs))
+                traced = bool(rng.random() < self.traced_multi_fraction)
+            specs.append(
+                JobSpec(
+                    job=job_id,
+                    arrival=float(arrivals[i]),
+                    duration=float(durations[i]),
+                    n_nodes=n,
+                    app=app,
+                    traced=traced,
+                )
+            )
+            job_id += 1
+        for t in self.arrivals.status_job_times(duration_s):
+            specs.append(
+                JobSpec(
+                    job=job_id,
+                    arrival=float(t),
+                    duration=self.arrivals.status_duration_s,
+                    n_nodes=1,
+                    app="status",
+                    traced=False,
+                    is_status=True,
+                )
+            )
+            job_id += 1
+        specs.sort(key=lambda s: s.arrival)
+        # renumber in arrival order so job ids are chronological
+        return [replace(s, job=i) for i, s in enumerate(specs)]
+
+
+def schedule_jobs(
+    specs: list[JobSpec],
+    n_compute_nodes: int = 128,
+    max_concurrent: int = 8,
+) -> list[PlacedJob]:
+    """Place jobs on the machine: subcube allocation + FIFO queueing.
+
+    A job whose subcube (or concurrency slot) is unavailable waits in a
+    FIFO queue and starts the moment resources free up.  Returns placed
+    jobs in start-time order.
+    """
+    if n_compute_nodes <= 0 or n_compute_nodes & (n_compute_nodes - 1):
+        raise WorkloadError("compute node count must be a power of two")
+    if max_concurrent <= 0:
+        raise WorkloadError("max_concurrent must be positive")
+    cube = Hypercube(n_compute_nodes.bit_length() - 1)
+    allocator = SubcubeAllocator(cube)
+
+    placed: list[PlacedJob] = []
+    pending = deque()  # FIFO of waiting specs
+    running: list[tuple[float, int, int]] = []  # (end, token, job)
+    arrivals = sorted(specs, key=lambda s: (s.arrival, s.job))
+    i = 0
+    now = 0.0
+
+    def try_start(spec: JobSpec, at: float) -> bool:
+        if len(running) >= max_concurrent:
+            return False
+        if spec.n_nodes > n_compute_nodes:
+            raise WorkloadError(
+                f"job {spec.job} wants {spec.n_nodes} of {n_compute_nodes} nodes"
+            )
+        alloc = allocator.allocate(spec.n_nodes)
+        if alloc is None:
+            return False
+        token, nodes = alloc
+        start = max(at, spec.arrival)
+        placed.append(PlacedJob(spec=spec, start=start, base_node=nodes.start))
+        heapq.heappush(running, (start + spec.duration, token, spec.job))
+        return True
+
+    while i < len(arrivals) or pending or running:
+        next_arrival = arrivals[i].arrival if i < len(arrivals) else np.inf
+        next_end = running[0][0] if running else np.inf
+        if next_arrival <= next_end:
+            now = next_arrival
+            spec = arrivals[i]
+            i += 1
+            if pending or not try_start(spec, now):
+                pending.append(spec)
+        else:
+            now = next_end
+            _, token, _ = heapq.heappop(running)
+            allocator.release(token)
+            # drain the queue head-first while resources allow
+            while pending and try_start(pending[0], now):
+                pending.popleft()
+
+    placed.sort(key=lambda p: (p.start, p.job))
+    return placed
+
+
+def concurrency_timeline(placed: list[PlacedJob]) -> tuple[np.ndarray, np.ndarray]:
+    """Step function of concurrent-job count over time.
+
+    Returns ``(times, counts)`` where ``counts[i]`` holds on
+    ``[times[i], times[i+1])``.  Used both by tests of the scheduler and
+    by the Figure 1 characterization (which recomputes it from the trace's
+    job records rather than from placement metadata).
+    """
+    if not placed:
+        raise WorkloadError("no jobs placed")
+    deltas: list[tuple[float, int]] = []
+    for p in placed:
+        deltas.append((p.start, 1))
+        deltas.append((p.end, -1))
+    deltas.sort()
+    times = []
+    counts = []
+    level = 0
+    for t, d in deltas:
+        level += d
+        if times and times[-1] == t:
+            counts[-1] = level
+        else:
+            times.append(t)
+            counts.append(level)
+    return np.asarray(times), np.asarray(counts, dtype=np.int64)

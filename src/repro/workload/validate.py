@@ -1,0 +1,135 @@
+"""Calibration validation: how close is a workload to the paper?
+
+:func:`validate_workload` measures a generated trace against every
+marginal the paper publishes and reports, per metric, the target, the
+measured value, and whether it falls inside a tolerance band.  The test
+suite uses it to police the default calibration, and anyone adapting
+:class:`~repro.workload.scenarios.Scenario` to their own site can use it
+to see exactly which published property their change moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.filestats import population
+from repro.core.intervals import interval_size_table, request_size_table
+from repro.core.jobstats import concurrency_profile, node_count_distribution
+from repro.core.modes import mode_usage
+from repro.core.requests import request_size_summary
+from repro.core.sequentiality import per_file_regularity
+from repro.errors import AnalysisError
+from repro.trace.frame import TraceFrame
+from repro.trace.records import EventKind
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class Check:
+    """One calibration metric."""
+
+    name: str
+    paper: float
+    measured: float
+    lo: float
+    hi: float
+
+    @property
+    def ok(self) -> bool:
+        """Whether the measured value is inside the tolerance band."""
+        return self.lo <= self.measured <= self.hi
+
+
+@dataclass
+class ValidationReport:
+    """All calibration checks for one trace."""
+
+    checks: list[Check]
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for c in self.checks if c.ok)
+
+    @property
+    def failed(self) -> list[Check]:
+        return [c for c in self.checks if not c.ok]
+
+    @property
+    def all_ok(self) -> bool:
+        return not self.failed
+
+    def render(self) -> str:
+        """A table of every check, flagged pass/fail."""
+        return format_table(
+            ["metric", "paper", "measured", "band", "ok"],
+            [
+                (c.name, c.paper, c.measured, f"[{c.lo:g}, {c.hi:g}]",
+                 "yes" if c.ok else "NO")
+                for c in self.checks
+            ],
+            title=f"calibration: {self.passed}/{len(self.checks)} checks in band",
+        )
+
+
+def validate_workload(frame: TraceFrame) -> ValidationReport:
+    """Check a trace against the paper's published marginals.
+
+    Bands are deliberately wide — they accommodate seed variance at small
+    scales while still catching calibration regressions (a band miss
+    means a *distributional* drift, not noise).
+    """
+    checks: list[Check] = []
+
+    def add(name, paper, measured, lo, hi):
+        checks.append(Check(name, float(paper), float(measured), lo, hi))
+
+    prof = concurrency_profile(frame)
+    add("idle fraction", 0.27, prof.idle_fraction, 0.05, 0.60)
+    add("multiprogrammed fraction", 0.35, prof.multiprogrammed_fraction, 0.10, 0.60)
+    add("max concurrent jobs", 8, prof.max_level, 2, 8)
+
+    dist = node_count_distribution(frame)
+    one = dict(zip(dist.node_counts.tolist(), dist.job_fractions.tolist())).get(1, 0)
+    add("single-node job fraction", 0.74, one, 0.55, 0.90)
+    usage = dict(zip(dist.node_counts.tolist(), dist.usage_fractions.tolist()))
+    add("node-seconds in >=16-node jobs", 0.7,
+        sum(v for k, v in usage.items() if k >= 16), 0.30, 0.95)
+
+    pop = population(frame)
+    fr = pop.fractions()
+    add("write-only file fraction", 0.70, fr["write_only"], 0.55, 0.88)
+    add("read-only file fraction", 0.23, fr["read_only"], 0.08, 0.40)
+    add("read-write file fraction", 0.036, fr["read_write"], 0.0, 0.12)
+    add("untouched file fraction", 0.039, fr["untouched"], 0.0, 0.15)
+    add("temporary open fraction", 0.0061, pop.temporary_open_fraction, 0.0, 0.04)
+
+    reads = request_size_summary(frame, EventKind.READ)
+    writes = request_size_summary(frame, EventKind.WRITE)
+    add("reads <4000B (count)", 0.961, reads.small_request_fraction, 0.60, 1.0)
+    add("reads <4000B (bytes)", 0.020, reads.small_byte_fraction, 0.0, 0.35)
+    add("writes <4000B (count)", 0.894, writes.small_request_fraction, 0.70, 1.0)
+    add("writes <4000B (bytes)", 0.030, writes.small_byte_fraction, 0.0, 0.20)
+
+    try:
+        reg = per_file_regularity(frame)
+        add("write-only fully consecutive", 0.86,
+            reg.fully_consecutive_fraction("wo"), 0.60, 1.0)
+        ro = reg.fully_consecutive_fraction("ro")
+        add("read-only fully consecutive", 0.29, ro, 0.0,
+            max(0.85, reg.fully_consecutive_fraction("wo")))
+    except AnalysisError:
+        pass
+
+    t2 = interval_size_table(frame)
+    total = sum(t2.values())
+    add("files with <=1 interval size", 0.947,
+        (t2["0"] + t2["1"]) / total, 0.75, 1.0)
+    t3 = request_size_table(frame)
+    total3 = sum(t3.values())
+    add("files with 1-2 request sizes", 0.914,
+        (t3["1"] + t3["2"]) / total3, 0.70, 1.0)
+
+    usage_modes = mode_usage(frame)
+    add("mode-0 file fraction", 0.99, usage_modes.mode0_file_fraction, 0.97, 1.0)
+
+    return ValidationReport(checks)

@@ -1,0 +1,77 @@
+"""Shared fixtures: generated workloads (expensive, session-scoped) and a
+hand-built micro-trace whose every statistic is known by construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.frame import JobTable, TraceFrame
+from repro.trace.records import EventKind, OpenFlags, Record
+from repro.workload import WorkloadGenerator, ames1993, tiny
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A seeded medium workload for statistical and cache tests."""
+    return WorkloadGenerator(ames1993(0.05), seed=7).run("direct")
+
+
+@pytest.fixture(scope="session")
+def small_frame(small_workload):
+    return small_workload.frame
+
+
+@pytest.fixture(scope="session")
+def full_pipeline_workload():
+    """A tiny workload pushed through the entire CHARISMA pipeline."""
+    return WorkloadGenerator(tiny(1.0), seed=5).run("full")
+
+
+def make_frame(records, jobs=None):
+    """Build a frame from records plus an optional job table."""
+    table = JobTable.from_rows(jobs) if jobs is not None else None
+    return TraceFrame.from_records(records, jobs=table)
+
+
+@pytest.fixture()
+def micro_frame():
+    """A tiny hand-built trace with exactly known statistics.
+
+    Two jobs:
+
+    - job 0 (nodes 0-1, traced): file 0 opened by both nodes in mode 0,
+      node 0 reads records 0,2 and node 1 reads records 1,3 (interleaved,
+      100 B records); file 1 created by node 0, written consecutively
+      (3 × 100 B), then deleted by job 0 (temporary).
+    - job 1 (node 4, traced): file 2 opened and never accessed.
+    """
+    rec = 100
+    events = [
+        Record(time=0.0, node=0, job=0, kind=EventKind.JOB_START, size=2, offset=0),
+        Record(time=0.1, node=0, job=0, kind=EventKind.OPEN, file=0,
+               mode=0, flags=int(OpenFlags.READ)),
+        Record(time=0.11, node=1, job=0, kind=EventKind.OPEN, file=0,
+               mode=0, flags=int(OpenFlags.READ)),
+        Record(time=0.2, node=0, job=0, kind=EventKind.READ, file=0, offset=0 * rec, size=rec),
+        Record(time=0.21, node=1, job=0, kind=EventKind.READ, file=0, offset=1 * rec, size=rec),
+        Record(time=0.3, node=0, job=0, kind=EventKind.READ, file=0, offset=2 * rec, size=rec),
+        Record(time=0.31, node=1, job=0, kind=EventKind.READ, file=0, offset=3 * rec, size=rec),
+        Record(time=0.4, node=0, job=0, kind=EventKind.OPEN, file=1,
+               mode=0, flags=int(OpenFlags.WRITE | OpenFlags.CREATE)),
+        Record(time=0.5, node=0, job=0, kind=EventKind.WRITE, file=1, offset=0, size=rec),
+        Record(time=0.6, node=0, job=0, kind=EventKind.WRITE, file=1, offset=rec, size=rec),
+        Record(time=0.7, node=0, job=0, kind=EventKind.WRITE, file=1, offset=2 * rec, size=rec),
+        Record(time=0.8, node=0, job=0, kind=EventKind.CLOSE, file=1),
+        Record(time=0.85, node=0, job=0, kind=EventKind.DELETE, file=1),
+        Record(time=0.9, node=0, job=0, kind=EventKind.CLOSE, file=0),
+        Record(time=0.91, node=1, job=0, kind=EventKind.CLOSE, file=0),
+        Record(time=1.0, node=0, job=0, kind=EventKind.JOB_END, size=0, offset=0),
+        Record(time=1.5, node=4, job=1, kind=EventKind.JOB_START, size=1, offset=0),
+        Record(time=1.6, node=4, job=1, kind=EventKind.OPEN, file=2,
+               mode=0, flags=int(OpenFlags.READ)),
+        Record(time=1.7, node=4, job=1, kind=EventKind.CLOSE, file=2),
+        Record(time=1.8, node=4, job=1, kind=EventKind.JOB_END, size=0, offset=0),
+    ]
+    jobs = [(0, 0.0, 1.0, 2, True), (1, 1.5, 1.8, 1, True)]
+    return make_frame(events, jobs)

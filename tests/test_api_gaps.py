@@ -1,0 +1,41 @@
+"""Direct tests for small public APIs otherwise covered only indirectly."""
+
+import pytest
+
+from repro.caching import simulate_io_node_caches
+from repro.cfs.striping import Striping
+from repro.core.temporal import throughput_series
+from repro.workload import ames1993
+
+
+class TestSmallAPIs:
+    def test_striping_block_of(self):
+        s = Striping(10)
+        assert s.block_of(0) == 0
+        assert s.block_of(4095) == 0
+        assert s.block_of(4096) == 1
+
+    def test_all_traffic_hit_rate_below_read_rate(self, small_frame):
+        # writes are mostly cold streams, so scoring them drags the rate
+        res = simulate_io_node_caches(small_frame, 500, n_io_nodes=10)
+        assert res.all_traffic_hit_rate <= res.hit_rate + 0.02
+        assert 0.0 <= res.all_traffic_hit_rate <= 1.0
+
+    def test_throughput_total_rate_shape(self, small_frame):
+        series = throughput_series(small_frame, bin_seconds=300.0)
+        rates = series.total_rate
+        assert len(rates) == len(series.read_bytes)
+        assert (rates >= 0).all()
+
+    def test_scenario_job_mix_uses_scenario_fractions(self):
+        scenario = ames1993()
+        mix = scenario.job_mix()
+        assert mix.traced_multi_fraction == scenario.traced_multi_fraction
+        assert set(mix.parallel_app_weights) == set(scenario.parallel_app_weights)
+
+    def test_scenario_scaled_preserves_everything_but_duration(self):
+        base = ames1993()
+        scaled = base.scaled(0.5)
+        assert scaled.duration_hours == pytest.approx(78.0)
+        assert scaled.parallel_app_weights == base.parallel_app_weights
+        assert scaled.machine == base.machine

@@ -1,0 +1,74 @@
+"""Tests for repro.caching.combined (§4.8)."""
+
+import pytest
+
+from repro.caching.combined import simulate_combined
+from repro.errors import CacheConfigError
+from repro.trace.frame import TraceFrame
+from repro.trace.records import EventKind, Record
+
+
+def _frame(specs):
+    return TraceFrame.from_records(
+        [
+            Record(time=t, node=n, job=0, kind=k, file=f, offset=o, size=s)
+            for (t, n, f, o, s, k) in specs
+        ]
+    )
+
+
+class TestCombined:
+    def test_absorbed_requests_never_reach_io(self):
+        # one node re-reads the same sub-block region: the second read is
+        # absorbed by its compute buffer
+        frame = _frame([
+            (0.0, 0, 1, 0, 100, EventKind.READ),
+            (1.0, 0, 1, 100, 100, EventKind.READ),
+        ])
+        res = simulate_combined(frame, compute_buffers=1, io_buffers_per_node=8, n_io_nodes=2)
+        assert res.requests_absorbed == 1
+        assert res.sub_requests_with == 1
+        assert res.sub_requests_without == 2
+
+    def test_interprocess_hits_survive_filtering(self):
+        # node 0 streams whole blocks, node 1 re-reads them just after:
+        # neither node re-touches a block, so compute caches absorb
+        # nothing and the io hit rate is untouched by the compute layer
+        specs = []
+        for blk in range(6):
+            specs.append((2.0 * blk, 0, 1, blk * 4096, 4096, EventKind.READ))
+            specs.append((2.0 * blk + 1, 1, 1, blk * 4096, 4096, EventKind.READ))
+        res = simulate_combined(_frame(specs), compute_buffers=1, n_io_nodes=1)
+        assert res.compute_hit_rate == 0.0
+        assert res.io_hit_rate_without == pytest.approx(0.5)
+        assert res.io_hit_rate_reduction == pytest.approx(0.0, abs=1e-9)
+
+    def test_intraprocess_hits_are_stolen(self):
+        # a single node streaming 100B records: compute cache absorbs the
+        # intra-block re-reads, gutting the io-node hit rate
+        specs = [(float(i), 0, 1, i * 100, 100, EventKind.READ) for i in range(40)]
+        res = simulate_combined(_frame(specs), compute_buffers=1, n_io_nodes=1)
+        assert res.compute_hit_rate > 0.9
+        assert res.io_hit_rate_without > 0.9
+        assert res.io_hit_rate_with == 0.0  # only the block-crossing misses remain
+
+    def test_writes_unaffected_by_compute_layer(self):
+        specs = [(float(i), 0, 1, i * 100, 100, EventKind.WRITE) for i in range(10)]
+        res = simulate_combined(_frame(specs), n_io_nodes=1)
+        assert res.compute_hit_rate == 0.0
+        assert res.requests_absorbed == 0
+
+    def test_validation(self, micro_frame):
+        with pytest.raises(CacheConfigError):
+            simulate_combined(micro_frame, compute_buffers=0)
+
+
+class TestWorkloadCombined:
+    def test_small_reduction_like_paper(self, small_frame):
+        # §4.8: adding compute-node buffers reduced the I/O-node hit rate
+        # only slightly — the hits there are interprocess
+        res = simulate_combined(small_frame, compute_buffers=1,
+                                io_buffers_per_node=50, n_io_nodes=10)
+        assert res.io_hit_rate_without > 0.6
+        assert res.io_hit_rate_reduction < 0.25
+        assert res.io_hit_rate_reduction >= 0.0

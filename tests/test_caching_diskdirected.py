@@ -1,0 +1,85 @@
+"""Tests for repro.caching.diskdirected."""
+
+import numpy as np
+import pytest
+
+from repro.caching.diskdirected import (
+    _union_blocks,
+    compare_interfaces,
+    simulate_disk_directed,
+)
+from repro.errors import CacheConfigError
+from repro.trace.frame import TraceFrame
+from repro.trace.records import EventKind, Record
+
+
+def _frame(specs):
+    return TraceFrame.from_records(
+        [
+            Record(time=t, node=n, job=0, kind=k, file=f, offset=o, size=s)
+            for (t, n, f, o, s, k) in specs
+        ]
+    )
+
+
+class TestUnionBlocks:
+    def test_overlapping_extents_deduplicate(self):
+        blocks = _union_blocks(
+            np.array([0, 2048, 8192]), np.array([4096, 4096, 100]), 4096
+        )
+        assert list(blocks) == [0, 1, 2]
+
+    def test_disjoint_extents(self):
+        blocks = _union_blocks(np.array([0, 40960]), np.array([1, 1]), 4096)
+        assert list(blocks) == [0, 10]
+
+
+class TestSimulateDiskDirected:
+    def test_interleaved_file_becomes_one_sweep_per_io_node(self):
+        # 64 nodes' worth of tiny interleaved reads over 8 blocks,
+        # 2 io nodes: disk-directed serves it in exactly 2 sweeps
+        specs = [
+            (float(i), i % 4, 1, i * 512, 512, EventKind.READ)
+            for i in range(64)
+        ]
+        res = simulate_disk_directed(_frame(specs), n_io_nodes=2)
+        assert res.n_disk_ops == 2
+        assert res.bytes_moved == 8 * 4096
+
+    def test_reads_and_writes_swept_separately(self):
+        specs = [
+            (0.0, 0, 1, 0, 4096, EventKind.READ),
+            (1.0, 0, 1, 0, 4096, EventKind.WRITE),
+        ]
+        res = simulate_disk_directed(_frame(specs), n_io_nodes=1)
+        assert res.n_disk_ops == 2
+
+    def test_holes_split_sweeps(self):
+        specs = [
+            (0.0, 0, 1, 0, 4096, EventKind.READ),
+            (1.0, 0, 1, 3 * 4096, 4096, EventKind.READ),  # gap at block 1-2
+        ]
+        res = simulate_disk_directed(_frame(specs), n_io_nodes=1)
+        assert res.n_disk_ops == 2
+
+    def test_no_transfers_rejected(self, micro_frame):
+        empty = _frame([(0.0, 0, 1, 0, 4096, EventKind.READ)])
+        with pytest.raises(CacheConfigError):
+            simulate_disk_directed(empty, n_io_nodes=0)
+
+
+class TestCompareInterfaces:
+    def test_ordering_per_request_worst_directed_best(self, small_frame):
+        cmp = compare_interfaces(small_frame, cache_buffers=500)
+        assert cmp.per_request.busy_seconds > cmp.cached.busy_seconds
+        assert cmp.cached.busy_seconds > cmp.disk_directed.busy_seconds
+        assert cmp.speedup_vs_per_request > cmp.speedup_vs_cached > 1.0
+
+    def test_directed_moves_no_more_bytes(self, small_frame):
+        cmp = compare_interfaces(small_frame)
+        # the union of extents never exceeds per-request block traffic
+        assert cmp.disk_directed.bytes_moved <= cmp.per_request.bytes_moved
+
+    def test_directed_ops_far_fewer(self, small_frame):
+        cmp = compare_interfaces(small_frame)
+        assert cmp.disk_directed.n_disk_ops < cmp.per_request.n_disk_ops / 5

@@ -1,0 +1,136 @@
+"""Tests for repro.caching.io_node (Figure 9)."""
+
+import numpy as np
+import pytest
+
+from repro.caching.io_node import (
+    request_stream,
+    simulate_io_node_caches,
+    sweep_buffer_counts,
+)
+from repro.errors import CacheConfigError
+from repro.trace.frame import TraceFrame
+from repro.trace.records import EventKind, Record
+
+
+def _transfers(specs):
+    """specs: (t, node, file, offset, size, kind) tuples."""
+    return TraceFrame.from_records(
+        [
+            Record(time=t, node=n, job=0, kind=k, file=f, offset=o, size=s)
+            for (t, n, f, o, s, k) in specs
+        ]
+    )
+
+
+class TestRequestStream:
+    def test_block_spans(self):
+        frame = _transfers([
+            (0.0, 0, 1, 0, 100, EventKind.READ),
+            (1.0, 0, 1, 4000, 200, EventKind.WRITE),
+        ])
+        files, first, last, nodes, is_read = request_stream(frame)
+        assert list(first) == [0, 0]
+        assert list(last) == [0, 1]
+        assert list(is_read) == [True, False]
+
+    def test_zero_size_dropped(self):
+        frame = _transfers([
+            (0.0, 0, 1, 0, 0, EventKind.READ),
+            (1.0, 0, 1, 0, 10, EventKind.READ),
+        ])
+        files, *_ = request_stream(frame)
+        assert len(files) == 1
+
+    def test_no_transfers_rejected(self):
+        frame = TraceFrame.from_records(
+            [Record(time=0, node=0, job=0, kind=EventKind.JOB_START, size=1, offset=0)]
+        )
+        with pytest.raises(CacheConfigError):
+            request_stream(frame)
+
+
+class TestSimulation:
+    def test_rereads_hit(self):
+        frame = _transfers([
+            (0.0, 0, 1, 0, 100, EventKind.READ),
+            (1.0, 1, 1, 0, 100, EventKind.READ),   # different node, same block
+        ])
+        res = simulate_io_node_caches(frame, total_buffers=10, n_io_nodes=2)
+        assert res.read_sub_requests == 2
+        assert res.read_hits == 1
+        assert res.hit_rate == 0.5
+
+    def test_writes_populate_but_do_not_score(self):
+        frame = _transfers([
+            (0.0, 0, 1, 0, 100, EventKind.WRITE),
+            (1.0, 1, 1, 0, 100, EventKind.READ),   # hits the written block
+        ])
+        res = simulate_io_node_caches(frame, total_buffers=10, n_io_nodes=2)
+        assert res.read_sub_requests == 1
+        assert res.read_hits == 1
+        assert res.all_sub_requests == 2
+
+    def test_multi_block_request_fans_out(self):
+        # 3 blocks over 2 io nodes -> 2 sub-requests, both cold
+        frame = _transfers([(0.0, 0, 1, 0, 3 * 4096, EventKind.READ)])
+        res = simulate_io_node_caches(frame, total_buffers=10, n_io_nodes=2)
+        assert res.read_sub_requests == 2
+        assert res.read_hits == 0
+
+    def test_sub_request_hit_needs_all_blocks(self):
+        frame = _transfers([
+            (0.0, 0, 1, 0, 4096, EventKind.READ),          # block 0 cached
+            (1.0, 0, 1, 0, 2 * 4096, EventKind.READ),      # needs blocks 0+1
+        ])
+        res = simulate_io_node_caches(frame, total_buffers=10, n_io_nodes=1)
+        assert res.read_hits == 0  # block 1 was absent
+
+    def test_zero_buffers_never_hit(self):
+        frame = _transfers([
+            (0.0, 0, 1, 0, 100, EventKind.READ),
+            (1.0, 0, 1, 0, 100, EventKind.READ),
+        ])
+        res = simulate_io_node_caches(frame, total_buffers=0)
+        assert res.hit_rate == 0.0
+
+    def test_policies_all_run(self, small_frame):
+        for policy in ("lru", "fifo", "interprocess"):
+            res = simulate_io_node_caches(
+                small_frame, total_buffers=200, n_io_nodes=10, policy=policy
+            )
+            assert 0.0 <= res.hit_rate <= 1.0
+
+    def test_opt_beats_lru(self):
+        # cyclic over 3 blocks with capacity 2: LRU always misses, OPT doesn't
+        specs = [(float(i), 0, 1, (i % 3) * 4096, 100, EventKind.READ) for i in range(30)]
+        frame = _transfers(specs)
+        lru = simulate_io_node_caches(frame, total_buffers=2, n_io_nodes=1, policy="lru")
+        opt = simulate_io_node_caches(frame, total_buffers=2, n_io_nodes=1, policy="opt")
+        assert opt.read_hits > lru.read_hits
+
+
+class TestSweep:
+    def test_curve_monotone_for_lru(self, small_frame):
+        curve = sweep_buffer_counts(small_frame, [10, 100, 1000], policy="lru")
+        rates = curve.hit_rates
+        assert rates[0] <= rates[-1] + 0.01
+
+    def test_buffers_for_hit_rate(self, small_frame):
+        curve = sweep_buffer_counts(small_frame, [10, 100, 1000, 4000], policy="lru")
+        target = curve.hit_rates[-1] - 0.001
+        found = curve.buffers_for_hit_rate(target)
+        assert found is not None
+        assert curve.buffers_for_hit_rate(1.01) is None
+
+    def test_io_node_count_insensitivity(self, small_frame):
+        # Figure 9: spreading buffers over few or many I/O nodes made
+        # little difference to the hit rate
+        few = simulate_io_node_caches(small_frame, 500, n_io_nodes=2)
+        many = simulate_io_node_caches(small_frame, 500, n_io_nodes=20)
+        assert abs(few.hit_rate - many.hit_rate) < 0.12
+
+    def test_workload_reaches_high_hit_rate(self, small_frame):
+        # Figure 9's headline: a modest cache reaches ~90% hit rate
+        res = simulate_io_node_caches(small_frame, 2000, n_io_nodes=10, policy="lru")
+        assert res.hit_rate > 0.75

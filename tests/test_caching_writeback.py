@@ -1,0 +1,112 @@
+"""Tests for repro.caching.writeback."""
+
+import pytest
+
+from repro.caching.writeback import (
+    POLICIES,
+    compare_write_policies,
+    simulate_writeback,
+)
+from repro.errors import CacheConfigError
+from repro.trace.frame import TraceFrame
+from repro.trace.records import EventKind, Record
+
+
+def _writes(pairs, file=1, node=0):
+    return TraceFrame.from_records([
+        Record(time=float(i), node=node, job=0, kind=EventKind.WRITE,
+               file=file, offset=off, size=sz)
+        for i, (off, sz) in enumerate(pairs)
+    ])
+
+
+class TestWriteThrough:
+    def test_one_disk_write_per_request_block(self):
+        frame = _writes([(i * 100, 100) for i in range(10)])
+        res = simulate_writeback(frame, 64, policy="write-through", n_io_nodes=1)
+        assert res.disk_writes == 10
+        assert res.bytes_written_to_disk == 1000
+
+    def test_block_spanning_request_writes_twice(self):
+        frame = _writes([(4000, 200)])  # straddles blocks 0 and 1
+        res = simulate_writeback(frame, 64, policy="write-through", n_io_nodes=1)
+        assert res.disk_writes == 2
+
+
+class TestWriteBack:
+    def test_sequential_small_writes_coalesce_per_block(self):
+        # 40 x 100B = one block + part of the next: two disk writes total
+        frame = _writes([(i * 100, 100) for i in range(41)])
+        res = simulate_writeback(frame, 64, policy="write-back", n_io_nodes=1)
+        assert res.disk_writes == 2
+        assert res.bytes_written_to_disk == 4100
+
+    def test_eviction_flushes_dirty_block(self):
+        # two blocks dirtied with a 1-buffer cache: first flushes on eviction
+        frame = _writes([(0, 100), (4096, 100)])
+        res = simulate_writeback(frame, 1, policy="write-back", n_io_nodes=1)
+        assert res.disk_writes == 2
+
+    def test_rereads_do_not_flush(self):
+        records = [
+            Record(time=0.0, node=0, job=0, kind=EventKind.WRITE, file=1, offset=0, size=100),
+            Record(time=1.0, node=0, job=0, kind=EventKind.READ, file=1, offset=0, size=100),
+        ]
+        frame = TraceFrame.from_records(records)
+        res = simulate_writeback(frame, 8, policy="write-back", n_io_nodes=1)
+        assert res.disk_writes == 1  # only the final flush
+
+
+class TestWriteFull:
+    def test_flushes_exactly_when_block_fills(self):
+        # 4096 bytes in 4 writes fills block 0 -> flushed at the 4th write
+        frame = _writes([(i * 1024, 1024) for i in range(4)])
+        res = simulate_writeback(frame, 64, policy="write-full", n_io_nodes=1)
+        assert res.disk_writes == 1
+        assert res.bytes_written_to_disk == 4096
+
+    def test_partial_block_flushes_at_end(self):
+        frame = _writes([(0, 1000)])
+        res = simulate_writeback(frame, 64, policy="write-full", n_io_nodes=1)
+        assert res.disk_writes == 1
+        assert res.bytes_written_to_disk == 1000
+
+
+class TestComparison:
+    def test_policy_ordering_on_workload(self, small_frame):
+        results = compare_write_policies(small_frame, 500)
+        wt = results["write-through"]
+        wb = results["write-back"]
+        wf = results["write-full"]
+        # delayed writes never do more disk writes than write-through
+        assert wb.disk_writes <= wt.disk_writes
+        assert wf.disk_writes <= wt.disk_writes
+        # and cost less disk time
+        assert wb.disk_busy_seconds < wt.disk_busy_seconds
+        # WriteFull's flushes are sequential: cheapest of all
+        assert wf.disk_busy_seconds <= wb.disk_busy_seconds
+
+    def test_same_request_counts(self, small_frame):
+        results = compare_write_policies(small_frame, 500)
+        counts = {r.write_requests for r in results.values()}
+        assert len(counts) == 1
+
+    def test_no_bytes_lost(self, small_frame):
+        # every dirtied byte reaches a disk under the delayed policies
+        wt = simulate_writeback(small_frame, 500, policy="write-through")
+        wb = simulate_writeback(small_frame, 500, policy="write-back")
+        assert wb.bytes_written_to_disk <= wt.bytes_written_to_disk
+        assert wb.bytes_written_to_disk > 0
+
+
+class TestValidation:
+    def test_unknown_policy(self, micro_frame):
+        with pytest.raises(CacheConfigError):
+            simulate_writeback(micro_frame, 10, policy="write-sometimes")
+
+    def test_negative_buffers(self, micro_frame):
+        with pytest.raises(CacheConfigError):
+            simulate_writeback(micro_frame, -1)
+
+    def test_policy_registry(self):
+        assert set(POLICIES) == {"write-through", "write-back", "write-full"}

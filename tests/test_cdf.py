@@ -1,0 +1,134 @@
+"""Tests for repro.util.cdf."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.cdf import EmpiricalCDF
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestBasics:
+    def test_at_matches_paper_definition(self):
+        # "CDF(x) represents the fraction of all files that had x or fewer bytes"
+        cdf = EmpiricalCDF([1, 2, 3, 4])
+        assert cdf.at(2) == 0.5
+        assert cdf.at(2.5) == 0.5
+        assert cdf.at(4) == 1.0
+        assert cdf.at(0.5) == 0.0
+
+    def test_below_is_strict(self):
+        cdf = EmpiricalCDF([1, 2, 2, 3])
+        assert cdf.below(2) == 0.25
+        assert cdf.at(2) == 0.75
+
+    def test_fraction_equal_measures_spikes(self):
+        cdf = EmpiricalCDF([0, 100, 100, 100, 200])
+        assert cdf.fraction_equal(100) == pytest.approx(0.6)
+        assert cdf.fraction_equal(50) == 0.0
+
+    def test_len_and_extremes(self):
+        cdf = EmpiricalCDF([5, 1, 3])
+        assert len(cdf) == 3
+        assert cdf.min == 1
+        assert cdf.max == 5
+
+    def test_empty_cdf_rejects_queries(self):
+        cdf = EmpiricalCDF([])
+        with pytest.raises(ValueError):
+            cdf.at(1)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF(np.zeros((2, 2)))
+
+    def test_callable_vectorized(self):
+        cdf = EmpiricalCDF([1, 2, 3, 4])
+        out = cdf(np.array([0, 2, 9]))
+        assert list(out) == [0.0, 0.5, 1.0]
+
+
+class TestWeights:
+    def test_byte_weighting(self):
+        # two requests of 1 byte, one of 98: count CDF vs byte CDF diverge
+        sizes = [1, 1, 98]
+        by_count = EmpiricalCDF(sizes)
+        by_bytes = EmpiricalCDF(sizes, weights=sizes)
+        assert by_count.at(1) == pytest.approx(2 / 3)
+        assert by_bytes.at(1) == pytest.approx(2 / 100)
+
+    def test_weight_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1, 2], weights=[1.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1, 2], weights=[1, -1])
+
+    def test_zero_total_weight(self):
+        cdf = EmpiricalCDF([1, 2], weights=[0, 0])
+        assert cdf.at(5) == 0.0
+
+
+class TestQuantiles:
+    def test_median_of_odd(self):
+        assert EmpiricalCDF([1, 2, 3]).median == 2
+
+    def test_quantile_bounds(self):
+        cdf = EmpiricalCDF([10, 20, 30])
+        assert cdf.quantile(0.0) == 10
+        assert cdf.quantile(1.0) == 30
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([1]).quantile(1.5)
+
+    def test_weighted_mean(self):
+        cdf = EmpiricalCDF([1, 3], weights=[3, 1])
+        assert cdf.mean() == pytest.approx(1.5)
+
+
+class TestSteps:
+    def test_steps_end_at_one(self):
+        xs, ys = EmpiricalCDF([3, 1, 2, 2]).steps()
+        assert list(xs) == [1, 2, 3]
+        assert ys[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(ys) >= 0)
+
+    def test_tabulate(self):
+        cdf = EmpiricalCDF([1, 2, 3, 4])
+        assert cdf.tabulate([2, 4]) == [(2.0, 0.5), (4.0, 1.0)]
+
+
+class TestProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_monotone_nondecreasing(self, samples):
+        cdf = EmpiricalCDF(samples)
+        points = sorted(samples)
+        values = [cdf.at(p) for p in points]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_range_zero_to_one(self, samples):
+        cdf = EmpiricalCDF(samples)
+        assert cdf.at(min(samples)) > 0
+        assert cdf.at(max(samples)) == pytest.approx(1.0)
+        assert cdf.below(min(samples)) == 0.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=60), finite_floats)
+    def test_at_equals_exact_count(self, samples, x):
+        cdf = EmpiricalCDF(samples)
+        expected = sum(1 for s in samples if s <= x) / len(samples)
+        assert cdf.at(x) == pytest.approx(expected)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=40),
+        st.floats(min_value=0, max_value=1),
+    )
+    def test_quantile_inverts_at(self, samples, q):
+        cdf = EmpiricalCDF(samples)
+        v = cdf.quantile(q)
+        assert cdf.at(v) >= q - 1e-12

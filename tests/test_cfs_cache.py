@@ -1,0 +1,73 @@
+"""Tests for repro.cfs.cache: the live I/O-node block cache."""
+
+import pytest
+
+from repro.cfs.cache import BlockCache, CacheStats
+from repro.errors import CacheConfigError
+
+
+class TestCacheStats:
+    def test_hit_rate(self):
+        s = CacheStats(hits=3, misses=1)
+        assert s.accesses == 4
+        assert s.hit_rate == 0.75
+
+    def test_idle_hit_rate_zero(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_merge(self):
+        a = CacheStats(hits=1, misses=2, evictions=3, writes_through=4)
+        b = CacheStats(hits=10, misses=20, evictions=30, writes_through=40)
+        m = a.merge(b)
+        assert (m.hits, m.misses, m.evictions, m.writes_through) == (11, 22, 33, 44)
+
+
+class TestBlockCache:
+    def test_miss_then_hit(self):
+        c = BlockCache(4)
+        assert not c.access(1, 0)
+        assert c.access(1, 0)
+        assert c.stats.hits == 1 and c.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        c = BlockCache(2)
+        c.access(1, 0)
+        c.access(1, 1)
+        c.access(1, 0)      # refresh block 0
+        c.access(1, 2)      # evicts block 1 (least recent)
+        assert (1, 0) in c
+        assert (1, 1) not in c
+        assert c.stats.evictions == 1
+
+    def test_capacity_zero_never_hits(self):
+        c = BlockCache(0)
+        c.access(1, 0)
+        c.access(1, 0)
+        assert c.stats.hits == 0
+        assert len(c) == 0
+
+    def test_writes_install_and_count(self):
+        c = BlockCache(4)
+        c.access(1, 0, is_write=True)
+        assert c.stats.writes_through == 1
+        assert c.access(1, 0)  # read hit after write
+
+    def test_invalidate_file(self):
+        c = BlockCache(8)
+        for b in range(3):
+            c.access(1, b)
+        c.access(2, 0)
+        assert c.invalidate_file(1) == 3
+        assert (2, 0) in c
+        assert len(c) == 1
+
+    def test_resident_order_lru_first(self):
+        c = BlockCache(3)
+        c.access(1, 0)
+        c.access(1, 1)
+        c.access(1, 0)
+        assert c.resident_blocks() == [(1, 1), (1, 0)]
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(CacheConfigError):
+            BlockCache(-1)

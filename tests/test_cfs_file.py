@@ -1,0 +1,135 @@
+"""Tests for repro.cfs.file: sparse data and shared-pointer groups."""
+
+import pytest
+
+from repro.cfs.file import CFSFile, SharedPointerGroup
+from repro.cfs.modes import IOMode
+from repro.errors import CFSError, ModeViolationError
+
+
+class TestCFSFileData:
+    def test_write_then_read(self):
+        f = CFSFile("x", 0)
+        f.write_at(0, b"hello")
+        assert f.read_at(0, 5) == b"hello"
+        assert f.size == 5
+
+    def test_holes_read_as_zeros(self):
+        f = CFSFile("x", 0)
+        f.write_at(10000, b"z")
+        assert f.read_at(0, 4) == b"\x00" * 4
+        assert f.size == 10001
+
+    def test_read_past_eof_is_short(self):
+        f = CFSFile("x", 0)
+        f.write_at(0, b"abc")
+        assert f.read_at(1, 100) == b"bc"
+        assert f.read_at(50, 10) == b""
+
+    def test_cross_block_write(self):
+        f = CFSFile("x", 0, block_size=8)
+        f.write_at(5, b"0123456789")
+        assert f.read_at(5, 10) == b"0123456789"
+        assert f.n_allocated_blocks == 2
+
+    def test_new_block_accounting(self):
+        f = CFSFile("x", 0, block_size=8)
+        assert f.write_at(0, b"ab") == 1
+        assert f.write_at(2, b"cd") == 0  # same block
+        assert f.write_at(8, b"ef") == 1
+
+    def test_overwrite_keeps_size(self):
+        f = CFSFile("x", 0)
+        f.write_at(0, b"abcdef")
+        f.write_at(0, b"XY")
+        assert f.read_at(0, 6) == b"XYcdef"
+        assert f.size == 6
+
+    def test_extend_to(self):
+        f = CFSFile("x", 0)
+        f.extend_to(1000)
+        assert f.size == 1000
+        assert f.read_at(0, 5) == b"\x00" * 5
+        with pytest.raises(CFSError):
+            f.extend_to(10)
+
+    def test_negative_offsets_rejected(self):
+        f = CFSFile("x", 0)
+        with pytest.raises(CFSError):
+            f.read_at(-1, 4)
+        with pytest.raises(CFSError):
+            f.write_at(-1, b"a")
+
+
+class TestSharedPointerGroup:
+    def test_requires_shared_mode(self):
+        with pytest.raises(CFSError):
+            SharedPointerGroup(IOMode.INDEPENDENT)
+
+    def test_mode1_any_order(self):
+        g = SharedPointerGroup(IOMode.SHARED)
+        g.register(0)
+        g.register(1)
+        assert g.claim(1, 10) == 0
+        assert g.claim(1, 5) == 10
+        assert g.claim(0, 5) == 15
+
+    def test_mode2_enforces_round_robin(self):
+        g = SharedPointerGroup(IOMode.ROUND_ROBIN)
+        g.register(0)
+        g.register(1)
+        assert g.claim(0, 10) == 0
+        with pytest.raises(ModeViolationError):
+            g.claim(0, 10)  # node 1's turn
+        assert g.claim(1, 20) == 10
+
+    def test_mode3_pins_request_size(self):
+        g = SharedPointerGroup(IOMode.ROUND_ROBIN_FIXED)
+        g.register(0)
+        g.register(1)
+        g.claim(0, 64)
+        g.claim(1, 64)
+        with pytest.raises(ModeViolationError):
+            g.claim(0, 65)
+
+    def test_unregistered_node_rejected(self):
+        g = SharedPointerGroup(IOMode.SHARED)
+        g.register(0)
+        with pytest.raises(CFSError):
+            g.claim(5, 1)
+
+    def test_double_register_rejected(self):
+        g = SharedPointerGroup(IOMode.SHARED)
+        g.register(0)
+        with pytest.raises(CFSError):
+            g.register(0)
+
+    def test_unregister_resets_turn(self):
+        g = SharedPointerGroup(IOMode.ROUND_ROBIN)
+        g.register(0)
+        g.register(1)
+        g.claim(0, 1)
+        g.unregister(1)
+        assert g.claim(0, 1) == 1  # node 0 is the whole rotation now
+
+
+class TestGroupsOnFile:
+    def test_group_per_job(self):
+        f = CFSFile("x", 0)
+        g0 = f.group_for(0, IOMode.SHARED)
+        g1 = f.group_for(1, IOMode.SHARED)
+        assert g0 is not g1
+        assert f.group_for(0, IOMode.SHARED) is g0
+
+    def test_mode_conflict_within_job(self):
+        f = CFSFile("x", 0)
+        f.group_for(0, IOMode.SHARED)
+        with pytest.raises(ModeViolationError):
+            f.group_for(0, IOMode.ROUND_ROBIN)
+
+    def test_drop_last_member_removes_group(self):
+        f = CFSFile("x", 0)
+        g = f.group_for(0, IOMode.SHARED)
+        g.register(3)
+        f.drop_group_member(0, 3)
+        assert 0 not in f.groups

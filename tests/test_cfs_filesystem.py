@@ -1,0 +1,186 @@
+"""Tests for repro.cfs.filesystem: the functional Concurrent File System."""
+
+import pytest
+
+from repro.cfs.filesystem import ConcurrentFileSystem
+from repro.cfs.modes import IOMode
+from repro.errors import CFSError, FileNotOpenError, ModeViolationError
+from repro.trace.records import OpenFlags
+
+RW = OpenFlags.READ | OpenFlags.WRITE
+
+
+def make_fs(**kw):
+    kw.setdefault("n_io_nodes", 4)
+    return ConcurrentFileSystem(**kw)
+
+
+class TestNamespace:
+    def test_create_and_stat(self):
+        fs = make_fs()
+        fs.open("/a", 0, 0, OpenFlags.WRITE | OpenFlags.CREATE)
+        assert fs.exists("/a")
+        assert fs.stat("/a").size == 0
+
+    def test_open_missing_without_create(self):
+        with pytest.raises(CFSError):
+            make_fs().open("/nope", 0, 0, OpenFlags.READ)
+
+    def test_unlink_removes_name(self):
+        fs = make_fs()
+        fd = fs.open("/a", 0, 0, OpenFlags.WRITE | OpenFlags.CREATE)
+        fs.write(fd, b"data")
+        fs.close(fd)
+        fs.unlink("/a", 0)
+        assert not fs.exists("/a")
+        assert fs.disk_usage()[0] == 0  # blocks released
+
+    def test_unlinked_file_keeps_working_through_open_fd(self):
+        fs = make_fs()
+        fd = fs.open("/a", 0, 0, RW | OpenFlags.CREATE)
+        fs.write(fd, b"hello")
+        fs.unlink("/a", 0)
+        fs.lseek(fd, 0)
+        assert fs.read(fd, 5) == b"hello"
+
+    def test_trunc_resets(self):
+        fs = make_fs()
+        fd = fs.open("/a", 0, 0, OpenFlags.WRITE | OpenFlags.CREATE)
+        fs.write(fd, b"x" * 5000)
+        fs.close(fd)
+        fd = fs.open("/a", 0, 0, OpenFlags.WRITE | OpenFlags.TRUNC)
+        assert fs.stat("/a").size == 0
+        assert fs.disk_usage()[0] == 0
+
+    def test_prepopulate(self):
+        fs = make_fs()
+        fs.prepopulate("/input", 10_000)
+        assert fs.stat("/input").size == 10_000
+        fd = fs.open("/input", 0, 0, OpenFlags.READ)
+        assert fs.read(fd, 4) == b"\x00" * 4
+        with pytest.raises(CFSError):
+            fs.prepopulate("/input", 5)
+
+
+class TestMode0IO:
+    def test_pointer_advances(self):
+        fs = make_fs()
+        fd = fs.open("/a", 0, 0, RW | OpenFlags.CREATE)
+        fs.write(fd, b"abcdef")
+        fs.lseek(fd, 2)
+        assert fs.read(fd, 2) == b"cd"
+        assert fs.read(fd, 2) == b"ef"
+
+    def test_independent_pointers_per_fd(self):
+        fs = make_fs()
+        fs.prepopulate("/in", 100)
+        fd0 = fs.open("/in", 0, 0, OpenFlags.READ)
+        fd1 = fs.open("/in", 1, 0, OpenFlags.READ)
+        fs.read(fd0, 50)
+        assert fs._handles[fd1].pointer == 0
+
+    def test_permission_enforcement(self):
+        fs = make_fs()
+        fd = fs.open("/a", 0, 0, OpenFlags.WRITE | OpenFlags.CREATE)
+        with pytest.raises(CFSError):
+            fs.read(fd, 1)
+        fs.close(fd)
+        fd = fs.open("/a", 0, 0, OpenFlags.READ)
+        with pytest.raises(CFSError):
+            fs.write(fd, b"x")
+
+    def test_closed_fd_rejected(self):
+        fs = make_fs()
+        fd = fs.open("/a", 0, 0, OpenFlags.WRITE | OpenFlags.CREATE)
+        fs.close(fd)
+        with pytest.raises(FileNotOpenError):
+            fs.write(fd, b"x")
+
+    def test_seek_validation(self):
+        fs = make_fs()
+        fd = fs.open("/a", 0, 0, OpenFlags.WRITE | OpenFlags.CREATE)
+        with pytest.raises(CFSError):
+            fs.lseek(fd, -1)
+
+    def test_byte_counters(self):
+        fs = make_fs()
+        fd = fs.open("/a", 0, 0, RW | OpenFlags.CREATE)
+        fs.write(fd, b"abc")
+        fs.lseek(fd, 0)
+        fs.read(fd, 3)
+        h = fs._handles[fd]
+        assert (h.bytes_written, h.bytes_read) == (3, 3)
+
+
+class TestSharedPointerModes:
+    def test_mode1_appends_interleave(self):
+        fs = make_fs()
+        fds = [
+            fs.open("/s", node, 0, OpenFlags.WRITE | OpenFlags.CREATE, IOMode.SHARED)
+            for node in (0, 1)
+        ]
+        fs.write(fds[0], b"aa")
+        fs.write(fds[1], b"bb")
+        fs.write(fds[0], b"cc")
+        fs.close(fds[0])
+        fs.close(fds[1])
+        fd = fs.open("/s", 0, 1, OpenFlags.READ)
+        assert fs.read(fd, 6) == b"aabbcc"
+
+    def test_mode2_rejects_out_of_turn(self):
+        fs = make_fs()
+        fds = [
+            fs.open("/s", node, 0, OpenFlags.WRITE | OpenFlags.CREATE, IOMode.ROUND_ROBIN)
+            for node in (0, 1)
+        ]
+        fs.write(fds[0], b"a")
+        with pytest.raises(ModeViolationError):
+            fs.write(fds[0], b"b")
+
+    def test_mode3_fixed_sizes(self):
+        fs = make_fs()
+        fds = [
+            fs.open("/s", node, 0, OpenFlags.WRITE | OpenFlags.CREATE, IOMode.ROUND_ROBIN_FIXED)
+            for node in (0, 1)
+        ]
+        fs.write(fds[0], b"xxxx")
+        with pytest.raises(ModeViolationError):
+            fs.write(fds[1], b"yy")
+
+    def test_seek_forbidden_in_shared_modes(self):
+        fs = make_fs()
+        fd = fs.open("/s", 0, 0, OpenFlags.WRITE | OpenFlags.CREATE, IOMode.SHARED)
+        with pytest.raises(ModeViolationError):
+            fs.lseek(fd, 0)
+
+
+class TestStripingIntegration:
+    def test_writes_charge_striped_disks(self):
+        fs = make_fs(n_io_nodes=4)
+        fd = fs.open("/a", 0, 0, OpenFlags.WRITE | OpenFlags.CREATE)
+        fs.write(fd, b"\x00" * (4096 * 8))  # 8 blocks over 4 disks
+        used = [d.used for d in fs.disks]
+        assert used == [2 * 4096] * 4
+
+    def test_cache_hits_on_rereads(self):
+        fs = make_fs(cache_buffers_per_node=16)
+        fs.prepopulate("/in", 4096)
+        for node in range(3):
+            fd = fs.open("/in", node, 0, OpenFlags.READ)
+            fs.read(fd, 4096)
+        stats = fs.cache_stats()
+        assert stats.misses == 1
+        assert stats.hits == 2
+
+    def test_open_fd_count(self):
+        fs = make_fs()
+        fd = fs.open("/a", 0, 0, OpenFlags.WRITE | OpenFlags.CREATE)
+        assert fs.open_fds == 1
+        fs.close(fd)
+        assert fs.open_fds == 0
+
+    def test_mismatched_disks_rejected(self):
+        from repro.machine.disk import Disk
+
+        with pytest.raises(CFSError):
+            ConcurrentFileSystem(n_io_nodes=4, disks=[Disk()])

@@ -1,0 +1,121 @@
+"""Tests for repro.cfs.instrument: the traced CFS library."""
+
+import pytest
+
+from repro.cfs.filesystem import ConcurrentFileSystem
+from repro.cfs.instrument import InstrumentedCFS
+from repro.cfs.modes import IOMode
+from repro.trace.collector import Collector
+from repro.trace.postprocess import postprocess
+from repro.trace.records import EventKind, OpenFlags, TraceHeader
+from repro.trace.writer import TraceWriter
+
+
+@pytest.fixture()
+def icfs():
+    fs = ConcurrentFileSystem(n_io_nodes=4)
+    collector = Collector(TraceHeader())
+    clock = {"t": 0.0}
+
+    def clock_for(node):
+        def read():
+            clock["t"] += 0.001
+            return clock["t"]
+        return read
+
+    writer = TraceWriter(collector, clock_for)
+    return InstrumentedCFS(fs, writer, clock_for), collector
+
+
+class TestTracedCalls:
+    def test_every_call_emits_one_record(self, icfs):
+        traced, collector = icfs
+        fd = traced.open("/a", 0, 0, OpenFlags.READ | OpenFlags.WRITE | OpenFlags.CREATE)
+        traced.write(fd, b"abcd")
+        traced.lseek(fd, 0)
+        traced.read(fd, 4)
+        traced.close(fd)
+        traced.unlink("/a", 0, 0)
+        traced.finish()
+        records = collector.finish().records()
+        kinds = [r.kind for r in records]
+        assert kinds == [
+            EventKind.OPEN, EventKind.WRITE, EventKind.SEEK,
+            EventKind.READ, EventKind.CLOSE, EventKind.DELETE,
+        ]
+        assert traced.calls_traced == 6
+
+    def test_read_record_carries_served_offset(self, icfs):
+        traced, collector = icfs
+        fd = traced.open("/a", 2, 1, OpenFlags.READ | OpenFlags.WRITE | OpenFlags.CREATE)
+        traced.write(fd, b"0123456789")
+        traced.lseek(fd, 4)
+        traced.read(fd, 3)
+        traced.finish()
+        read_rec = [r for r in collector.finish().records() if r.kind == EventKind.READ][0]
+        assert read_rec.offset == 4
+        assert read_rec.size == 3
+        assert read_rec.node == 2 and read_rec.job == 1
+
+    def test_short_read_records_actual_bytes(self, icfs):
+        traced, collector = icfs
+        fd = traced.open("/a", 0, 0, OpenFlags.READ | OpenFlags.WRITE | OpenFlags.CREATE)
+        traced.write(fd, b"abc")
+        traced.lseek(fd, 1)
+        data = traced.read(fd, 100)
+        assert data == b"bc"
+        traced.finish()
+        read_rec = [r for r in collector.finish().records() if r.kind == EventKind.READ][0]
+        assert read_rec.size == 2
+
+    def test_open_record_carries_mode_and_traced_flag(self, icfs):
+        traced, collector = icfs
+        fds = [
+            traced.open("/s", node, 0, OpenFlags.WRITE | OpenFlags.CREATE, IOMode.SHARED)
+            for node in (0, 1)
+        ]
+        traced.finish()
+        opens = [r for r in collector.finish().records() if r.kind == EventKind.OPEN]
+        assert all(r.mode == 1 for r in opens)
+        assert all(r.flags & OpenFlags.TRACED for r in opens)
+
+    def test_shared_mode_write_offsets_recorded(self, icfs):
+        traced, collector = icfs
+        fds = {
+            node: traced.open("/s", node, 0, OpenFlags.WRITE | OpenFlags.CREATE, IOMode.SHARED)
+            for node in (0, 1)
+        }
+        traced.write(fds[0], b"aa")
+        traced.write(fds[1], b"bbb")
+        traced.write(fds[0], b"c")
+        traced.finish()
+        # the raw trace is only partially ordered (per-node buffers), so
+        # restore issue order by timestamp before checking the offsets
+        writes = sorted(
+            (r for r in collector.finish().records() if r.kind == EventKind.WRITE),
+            key=lambda r: r.time,
+        )
+        assert [(w.offset, w.size) for w in writes] == [(0, 2), (2, 3), (5, 1)]
+
+    def test_job_markers(self, icfs):
+        traced, collector = icfs
+        traced.job_start(7, base_node=8, n_nodes=16)
+        traced.job_end(7, base_node=8)
+        traced.finish()
+        records = collector.finish().records()
+        assert records[0].kind == EventKind.JOB_START
+        assert records[0].size == 16
+        assert records[1].kind == EventKind.JOB_END
+
+    def test_trace_postprocesses_cleanly(self, icfs):
+        traced, collector = icfs
+        traced.job_start(0, 0, 2)
+        fd = traced.open("/a", 0, 0, OpenFlags.WRITE | OpenFlags.CREATE)
+        for i in range(200):
+            traced.write(fd, b"x" * 64)
+        traced.close(fd)
+        traced.job_end(0, 0)
+        traced.finish()
+        frame = postprocess(collector.finish())
+        frame.validate()
+        assert len(frame.writes) == 200

@@ -1,0 +1,175 @@
+"""Reference-model property test for the Concurrent File System.
+
+Hypothesis drives random operation sequences against both the striped,
+sparse, cached CFS and a trivial in-memory model (one bytearray per
+file).  Any divergence in read results, file sizes, or existence is a
+bug in the interesting implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cfs.filesystem import ConcurrentFileSystem
+from repro.cfs.modes import IOMode
+from repro.errors import CFSError
+from repro.trace.records import OpenFlags
+
+NAMES = ("/a", "/b", "/c")
+
+op_strategy = st.one_of(
+    st.tuples(st.just("open_rw"), st.sampled_from(NAMES)),
+    st.tuples(st.just("close"), st.sampled_from(NAMES)),
+    st.tuples(
+        st.just("write"),
+        st.sampled_from(NAMES),
+        st.integers(0, 3_000),          # seek offset
+        st.binary(min_size=1, max_size=9_000),
+    ),
+    st.tuples(
+        st.just("read"),
+        st.sampled_from(NAMES),
+        st.integers(0, 12_000),         # seek offset
+        st.integers(0, 9_000),          # length
+    ),
+    st.tuples(st.just("unlink"), st.sampled_from(NAMES)),
+)
+
+
+class ReferenceFS:
+    """The obviously-correct model: one growable bytearray per name."""
+
+    def __init__(self) -> None:
+        self.files: dict[str, bytearray] = {}
+
+    def open_rw(self, name):
+        self.files.setdefault(name, bytearray())
+
+    def write(self, name, offset, data):
+        if name not in self.files:
+            return None
+        buf = self.files[name]
+        end = offset + len(data)
+        if end > len(buf):
+            buf.extend(b"\x00" * (end - len(buf)))
+        buf[offset:end] = data
+        return len(data)
+
+    def read(self, name, offset, length):
+        if name not in self.files:
+            return None
+        buf = self.files[name]
+        return bytes(buf[offset:offset + length])
+
+    def unlink(self, name):
+        self.files.pop(name, None)
+
+    def size(self, name):
+        buf = self.files.get(name)
+        return None if buf is None else len(buf)
+
+
+@given(st.lists(op_strategy, max_size=60), st.integers(1, 12))
+@settings(max_examples=80, deadline=None)
+def test_cfs_matches_reference_model(ops, n_io_nodes):
+    fs = ConcurrentFileSystem(n_io_nodes=n_io_nodes, cache_buffers_per_node=8)
+    # keep disks from filling in pathological sequences
+    for disk in fs.disks:
+        disk.capacity = 1 << 40
+    ref = ReferenceFS()
+    fds: dict[str, int] = {}
+
+    def ensure_open(name) -> int | None:
+        if name in fds:
+            return fds[name]
+        if not fs.exists(name) and name not in ref.files:
+            return None
+        fd = fs.open(name, node=0, job=0,
+                     flags=OpenFlags.READ | OpenFlags.WRITE,
+                     mode=IOMode.INDEPENDENT)
+        fds[name] = fd
+        return fd
+
+    for op in ops:
+        kind = op[0]
+        name = op[1]
+        if kind == "open_rw":
+            if name not in ref.files:
+                fd = fs.open(name, node=0, job=0,
+                             flags=OpenFlags.READ | OpenFlags.WRITE | OpenFlags.CREATE,
+                             mode=IOMode.INDEPENDENT)
+                fds[name] = fd
+                ref.open_rw(name)
+        elif kind == "close":
+            fd = fds.pop(name, None)
+            if fd is not None:
+                fs.close(fd)
+        elif kind == "write":
+            _, _, offset, data = op
+            fd = ensure_open(name)
+            expected = ref.write(name, offset, data)
+            if fd is None or expected is None:
+                continue
+            fs.lseek(fd, offset)
+            assert fs.write(fd, data) == expected
+        elif kind == "read":
+            _, _, offset, length = op
+            fd = ensure_open(name)
+            expected = ref.read(name, offset, length)
+            if fd is None or expected is None:
+                continue
+            fs.lseek(fd, offset)
+            assert fs.read(fd, length) == expected
+        elif kind == "unlink":
+            if name in ref.files:
+                # drop our open handle first (the model has no fd notion)
+                fd = fds.pop(name, None)
+                if fd is not None:
+                    fs.close(fd)
+                fs.unlink(name, job=0)
+                ref.unlink(name)
+
+    # final state agreement
+    for name in NAMES:
+        ref_size = ref.size(name)
+        if ref_size is None:
+            assert not fs.exists(name)
+        else:
+            assert fs.exists(name)
+            assert fs.stat(name).size == ref_size
+            fd = ensure_open(name)
+            fs.lseek(fd, 0)
+            assert fs.read(fd, ref_size + 10) == ref.read(name, 0, ref_size + 10)
+
+
+@given(st.lists(op_strategy, max_size=40), st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_disk_accounting_matches_allocated_blocks(ops, n_io_nodes):
+    """Disk usage always equals 4 KB times the allocated block count."""
+    fs = ConcurrentFileSystem(n_io_nodes=n_io_nodes)
+    for disk in fs.disks:
+        disk.capacity = 1 << 40
+    fds: dict[str, int] = {}
+    for op in ops:
+        kind, name = op[0], op[1]
+        try:
+            if kind == "open_rw":
+                if name not in fds and not fs.exists(name):
+                    fds[name] = fs.open(
+                        name, 0, 0,
+                        OpenFlags.READ | OpenFlags.WRITE | OpenFlags.CREATE,
+                    )
+            elif kind == "write" and name in fds:
+                fs.lseek(fds[name], op[2])
+                fs.write(fds[name], op[3])
+            elif kind == "unlink" and fs.exists(name):
+                fd = fds.pop(name, None)
+                if fd is not None:
+                    fs.close(fd)
+                fs.unlink(name, job=0)
+        except CFSError:
+            pass
+    used, _ = fs.disk_usage()
+    allocated = sum(f.n_allocated_blocks for f in fs.files())
+    assert used == allocated * 4096

@@ -1,0 +1,145 @@
+"""Tests for the strided-transfer CFS API (§5's recommended interface)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cfs.filesystem import ConcurrentFileSystem
+from repro.cfs.instrument import InstrumentedCFS
+from repro.cfs.modes import IOMode
+from repro.errors import CFSError, ModeViolationError
+from repro.trace.collector import Collector
+from repro.trace.records import EventKind, OpenFlags, TraceHeader
+from repro.trace.writer import TraceWriter
+
+RW = OpenFlags.READ | OpenFlags.WRITE | OpenFlags.CREATE
+
+
+def _fs():
+    fs = ConcurrentFileSystem(n_io_nodes=4)
+    for d in fs.disks:
+        d.capacity = 1 << 40
+    return fs
+
+
+class TestWriteStrided:
+    def test_segments_land_at_strides(self):
+        fs = _fs()
+        fd = fs.open("/m", 0, 0, RW)
+        fs.write_strided(fd, b"AABBCC", stride=5, count=3)
+        fs.lseek(fd, 0)
+        assert fs.read(fd, 13) == b"AA\x00\x00\x00BB\x00\x00\x00CC"
+
+    def test_pointer_after_last_segment(self):
+        fs = _fs()
+        fd = fs.open("/m", 0, 0, RW)
+        fs.write_strided(fd, b"xxyy", stride=10, count=2)
+        assert fs._handles[fd].pointer == 12
+
+    def test_uneven_split_rejected(self):
+        fs = _fs()
+        fd = fs.open("/m", 0, 0, RW)
+        with pytest.raises(CFSError):
+            fs.write_strided(fd, b"abcde", stride=10, count=2)
+
+    def test_overlapping_stride_rejected(self):
+        fs = _fs()
+        fd = fs.open("/m", 0, 0, RW)
+        with pytest.raises(CFSError):
+            fs.write_strided(fd, b"abcd", stride=1, count=2)
+
+
+class TestReadStrided:
+    def test_gathers_segments(self):
+        fs = _fs()
+        fd = fs.open("/m", 0, 0, RW)
+        fs.write(fd, b"0123456789" * 3)
+        fs.lseek(fd, 0)
+        assert fs.read_strided(fd, size=2, stride=10, count=3) == b"010101"
+
+    def test_short_final_segment_at_eof(self):
+        fs = _fs()
+        fd = fs.open("/m", 0, 0, RW)
+        fs.write(fd, b"abcdef")
+        fs.lseek(fd, 4)
+        # first segment [4,6) -> "ef", second starts past EOF
+        assert fs.read_strided(fd, size=2, stride=4, count=3) == b"ef"
+
+    def test_equivalent_to_loop_of_reads(self):
+        fs = _fs()
+        fd = fs.open("/m", 0, 0, RW)
+        payload = bytes(range(256)) * 40
+        fs.write(fd, payload)
+        fs.lseek(fd, 3)
+        strided = fs.read_strided(fd, size=7, stride=100, count=12)
+        loop = b""
+        for i in range(12):
+            fs.lseek(fd, 3 + i * 100)
+            loop += fs.read(fd, 7)
+        assert strided == loop
+
+    def test_shared_modes_rejected(self):
+        fs = _fs()
+        fd = fs.open("/m", 0, 0, OpenFlags.WRITE | OpenFlags.CREATE, IOMode.SHARED)
+        with pytest.raises(ModeViolationError):
+            fs.read_strided(fd, 4, 8, 2)
+
+    @given(
+        st.integers(1, 64),       # size
+        st.integers(0, 128),      # gap
+        st.integers(1, 20),       # count
+        st.integers(0, 100),      # start
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_strided_roundtrip(self, size, gap, count, start):
+        fs = _fs()
+        fd = fs.open("/m", 0, 0, RW)
+        stride = size + gap
+        payload = bytes((i % 251) for i in range(size * count))
+        fs.lseek(fd, start)
+        fs.write_strided(fd, payload, stride=stride, count=count)
+        fs.lseek(fd, start)
+        assert fs.read_strided(fd, size=size, stride=stride, count=count) == payload
+
+
+class TestInstrumentedStrided:
+    def _traced(self):
+        fs = _fs()
+        collector = Collector(TraceHeader())
+        clock = {"t": 0.0}
+
+        def clock_for(node):
+            def read():
+                clock["t"] += 0.001
+                return clock["t"]
+            return read
+
+        writer = TraceWriter(collector, clock_for)
+        return InstrumentedCFS(fs, writer, clock_for), collector
+
+    def test_one_call_many_records(self):
+        traced, collector = self._traced()
+        fd = traced.open("/m", 0, 0, RW)
+        traced.write_strided(fd, b"ab" * 5, stride=8, count=5)
+        traced.lseek(fd, 0)
+        traced.read_strided(fd, size=2, stride=8, count=5)
+        traced.finish()
+        assert traced.strided_calls == 2
+        records = collector.finish().records()
+        writes = [r for r in records if r.kind == EventKind.WRITE]
+        reads = [r for r in records if r.kind == EventKind.READ]
+        assert len(writes) == 5 and len(reads) == 5
+        assert [w.offset for w in sorted(writes, key=lambda r: r.time)] == [0, 8, 16, 24, 32]
+
+    def test_trace_remains_analyzable(self):
+        from repro.trace.postprocess import postprocess
+        from repro.core.intervals import per_file_distinct_intervals
+
+        traced, collector = self._traced()
+        fd = traced.open("/m", 0, 0, RW)
+        traced.write_strided(fd, b"x" * 40, stride=16, count=10)
+        traced.close(fd)
+        traced.finish()
+        frame = postprocess(collector.finish())
+        # one constant nonzero interval, as the strided pattern implies
+        assert list(per_file_distinct_intervals(frame).values()) == [1]

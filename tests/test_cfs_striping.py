@@ -1,0 +1,78 @@
+"""Tests for repro.cfs.striping and repro.cfs.modes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cfs.modes import IOMode
+from repro.cfs.striping import Striping
+from repro.errors import MachineError
+
+
+class TestIOMode:
+    def test_mode_semantics_table(self):
+        assert not IOMode.INDEPENDENT.shares_pointer
+        assert IOMode.SHARED.shares_pointer and not IOMode.SHARED.ordered
+        assert IOMode.ROUND_ROBIN.ordered and not IOMode.ROUND_ROBIN.fixed_size
+        assert IOMode.ROUND_ROBIN_FIXED.fixed_size
+
+    def test_int_values_match_cfs(self):
+        assert [int(m) for m in IOMode] == [0, 1, 2, 3]
+
+
+class TestStriping:
+    def test_round_robin_mapping(self):
+        s = Striping(10)
+        assert s.io_node_of_block(0) == 0
+        assert s.io_node_of_block(10) == 0
+        assert s.io_node_of_block(13) == 3
+
+    def test_offset_mapping(self):
+        s = Striping(10)
+        assert s.io_node_of_offset(4096 * 11) == 1
+
+    def test_blocks_of_extent(self):
+        s = Striping(4)
+        assert list(s.blocks_of_extent(4095, 2)) == [0, 1]
+        assert list(s.blocks_of_extent(0, 0)) == []
+
+    def test_io_nodes_of_extent_unique_sorted(self):
+        s = Striping(4)
+        nodes = s.io_nodes_of_extent(0, 4096 * 9)
+        assert list(nodes) == [0, 1, 2, 3]
+
+    def test_fan_out(self):
+        s = Striping(10)
+        assert s.request_fan_out(100, 200) == 1       # sub-block
+        assert s.request_fan_out(0, 4096 * 10) == 10  # full stripe
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(MachineError):
+            Striping(0)
+        with pytest.raises(MachineError):
+            Striping(4, block_size=0)
+
+    def test_rejects_negative_extent(self):
+        with pytest.raises(MachineError):
+            Striping(4).blocks_of_extent(-1, 10)
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=1, max_value=10**7),
+    )
+    def test_extent_block_coverage(self, n_io, offset, size):
+        s = Striping(n_io)
+        blocks = s.blocks_of_extent(offset, size)
+        # contiguous, covering exactly [offset, offset+size)
+        assert blocks[0] * 4096 <= offset
+        assert (blocks[-1] + 1) * 4096 >= offset + size
+        assert np.all(np.diff(blocks) == 1)
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=10**6))
+    def test_every_block_owned_by_one_io_node(self, n_io, block):
+        s = Striping(n_io)
+        owner = s.io_node_of_block(block)
+        assert 0 <= owner < n_io
+        # ownership is periodic with period n_io
+        assert s.io_node_of_block(block + n_io) == owner

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "trace.npz"
+    rc = main(["generate", "--scale", "0.02", "--seed", "3", "--out", str(path)])
+    assert rc == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+
+class TestCommands:
+    def test_generate_writes_trace(self, trace_path, capsys):
+        assert trace_path.exists()
+
+    def test_characterize(self, trace_path, capsys):
+        assert main(["characterize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "mode-0 files" in out
+
+    def test_characterize_on_the_fly(self, capsys):
+        assert main(["characterize", "--scale", "0.02", "--seed", "3"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_figures_single(self, trace_path, capsys):
+        assert main(["figures", str(trace_path), "--figure", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("fig3:")
+
+    def test_figures_svg_output(self, trace_path, tmp_path, capsys):
+        out = tmp_path / "figs"
+        assert main(["figures", str(trace_path), "--svg", str(out),
+                     "--figure", "fig4"]) == 0
+        files = list(out.glob("*.svg"))
+        assert len(files) == 1
+        assert files[0].read_text().startswith("<?xml")
+
+    def test_figures_all(self, trace_path, capsys):
+        assert main(["figures", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "fig9" in out
+
+    def test_cache_fig8(self, trace_path, capsys):
+        assert main(["cache", str(trace_path), "--experiment", "fig8"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_cache_fig9(self, trace_path, capsys):
+        rc = main([
+            "cache", str(trace_path), "--experiment", "fig9",
+            "--policy", "lru", "--buffers", "50", "200",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lru" in out and "200" in out
+
+    def test_cache_combined(self, trace_path, capsys):
+        assert main(["cache", str(trace_path), "--experiment", "combined"]) == 0
+        assert "reduction" in capsys.readouterr().out
+
+    def test_strided(self, trace_path, capsys):
+        assert main(["strided", str(trace_path)]) == 0
+        assert "reduction" in capsys.readouterr().out
+
+    def test_reproduce(self, trace_path, capsys):
+        assert main(["reproduce", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Caching" in out and "Strided" in out
+
+    def test_reproduce_json(self, trace_path, capsys):
+        import json
+
+        assert main(["reproduce", str(trace_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "caching" in payload and "files" in payload
+        assert 0 <= payload["requests"]["reads_small_fraction"] <= 1
+
+    def test_validate(self, trace_path, capsys):
+        main(["validate", str(trace_path)])
+        out = capsys.readouterr().out
+        assert "calibration:" in out and "mode-0" in out
+
+    def test_dump(self, trace_path, capsys):
+        assert main(["dump", str(trace_path), "--limit", "5"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert len(out) == 5

@@ -1,0 +1,59 @@
+"""Tests for repro.core.compare."""
+
+import pytest
+
+from repro.core import characterize
+from repro.core.compare import compare_reports
+from repro.workload import WorkloadGenerator, ames1993
+
+
+@pytest.fixture(scope="module")
+def two_reports():
+    from dataclasses import replace
+
+    base = ames1993(0.03)
+    a = characterize(WorkloadGenerator(base, seed=3).run("direct").frame)
+    # a write-dominated variant: the comparison should surface the shift
+    skewed = replace(
+        base,
+        name="write-heavy",
+        parallel_app_weights={"pernode": 0.85, "bcast": 0.15},
+    )
+    b = characterize(WorkloadGenerator(skewed, seed=3).run("direct").frame)
+    return a, b
+
+
+class TestCompareReports:
+    def test_identical_reports_have_zero_deltas(self, two_reports):
+        a, _ = two_reports
+        cmp = compare_reports(a, a)
+        assert all(d.delta == 0 for d in cmp.deltas)
+        assert all(d.ratio == pytest.approx(1.0) for d in cmp.deltas if d.a > 0)
+
+    def test_statistics_covered(self, two_reports):
+        a, b = two_reports
+        cmp = compare_reports(a, b)
+        names = {d.name for d in cmp.deltas}
+        assert "write-only file fraction" in names
+        assert "reads <4000B (count)" in names
+        assert len(names) >= 15
+
+    def test_write_heavy_variant_detected(self, two_reports):
+        a, b = two_reports
+        cmp = compare_reports(a, b, "ames", "write-heavy")
+        by_name = {d.name: d for d in cmp.deltas}
+        assert by_name["write-only file fraction"].delta > 0
+
+    def test_largest_shifts_ranked(self, two_reports):
+        a, b = two_reports
+        cmp = compare_reports(a, b)
+        top = cmp.largest_shifts(3)
+        assert len(top) == 3
+        # ranked output surfaces real movement first
+        assert abs(top[0].delta) > 0 or top[0].ratio != 1.0
+
+    def test_render(self, two_reports):
+        a, b = two_reports
+        text = compare_reports(a, b, "site-1", "site-2").render()
+        assert "site-1" in text and "site-2" in text
+        assert "mode-0" in text

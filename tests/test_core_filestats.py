@@ -1,0 +1,69 @@
+"""Tests for repro.core.filestats (§4.2, Figure 3)."""
+
+import pytest
+
+from repro.core.filestats import file_class_labels, file_size_cdf, population
+
+
+class TestPopulation:
+    def test_micro_classification(self, micro_frame):
+        pop = population(micro_frame)
+        assert pop.n_files == 3
+        assert pop.read_only == 1      # file 0
+        assert pop.write_only == 1     # file 1
+        assert pop.read_write == 0
+        assert pop.untouched == 1      # file 2
+        assert pop.n_opens == 4
+
+    def test_micro_temporaries(self, micro_frame):
+        pop = population(micro_frame)
+        assert pop.temporary_files == 1  # file 1: created and deleted by job 0
+        assert pop.temporary_open_fraction == pytest.approx(1 / 4)
+
+    def test_micro_byte_means(self, micro_frame):
+        pop = population(micro_frame)
+        assert pop.bytes_read_total == 400
+        assert pop.bytes_written_total == 300
+        assert pop.mean_bytes_read_per_reading_file == 400
+        assert pop.mean_bytes_written_per_writing_file == 300
+
+    def test_fractions_sum_to_one(self, micro_frame):
+        assert sum(population(micro_frame).fractions().values()) == pytest.approx(1.0)
+
+    def test_workload_class_balance(self, small_frame):
+        # §4.2's headline: write-only files far outnumber read-only
+        pop = population(small_frame)
+        assert pop.write_only > 1.5 * pop.read_only
+        assert pop.read_write < 0.15 * pop.n_files
+        assert pop.untouched < 0.15 * pop.n_files
+
+    def test_workload_rw_and_temp_are_rare(self, small_frame):
+        pop = population(small_frame)
+        assert pop.temporary_open_fraction < 0.05
+
+    def test_workload_read_files_bigger_than_written(self, small_frame):
+        # paper: 3.3 MB read vs 1.2 MB written per file
+        pop = population(small_frame)
+        assert pop.mean_bytes_read_per_reading_file > pop.mean_bytes_written_per_writing_file
+
+
+class TestFileSizeCDF:
+    def test_micro_sizes(self, micro_frame):
+        cdf = file_size_cdf(micro_frame)
+        # accessed files only: 400 (file 0) and 300 (file 1)
+        assert len(cdf) == 2
+        assert cdf.at(300) == 0.5
+
+    def test_untouched_inclusion_flag(self, micro_frame):
+        assert len(file_size_cdf(micro_frame, include_untouched=True)) == 3
+
+    def test_workload_most_files_10kb_to_1mb(self, small_frame):
+        cdf = file_size_cdf(small_frame)
+        mid_mass = cdf.at(1 << 20) - cdf.at(10 * 1024)
+        assert mid_mass > 0.5
+
+
+class TestFileClassLabels:
+    def test_micro_labels(self, micro_frame):
+        labels = file_class_labels(micro_frame)
+        assert labels == {0: "ro", 1: "wo", 2: "untouched"}

@@ -1,0 +1,100 @@
+"""Tests for repro.core.intervals (Tables 2-3)."""
+
+import pytest
+
+from repro.core.intervals import (
+    interval_size_table,
+    per_file_distinct_intervals,
+    per_file_distinct_request_sizes,
+    request_size_table,
+    zero_interval_dominance,
+)
+from repro.trace.frame import TraceFrame
+from repro.trace.records import EventKind, Record
+
+
+def _stream(file, node, pairs, t0=0.0):
+    return [
+        Record(time=t0 + 0.01 * i, node=node, job=0, kind=EventKind.READ,
+               file=file, offset=off, size=sz)
+        for i, (off, sz) in enumerate(pairs)
+    ]
+
+
+class TestDistinctIntervals:
+    def test_consecutive_has_one_zero_interval(self):
+        frame = TraceFrame.from_records(_stream(0, 0, [(0, 10), (10, 10), (20, 10)]))
+        assert per_file_distinct_intervals(frame) == {0: 1}
+
+    def test_single_request_per_node_has_zero(self):
+        records = _stream(0, 0, [(0, 10)]) + _stream(0, 1, [(10, 10)], t0=1.0)
+        frame = TraceFrame.from_records(records)
+        assert per_file_distinct_intervals(frame) == {0: 0}
+
+    def test_strided_has_one_nonzero_interval(self):
+        frame = TraceFrame.from_records(_stream(0, 0, [(0, 10), (30, 10), (60, 10)]))
+        counts = per_file_distinct_intervals(frame)
+        assert counts == {0: 1}
+
+    def test_tiled_has_two(self):
+        frame = TraceFrame.from_records(
+            _stream(0, 0, [(0, 10), (10, 10), (50, 10), (60, 10)])
+        )
+        assert per_file_distinct_intervals(frame)[0] == 2
+
+    def test_intervals_pool_across_nodes(self, micro_frame):
+        counts = per_file_distinct_intervals(micro_frame)
+        # file 0: both nodes skip 100B -> one distinct interval
+        assert counts[0] == 1
+        # file 1: consecutive writes -> one distinct (zero) interval
+        assert counts[1] == 1
+        # file 2: untouched
+        assert counts[2] == 0
+
+    def test_micro_table(self, micro_frame):
+        table = interval_size_table(micro_frame)
+        assert table == {"0": 1, "1": 2, "2": 0, "3": 0, "4+": 0}
+
+
+class TestDistinctRequestSizes:
+    def test_micro_counts(self, micro_frame):
+        counts = per_file_distinct_request_sizes(micro_frame)
+        assert counts == {0: 1, 1: 1, 2: 0}
+
+    def test_two_sizes(self):
+        frame = TraceFrame.from_records(_stream(0, 0, [(0, 16), (16, 100), (116, 100)]))
+        assert per_file_distinct_request_sizes(frame)[0] == 2
+
+    def test_micro_table(self, micro_frame):
+        table = request_size_table(micro_frame)
+        assert table == {"0": 1, "1": 2, "2": 0, "3": 0, "4+": 0}
+
+
+class TestZeroIntervalDominance:
+    def test_mostly_consecutive(self):
+        records = []
+        for f in range(10):
+            records += _stream(f, 0, [(0, 10), (10, 10)], t0=f)
+        records += _stream(10, 0, [(0, 10), (50, 10)], t0=99)
+        frame = TraceFrame.from_records(records)
+        assert zero_interval_dominance(frame) == pytest.approx(10 / 11)
+
+
+class TestWorkloadTables:
+    def test_table2_shape(self, small_frame):
+        # paper: ~95% of files have at most one distinct interval size
+        table = interval_size_table(small_frame)
+        total = sum(table.values())
+        low = (table["0"] + table["1"]) / total
+        assert low > 0.75
+        assert table["4+"] / total < 0.08
+
+    def test_table3_shape(self, small_frame):
+        # paper: >90% of files use one or two request sizes
+        table = request_size_table(small_frame)
+        total = sum(table.values())
+        assert (table["1"] + table["2"]) / total > 0.75
+
+    def test_consecutive_dominates_regular_access(self, small_frame):
+        # paper: >99% of single-interval files have interval zero
+        assert zero_interval_dominance(small_frame) > 0.9

@@ -1,0 +1,95 @@
+"""Tests for repro.core.jobstats (Figures 1-2, Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.jobstats import (
+    concurrency_profile,
+    files_per_job_table,
+    max_files_one_job,
+    node_count_distribution,
+)
+from repro.errors import AnalysisError
+from repro.trace.frame import JobTable, TraceFrame
+from repro.trace.records import EventKind, OpenFlags, Record
+
+
+class TestConcurrencyProfile:
+    def test_micro_frame_levels(self, micro_frame):
+        prof = concurrency_profile(micro_frame)
+        # job 0 on [0,1], idle [1,1.5], job 1 on [1.5,1.8]
+        assert prof.max_level == 1
+        by_level = dict(zip(prof.levels.tolist(), prof.seconds.tolist()))
+        assert by_level[0] == pytest.approx(0.5)
+        assert by_level[1] == pytest.approx(1.3)
+        assert prof.idle_fraction == pytest.approx(0.5 / 1.8)
+        assert prof.multiprogrammed_fraction == 0.0
+
+    def test_overlapping_jobs(self):
+        from repro.trace.frame import EVENT_DTYPE
+
+        jobs = JobTable.from_rows(
+            [(0, 0.0, 10.0, 1, False), (1, 2.0, 6.0, 1, False), (2, 4.0, 6.0, 1, False)]
+        )
+        frame = TraceFrame(np.zeros(0, dtype=EVENT_DTYPE), jobs=jobs)
+        prof = concurrency_profile(frame)
+        by_level = dict(zip(prof.levels.tolist(), prof.seconds.tolist()))
+        assert prof.max_level == 3
+        assert by_level[3] == pytest.approx(2.0)  # [4,6)
+        assert by_level[2] == pytest.approx(2.0)  # [2,4)
+        assert prof.fractions.sum() == pytest.approx(1.0)
+
+    def test_fractions_sum_to_one(self, small_frame):
+        prof = concurrency_profile(small_frame)
+        assert prof.fractions.sum() == pytest.approx(1.0)
+
+    def test_workload_matches_figure1_shape(self, small_frame):
+        # idle more than ~15%, multiprogrammed a sizeable minority, max <= 8
+        prof = concurrency_profile(small_frame)
+        assert 0.08 < prof.idle_fraction < 0.55
+        assert 0.10 < prof.multiprogrammed_fraction < 0.60
+        assert prof.max_level <= 8
+
+
+class TestNodeCountDistribution:
+    def test_micro_counts(self, micro_frame):
+        dist = node_count_distribution(micro_frame)
+        assert list(dist.node_counts) == [1, 2]
+        assert list(dist.n_jobs) == [1, 1]
+
+    def test_usage_vs_count_dichotomy(self, small_frame):
+        # Figure 2: single-node jobs dominate the job count, parallel jobs
+        # dominate node usage
+        dist = node_count_distribution(small_frame)
+        by_count = dict(zip(dist.node_counts.tolist(), dist.job_fractions.tolist()))
+        assert by_count.get(1, 0) > 0.5
+        usage = dict(zip(dist.node_counts.tolist(), dist.usage_fractions.tolist()))
+        big_usage = sum(v for k, v in usage.items() if k >= 16)
+        assert big_usage > 0.4
+
+    def test_rows_align(self, small_frame):
+        rows = node_count_distribution(small_frame).rows()
+        assert sum(r[2] for r in rows) == pytest.approx(1.0)
+        assert sum(r[3] for r in rows) == pytest.approx(1.0)
+
+
+class TestFilesPerJob:
+    def test_micro_table(self, micro_frame):
+        table = files_per_job_table(micro_frame)
+        # job 0 opened files 0 and 1; job 1 opened file 2
+        assert table == {"1": 1, "2": 1, "3": 0, "4": 0, "5+": 0}
+
+    def test_max_files(self, micro_frame):
+        assert max_files_one_job(micro_frame) == 2
+
+    def test_no_opens_rejected(self):
+        frame = TraceFrame.from_records(
+            [Record(time=0, node=0, job=0, kind=EventKind.JOB_START, size=1, offset=0)]
+        )
+        with pytest.raises(AnalysisError):
+            files_per_job_table(frame)
+
+    def test_workload_has_long_tail(self, small_frame):
+        table = files_per_job_table(small_frame)
+        assert table["5+"] > 0
+        assert sum(table.values()) > 0

@@ -1,0 +1,70 @@
+"""Tests for repro.core.requests (Figure 4)."""
+
+import pytest
+
+from repro.core.requests import request_size_cdfs, request_size_summary, size_spikes
+from repro.errors import AnalysisError
+from repro.trace.frame import TraceFrame
+from repro.trace.records import EventKind, Record
+
+
+def _frame_with_reads(sizes):
+    records = [
+        Record(time=float(i), node=0, job=0, kind=EventKind.READ,
+               file=1, offset=i * 10_000_000, size=s)
+        for i, s in enumerate(sizes)
+    ]
+    return TraceFrame.from_records(records)
+
+
+class TestRequestSizeCDFs:
+    def test_count_vs_bytes_divergence(self):
+        frame = _frame_with_reads([100] * 99 + [1 << 20])
+        by_count, by_bytes = request_size_cdfs(frame)
+        assert by_count.at(100) == pytest.approx(0.99)
+        assert by_bytes.at(100) == pytest.approx(9900 / (9900 + (1 << 20)))
+
+    def test_no_reads_rejected(self, micro_frame):
+        frame = _frame_with_reads([10])
+        with pytest.raises(AnalysisError):
+            request_size_cdfs(frame, EventKind.WRITE)
+
+
+class TestRequestSizeSummary:
+    def test_exact_fractions(self):
+        frame = _frame_with_reads([100, 200, 5000])
+        s = request_size_summary(frame, EventKind.READ, small_threshold=4000)
+        assert s.small_request_fraction == pytest.approx(2 / 3)
+        assert s.small_byte_fraction == pytest.approx(300 / 5300)
+        assert s.n_requests == 3
+        assert s.mean_size == pytest.approx(5300 / 3)
+
+    def test_describe_phrasing(self):
+        frame = _frame_with_reads([100] * 9 + [100_000])
+        text = request_size_summary(frame).describe()
+        assert "90.0% of reads" in text
+        assert "4000" in text
+
+    def test_workload_matches_paper_shape(self, small_frame):
+        # the headline Figure 4 result: small requests dominate counts,
+        # large requests dominate bytes, for both directions
+        reads = request_size_summary(small_frame, EventKind.READ)
+        writes = request_size_summary(small_frame, EventKind.WRITE)
+        assert reads.small_request_fraction > 0.80
+        assert reads.small_byte_fraction < 0.25
+        assert writes.small_request_fraction > 0.80
+        assert writes.small_byte_fraction < 0.25
+
+
+class TestSizeSpikes:
+    def test_count_spikes(self):
+        frame = _frame_with_reads([64] * 50 + [4096] * 10 + [1 << 20])
+        spikes = size_spikes(frame, top=2)
+        assert spikes[0][0] == 64
+        assert spikes[0][1] == pytest.approx(50 / 61)
+
+    def test_byte_spikes_find_the_megabyte_reads(self):
+        frame = _frame_with_reads([64] * 1000 + [1 << 20] * 3)
+        spikes = size_spikes(frame, weight_by_bytes=True, top=1)
+        assert spikes[0][0] == 1 << 20
+        assert spikes[0][1] > 0.9

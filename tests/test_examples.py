@@ -1,0 +1,52 @@
+"""The example scripts must run clean and produce their key output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "--scale", "0.02", "--seed", "3")
+    assert "Figure 3" in out or "file sizes" in out
+    assert "mode-0 files" in out
+    assert "re-loaded the trace" in out
+
+
+def test_tracing_methodology():
+    out = run_example("tracing_methodology.py")
+    assert "message saving" in out
+    assert "time-sorted: True" in out
+    assert "drift models fitted" in out
+
+
+def test_cfd_campaign():
+    out = run_example("cfd_campaign.py", "--hours", "2", "--seed", "5")
+    assert "strided interface" in out
+    assert "access regularity" in out
+
+
+def test_cache_study():
+    out = run_example("cache_study.py", "--scale", "0.02", "--seed", "3",
+                      "--policies", "lru", "fifo")
+    assert "Figure 8" in out
+    assert "Figure 9" in out
+    assert "combined" in out
+
+
+def test_interface_study():
+    out = run_example("interface_study.py", "--scale", "0.02", "--seed", "3")
+    assert "disk-directed" in out
+    assert "strided requests" in out

@@ -1,0 +1,88 @@
+"""Tests for repro.util.histogram."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.histogram import (
+    LogHistogram,
+    bucket_counts,
+    categorical_histogram,
+    distinct_count,
+)
+
+
+class TestDistinctCount:
+    def test_empty(self):
+        assert distinct_count([]) == 0
+
+    def test_repeats_collapse(self):
+        assert distinct_count([4096, 4096, 100]) == 2
+
+    def test_numpy_input(self):
+        assert distinct_count(np.array([1, 1, 2, 3])) == 3
+
+
+class TestBucketCounts:
+    def test_table_shape(self):
+        # the exact row structure of the paper's Tables 2-3
+        got = bucket_counts([0, 1, 1, 2, 9], cap=4)
+        assert got == {"0": 1, "1": 2, "2": 1, "3": 0, "4+": 1}
+
+    def test_cap_boundary_inclusive(self):
+        assert bucket_counts([4], cap=4)["4+"] == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bucket_counts([-1])
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            bucket_counts([1], cap=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), max_size=50))
+    def test_total_preserved(self, counts):
+        table = bucket_counts(counts, cap=4)
+        assert sum(table.values()) == len(counts)
+
+
+class TestLogHistogram:
+    def test_mode_bin_finds_peak(self):
+        h = LogHistogram(lo=1, hi=1024, base=2)
+        h.add([3, 3, 3, 100])
+        lo, hi = h.mode_bin()
+        assert lo <= 3 <= hi
+
+    def test_weighted_accumulation(self):
+        h = LogHistogram(lo=1, hi=16, base=2)
+        h.add([2, 8], weights=[10, 1])
+        assert h.total == pytest.approx(11)
+
+    def test_underflow_and_overflow(self):
+        h = LogHistogram(lo=10, hi=100, base=10)
+        h.add([1, 1000])
+        assert h.total == 2
+        # neither sample lands in an interior bin
+        assert sum(w for _, _, w in h.bins()) == 0
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            LogHistogram(lo=0, hi=10)
+        with pytest.raises(ValueError):
+            LogHistogram(lo=1, hi=10, base=1.0)
+
+    def test_mismatched_weights(self):
+        h = LogHistogram()
+        with pytest.raises(ValueError):
+            h.add([1, 2], weights=[1.0])
+
+    def test_empty_mode_bin_raises(self):
+        with pytest.raises(ValueError):
+            LogHistogram().mode_bin()
+
+
+class TestCategoricalHistogram:
+    def test_sorted_exact_counts(self):
+        got = categorical_histogram([8, 1, 1, 128, 8, 8])
+        assert got == {1: 2, 8: 3, 128: 1}
+        assert list(got) == [1, 8, 128]

@@ -1,0 +1,90 @@
+"""Tests for repro.machine.clock."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.clock import ClockEnsemble, DriftingClock, Timebase
+from repro.util.rng import make_rng
+
+
+class TestDriftingClock:
+    def test_identity_clock(self):
+        c = DriftingClock()
+        assert c.local(10.0) == 10.0
+
+    def test_offset_and_rate(self):
+        c = DriftingClock(offset=1.0, rate=0.01)
+        assert c.local(100.0) == pytest.approx(1.0 + 101.0)
+
+    def test_inverse(self):
+        c = DriftingClock(offset=-2.0, rate=50e-6)
+        for t in (0.0, 1.0, 3600.0):
+            assert c.true(c.local(t)) == pytest.approx(t)
+
+    def test_vectorized(self):
+        c = DriftingClock(offset=1.0)
+        out = c.local(np.array([0.0, 1.0]))
+        assert list(out) == [1.0, 2.0]
+
+    def test_rejects_stopped_clock(self):
+        with pytest.raises(MachineError):
+            DriftingClock(rate=-1.0)
+
+    def test_reader_binds_timebase(self):
+        tb = Timebase()
+        reader = DriftingClock(offset=5.0).reader(tb)
+        assert reader() == 5.0
+        tb.advance_to(2.0)
+        assert reader() == 7.0
+
+
+class TestTimebase:
+    def test_advance_to(self):
+        tb = Timebase(1.0)
+        tb.advance_to(3.0)
+        assert tb.now == 3.0
+
+    def test_rejects_backwards(self):
+        tb = Timebase(5.0)
+        with pytest.raises(MachineError):
+            tb.advance_to(4.0)
+
+    def test_advance_by(self):
+        tb = Timebase()
+        tb.advance_by(2.5)
+        assert tb.now == 2.5
+        with pytest.raises(MachineError):
+            tb.advance_by(-1.0)
+
+
+class TestClockEnsemble:
+    def test_reproducible(self):
+        a = ClockEnsemble(4, make_rng(1))
+        b = ClockEnsemble(4, make_rng(1))
+        assert a[0].offset == b[0].offset
+        assert a[2].rate == b[2].rate
+
+    def test_service_clock_is_last(self):
+        ens = ClockEnsemble(4, make_rng(0))
+        assert len(ens.clocks) == 5
+        assert ens.service is ens.clocks[-1]
+
+    def test_without_service(self):
+        ens = ClockEnsemble(4, make_rng(0), include_service=False)
+        with pytest.raises(MachineError):
+            ens.service
+
+    def test_divergence_grows_with_time(self):
+        # the reason postprocessing exists: drift accumulates over a trace
+        ens = ClockEnsemble(16, make_rng(3), rate_sigma=50e-6)
+        assert ens.max_divergence(10 * 3600.0) > ens.max_divergence(60.0)
+
+    def test_divergence_is_significant_over_hours(self):
+        ens = ClockEnsemble(128, make_rng(7), rate_sigma=50e-6)
+        # after a day, worst-case disagreement far exceeds request gaps
+        assert ens.max_divergence(24 * 3600.0) > 1.0
+
+    def test_needs_a_clock(self):
+        with pytest.raises(MachineError):
+            ClockEnsemble(0, make_rng(0))

@@ -1,0 +1,153 @@
+"""Tests for repro.machine message, disk, nodes and machine assembly."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.disk import Disk
+from repro.machine.machine import IPSC860, MachineConfig, drift_divergence_after
+from repro.machine.message import Message, MessageModel
+from repro.machine.nodes import ComputeNode, IONode
+from repro.machine.topology import Hypercube
+from repro.util.units import MB
+
+
+class TestMessage:
+    def test_fragmentation_into_4k(self):
+        m = Message(src=0, dst=1, size=10000)
+        assert m.fragments() == [4096, 4096, 1808]
+
+    def test_zero_size_message(self):
+        assert Message(src=0, dst=1, size=0).fragments() == [0]
+
+    def test_payload_size_agreement(self):
+        with pytest.raises(MachineError):
+            Message(src=0, dst=1, size=3, payload=b"ab")
+
+    def test_negative_size(self):
+        with pytest.raises(MachineError):
+            Message(src=0, dst=1, size=-1)
+
+
+class TestMessageModel:
+    def test_latency_grows_with_size_and_hops(self):
+        model = MessageModel(Hypercube(7))
+        near_small = model.latency_bytes(0, 1, 100)
+        near_big = model.latency_bytes(0, 1, 100_000)
+        far_small = model.latency_bytes(0, 127, 100)
+        assert near_big > near_small
+        assert far_small > near_small
+
+    def test_fragmentation_penalty(self):
+        # two 4 KB messages cost more than latency of one 8 KB message? no —
+        # each fragment pays startup, so 8 KB == two fragments exactly
+        model = MessageModel(Hypercube(3))
+        one_8k = model.latency_bytes(0, 1, 8192)
+        two_4k = 2 * model.latency_bytes(0, 1, 4096)
+        assert one_8k == pytest.approx(two_4k)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(MachineError):
+            MessageModel(Hypercube(2), bandwidth=0)
+        with pytest.raises(MachineError):
+            MessageModel(Hypercube(2), startup=-1)
+
+
+class TestDisk:
+    def test_capacity_accounting(self):
+        d = Disk(capacity=10 * MB)
+        d.allocate(4 * MB)
+        assert d.free == 6 * MB
+        d.release(1 * MB)
+        assert d.used == 3 * MB
+
+    def test_overflow_rejected(self):
+        d = Disk(capacity=MB)
+        with pytest.raises(MachineError):
+            d.allocate(2 * MB)
+
+    def test_over_release_rejected(self):
+        d = Disk()
+        with pytest.raises(MachineError):
+            d.release(1)
+
+    def test_small_random_requests_waste_bandwidth(self):
+        # the §4.8 argument for I/O-node caches: coalescing small requests
+        # into large disk transfers is a big win
+        d = Disk()
+        small = d.effective_bandwidth(512, sequential=False)
+        large = d.effective_bandwidth(256 * 1024, sequential=False)
+        assert large > 40 * small
+
+    def test_sequential_skips_positioning(self):
+        d = Disk()
+        assert d.service_time(4096, sequential=True) < d.service_time(4096, sequential=False)
+
+    def test_busy_time_accumulates(self):
+        d = Disk()
+        d.service_time(4096)
+        d.service_time(4096)
+        assert d.busy_time > 0
+
+
+class TestNodes:
+    def test_compute_node_validation(self):
+        with pytest.raises(MachineError):
+            ComputeNode(-1, None)
+
+    def test_io_node_cache_sizing(self):
+        io = IONode(0)
+        # 4 MB memory minus 1 MB reserve = 768 4 KB buffers
+        assert io.max_cache_buffers() == 768
+
+    def test_io_node_cache_sizing_with_no_room(self):
+        io = IONode(0, memory=MB)
+        assert io.max_cache_buffers(reserve=MB) == 0
+
+
+class TestMachineConfig:
+    def test_nas_defaults(self):
+        c = MachineConfig()
+        assert c.hypercube_dim == 7
+        assert c.total_disk_capacity == 10 * 760 * MB
+        assert c.aggregate_bandwidth == 10 * MB
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(MachineError):
+            MachineConfig(n_compute_nodes=100)
+
+    def test_rejects_no_io_nodes(self):
+        with pytest.raises(MachineError):
+            MachineConfig(n_io_nodes=0)
+
+
+class TestIPSC860:
+    def test_assembly(self):
+        m = IPSC860(seed=0)
+        assert len(m.compute_nodes) == 128
+        assert len(m.io_nodes) == 10
+        assert m.max_message_hops() == 7
+        assert "128 compute nodes" in m.describe()
+
+    def test_node_clock_reader_bounds(self):
+        m = IPSC860(seed=0)
+        with pytest.raises(MachineError):
+            m.node_clock_reader(128)
+
+    def test_collector_stamp_after_send(self):
+        from repro.trace.collector import RawBlock
+
+        m = IPSC860(seed=1)
+        m.timebase.advance_to(100.0)
+        send_local = m.node_clock_reader(5)()
+        block = RawBlock(node=5, seq=0, send_stamp=send_local, recv_stamp=0.0, payload=b"")
+        stamp = m.collector_stamp(block)
+        # receipt on the service clock happens after the true send time
+        assert m.clocks.service.true(stamp) > 100.0
+
+    def test_drift_divergence_grows(self):
+        m = IPSC860(seed=2)
+        assert drift_divergence_after(m, 10.0) > drift_divergence_after(m, 0.1)
+
+    def test_seeded_machines_identical(self):
+        a, b = IPSC860(seed=9), IPSC860(seed=9)
+        assert a.clocks[3].offset == b.clocks[3].offset

@@ -1,0 +1,88 @@
+"""Tests for repro.machine.topology."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MachineError
+from repro.machine.topology import Hypercube, SubcubeAllocator
+
+
+class TestHypercube:
+    def test_size(self):
+        assert Hypercube(7).n_nodes == 128
+
+    def test_neighbors_differ_by_one_bit(self):
+        cube = Hypercube(4)
+        for nb in cube.neighbors(5):
+            assert bin(nb ^ 5).count("1") == 1
+
+    def test_distance_is_hamming(self):
+        cube = Hypercube(7)
+        assert cube.distance(0, 127) == 7
+        assert cube.distance(3, 3) == 0
+
+    def test_route_endpoints_and_hops(self):
+        cube = Hypercube(5)
+        path = cube.route(6, 25)
+        assert path[0] == 6 and path[-1] == 25
+        assert len(path) == cube.distance(6, 25) + 1
+        for a, b in zip(path, path[1:]):
+            assert cube.distance(a, b) == 1
+
+    def test_out_of_range_node(self):
+        with pytest.raises(MachineError):
+            Hypercube(3).neighbors(8)
+
+    @given(st.integers(min_value=0, max_value=63), st.integers(min_value=0, max_value=63))
+    def test_route_valid_for_all_pairs(self, a, b):
+        cube = Hypercube(6)
+        path = cube.route(a, b)
+        assert path[0] == a and path[-1] == b
+        assert len(set(path)) == len(path)  # no revisits
+
+    def test_subcube_alignment(self):
+        cube = Hypercube(4)
+        assert list(cube.subcube(8, 4)) == [8, 9, 10, 11]
+        with pytest.raises(MachineError):
+            cube.subcube(6, 4)  # misaligned
+        with pytest.raises(MachineError):
+            cube.subcube(0, 3)  # not a power of two
+
+    def test_subcube_bases(self):
+        assert list(Hypercube(3).subcube_bases(4)) == [0, 4]
+
+
+class TestSubcubeAllocator:
+    def test_allocate_release_cycle(self):
+        alloc = SubcubeAllocator(Hypercube(3))
+        token, nodes = alloc.allocate(4)
+        assert len(nodes) == 4
+        assert alloc.free_nodes == 4
+        alloc.release(token)
+        assert alloc.free_nodes == 8
+
+    def test_exhaustion_returns_none(self):
+        alloc = SubcubeAllocator(Hypercube(2))
+        assert alloc.allocate(4) is not None
+        assert alloc.allocate(1) is None
+
+    def test_fragmentation_blocks_aligned_requests(self):
+        alloc = SubcubeAllocator(Hypercube(2))
+        t0, _ = alloc.allocate(1)   # takes node 0
+        assert alloc.allocate(4) is None  # whole machine unavailable
+        assert alloc.allocate(2) is not None  # nodes 2-3 still aligned-free
+
+    def test_double_release_rejected(self):
+        alloc = SubcubeAllocator(Hypercube(2))
+        token, _ = alloc.allocate(2)
+        alloc.release(token)
+        with pytest.raises(MachineError):
+            alloc.release(token)
+
+    def test_allocations_disjoint(self):
+        alloc = SubcubeAllocator(Hypercube(4))
+        seen = set()
+        for _ in range(4):
+            _, nodes = alloc.allocate(4)
+            assert not (seen & set(nodes))
+            seen |= set(nodes)

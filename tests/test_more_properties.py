@@ -1,0 +1,113 @@
+"""Additional cross-module property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceFormatError
+from repro.strided import coalesce_stream
+from repro.trace.codec import RECORD_SIZE, decode_records
+from repro.trace.frame import TraceFrame
+from repro.trace.merge import concat_frames
+from repro.trace.records import EventKind, Record
+from repro.util.cdf import EmpiricalCDF
+from repro.workload import access
+
+
+class TestCodecRobustness:
+    @given(st.binary(max_size=400))
+    @settings(max_examples=120)
+    def test_decode_never_crashes_unexpectedly(self, blob):
+        """Arbitrary bytes either decode or raise TraceFormatError —
+        no other exception escapes the codec."""
+        try:
+            records = decode_records(blob)
+        except TraceFormatError:
+            return
+        assert len(records) == len(blob) // RECORD_SIZE
+
+    @given(
+        st.binary(min_size=RECORD_SIZE, max_size=RECORD_SIZE),
+        st.integers(0, 8),
+    )
+    @settings(max_examples=60)
+    def test_single_record_length(self, blob, kind):
+        # force a valid kind byte so decoding reaches field validation
+        blob = blob[:20] + bytes([kind]) + blob[21:]
+        try:
+            records = decode_records(blob)
+        except TraceFormatError:
+            return
+        assert len(records) == 1
+
+
+class TestCdfSteps:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=1, max_size=50))
+    def test_steps_monotone_and_normalized(self, samples):
+        xs, ys = EmpiricalCDF(samples).steps()
+        assert np.all(np.diff(xs) > 0)
+        assert np.all(np.diff(ys) >= -1e-12)
+        assert ys[-1] == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                    min_size=1, max_size=50))
+    def test_steps_agree_with_at(self, samples):
+        cdf = EmpiricalCDF(samples)
+        xs, ys = cdf.steps()
+        for x, y in zip(xs.tolist(), ys.tolist()):
+            assert cdf.at(x) == pytest.approx(y)
+
+
+class TestCoalesceIdempotence:
+    @given(
+        st.integers(0, 1000), st.integers(1, 40),
+        st.integers(1, 256), st.integers(0, 256),
+    )
+    def test_coalesce_expand_coalesce_is_stable(self, start, count, size, gap):
+        off, sz = access.strided_run(start, count, size, size + gap)
+        runs = coalesce_stream(off, sz)
+        assert len(runs) == 1
+        off2, sz2 = runs[0].expand()
+        runs2 = coalesce_stream(off2, sz2)
+        assert runs2 == runs
+
+
+class TestTiledRunProperties:
+    @given(
+        st.integers(0, 10_000), st.integers(1, 20),
+        st.integers(1, 16), st.integers(1, 512), st.integers(0, 64),
+    )
+    def test_tiles_disjoint_and_ordered(self, start, n_tiles, tile, rec, skip):
+        off, sz = access.tiled_run(start, n_tiles, tile, rec, skip)
+        assert len(off) == n_tiles * tile
+        ends = off + sz
+        assert np.all(off[1:] >= ends[:-1])  # forward, non-overlapping
+        gaps = set((off[1:] - ends[:-1]).tolist())
+        assert gaps <= {0, skip * rec}
+
+
+class TestConcatProperties:
+    def _frame(self, t0, n_events, job=0):
+        records = [
+            Record(time=t0 + i * 0.1, node=0, job=job, kind=EventKind.READ,
+                   file=0, offset=i, size=1)
+            for i in range(n_events)
+        ]
+        records.insert(0, Record(time=t0, node=0, job=job,
+                                 kind=EventKind.JOB_START, size=1, offset=0))
+        records.append(Record(time=t0 + n_events, node=0, job=job,
+                              kind=EventKind.JOB_END, size=0, offset=0))
+        return TraceFrame.from_records(records)
+
+    @given(st.lists(st.integers(1, 10), min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_counts_add_up(self, sizes):
+        frames = [self._frame(100.0 * i, n) for i, n in enumerate(sizes)]
+        merged = concat_frames(frames)
+        assert merged.n_events == sum(f.n_events for f in frames)
+        assert len(merged.jobs) == len(frames)
+        assert merged.is_time_sorted()
+        # renumbered job ids are dense
+        jobs = np.unique(merged.events["job"])
+        assert len(jobs) == len(frames)

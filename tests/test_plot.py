@@ -1,0 +1,83 @@
+"""Tests for repro.util.plot."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.util.cdf import EmpiricalCDF
+from repro.util.plot import ascii_bars, ascii_chart, cdf_chart
+
+
+class TestAsciiBars:
+    def test_rows_and_scaling(self):
+        text = ascii_bars(["one", "two"], [1.0, 0.5], width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_values(self):
+        text = ascii_bars(["a"], [0.0])
+        assert "#" not in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_bars(["a"], [1.0, 2.0])
+        with pytest.raises(ReproError):
+            ascii_bars([], [])
+        with pytest.raises(ReproError):
+            ascii_bars(["a"], [1.0], width=0)
+
+    def test_unit_suffix(self):
+        assert "%" in ascii_bars(["a"], [50.0], unit="%")
+
+
+class TestAsciiChart:
+    def test_single_series(self):
+        xs = np.arange(10, dtype=float)
+        text = ascii_chart({"line": (xs, xs)}, width=20, height=8)
+        assert "*" in text
+        assert "* line" in text
+
+    def test_two_series_distinct_marks(self):
+        xs = np.arange(5, dtype=float)
+        text = ascii_chart({"a": (xs, xs), "b": (xs, xs[::-1])}, width=16, height=6)
+        assert "*" in text and "o" in text
+
+    def test_log_axis(self):
+        xs = np.array([1.0, 10.0, 100.0, 1000.0])
+        ys = np.array([0.0, 0.3, 0.6, 1.0])
+        text = ascii_chart({"cdf": (xs, ys)}, logx=True, width=20, height=6)
+        assert "1000" in text
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            ascii_chart({"x": (np.array([0.0, 1.0]), np.array([0.0, 1.0]))}, logx=True)
+
+    def test_degenerate_sizes_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_chart({"a": (np.array([1.0]), np.array([1.0]))}, width=2)
+        with pytest.raises(ReproError):
+            ascii_chart({})
+
+    def test_flat_series_does_not_crash(self):
+        xs = np.array([0.0, 1.0])
+        ys = np.array([5.0, 5.0])
+        text = ascii_chart({"flat": (xs, ys)}, width=12, height=5)
+        assert "*" in text
+
+    def test_axis_labels_shown(self):
+        xs = np.arange(3, dtype=float)
+        text = ascii_chart({"s": (xs, xs)}, x_label="bytes", width=12, height=5)
+        assert "x: bytes" in text
+
+
+class TestCdfChart:
+    def test_renders_cdfs(self):
+        cdfs = {
+            "a": EmpiricalCDF([1, 2, 3, 4]),
+            "b": EmpiricalCDF([2, 2, 5]),
+        }
+        text = cdf_chart(cdfs, width=24, height=8)
+        assert "CDF" in text
+        assert "* a" in text and "o b" in text

@@ -1,0 +1,75 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import SeedSequencePool, make_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(3).random(8)
+        b = make_rng(3).random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(make_rng(1).random(8), make_rng(2).random(8))
+
+
+class TestSeedSequencePool:
+    def test_same_key_reproduces(self):
+        pool = SeedSequencePool(42)
+        a = pool.rng("arrivals").random(16)
+        b = pool.rng("arrivals").random(16)
+        assert np.array_equal(a, b)
+
+    def test_distinct_keys_independent(self):
+        pool = SeedSequencePool(42)
+        a = pool.rng("alpha").random(16)
+        b = pool.rng("beta").random(16)
+        assert not np.array_equal(a, b)
+
+    def test_creation_order_does_not_matter(self):
+        p1 = SeedSequencePool(9)
+        x_then_y = (p1.rng("x").random(4), p1.rng("y").random(4))
+        p2 = SeedSequencePool(9)
+        y_then_x = (p2.rng("y").random(4), p2.rng("x").random(4))
+        assert np.array_equal(x_then_y[0], y_then_x[1])
+        assert np.array_equal(x_then_y[1], y_then_x[0])
+
+    def test_root_seed_separates_pools(self):
+        a = SeedSequencePool(1).rng("k").random(8)
+        b = SeedSequencePool(2).rng("k").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_child_reproducible(self):
+        a = SeedSequencePool(7).spawn("job/3").rng("timing").random(4)
+        b = SeedSequencePool(7).spawn("job/3").rng("timing").random(4)
+        assert np.array_equal(a, b)
+
+    def test_spawn_children_independent(self):
+        pool = SeedSequencePool(7)
+        a = pool.spawn("job/1").rng("t").random(4)
+        b = pool.spawn("job/2").rng("t").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(TypeError):
+            SeedSequencePool("zero")
+
+    def test_rejects_bool_seed(self):
+        with pytest.raises(TypeError):
+            SeedSequencePool(True)
+
+    def test_rejects_non_str_key(self):
+        with pytest.raises(TypeError):
+            SeedSequencePool(0).rng(5)
+
+    def test_root_seed_property(self):
+        assert SeedSequencePool(11).root_seed == 11
+
+    def test_unicode_keys_are_stable(self):
+        pool = SeedSequencePool(0)
+        a = pool.rng("jöb/µ").random(4)
+        b = SeedSequencePool(0).rng("jöb/µ").random(4)
+        assert np.array_equal(a, b)

@@ -1,0 +1,114 @@
+"""Tests for repro.strided."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AnalysisError
+from repro.strided import StridedRequest, coalesce_stream, coalesce_trace
+from repro.workload import access
+
+
+class TestStridedRequest:
+    def test_expansion(self):
+        r = StridedRequest(offset=10, size=5, stride=20, count=3)
+        off, sz = r.expand()
+        assert list(off) == [10, 30, 50]
+        assert list(sz) == [5, 5, 5]
+        assert r.total_bytes == 15
+        assert r.extent == 45
+        assert r.interval == 15
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            StridedRequest(offset=-1, size=5, stride=5, count=1)
+        with pytest.raises(AnalysisError):
+            StridedRequest(offset=0, size=0, stride=5, count=1)
+        with pytest.raises(AnalysisError):
+            StridedRequest(offset=0, size=10, stride=5, count=2)  # overlap
+
+    def test_count_one_allows_any_stride(self):
+        StridedRequest(offset=0, size=10, stride=0, count=1)
+
+
+class TestCoalesceStream:
+    def test_consecutive_collapses_to_one(self):
+        off, sz = access.consecutive_run(0, 100, 64)
+        runs = coalesce_stream(off, sz)
+        assert len(runs) == 1
+        assert runs[0].count == 100
+        assert runs[0].stride == 64
+
+    def test_interleaved_collapses_to_one(self):
+        off, sz = access.interleaved_partition(1, 4, 100, 40)
+        runs = coalesce_stream(off, sz)
+        assert len(runs) == 1
+        assert runs[0].stride == 400
+
+    def test_size_change_breaks_run(self):
+        off = np.array([0, 16, 116])
+        sz = np.array([16, 100, 100])
+        runs = coalesce_stream(off, sz)
+        assert len(runs) == 2
+        assert runs[0].size == 16
+        assert runs[1].count == 2
+
+    def test_backward_seek_breaks_run(self):
+        off = np.array([0, 100, 0])
+        sz = np.array([100, 100, 100])
+        runs = coalesce_stream(off, sz)
+        assert len(runs) == 2
+
+    def test_empty_stream(self):
+        assert coalesce_stream(np.array([]), np.array([])) == []
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(AnalysisError):
+            coalesce_stream(np.array([0]), np.array([]))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10**6), st.integers(1, 10**4)),
+            min_size=1, max_size=60,
+        )
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_reconstruction(self, pairs):
+        """Expanding the runs reproduces the original stream exactly."""
+        offsets = np.array([p[0] for p in pairs], dtype=np.int64)
+        sizes = np.array([p[1] for p in pairs], dtype=np.int64)
+        runs = coalesce_stream(offsets, sizes)
+        out_off, out_sz = [], []
+        for run in runs:
+            o, s = run.expand()
+            out_off.extend(o.tolist())
+            out_sz.extend(s.tolist())
+        assert out_off == offsets.tolist()
+        assert out_sz == sizes.tolist()
+
+    @given(
+        st.integers(0, 1000), st.integers(1, 50),
+        st.integers(1, 512), st.integers(0, 512),
+    )
+    def test_single_pattern_always_one_run(self, start, count, size, gap):
+        off, sz = access.strided_run(start, count, size, size + gap)
+        assert len(coalesce_stream(off, sz)) == 1
+
+
+class TestCoalesceTrace:
+    def test_workload_reduction(self, small_frame):
+        """§5's promise: a strided interface collapses the regular
+        request streams by a large factor."""
+        res = coalesce_trace(small_frame)
+        assert res.reduction_factor > 5.0
+        assert res.fraction_coalesced > 0.5
+        assert res.bytes_transferred == int(
+            small_frame.transfers["size"].sum()
+        )
+
+    def test_micro_frame(self, micro_frame):
+        res = coalesce_trace(micro_frame)
+        # file 0: each node's 2 interleaved reads -> 1 run each;
+        # file 1: 3 consecutive writes -> 1 run
+        assert res.strided_requests == 3
+        assert res.simple_requests == 7

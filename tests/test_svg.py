@@ -1,0 +1,73 @@
+"""Tests for repro.util.svg and the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core.figures import FIGURES, render_figure_svg
+from repro.errors import ReproError
+from repro.util.svg import svg_bars, svg_chart
+
+
+def _parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg.split("\n", 1)[1])  # drop the XML declaration
+
+
+class TestSvgChart:
+    def test_well_formed(self):
+        xs = np.arange(10, dtype=float)
+        root = _parse(svg_chart({"line": (xs, xs)}, title="t", x_label="x"))
+        assert root.tag.endswith("svg")
+
+    def test_one_polyline_per_series(self):
+        xs = np.arange(5, dtype=float)
+        svg = svg_chart({"a": (xs, xs), "b": (xs, xs * 2)})
+        assert svg.count("<polyline") == 2
+
+    def test_title_and_labels_rendered(self):
+        xs = np.arange(3, dtype=float)
+        svg = svg_chart({"s": (xs, xs)}, title="Figure 3", x_label="bytes",
+                        y_label="CDF")
+        assert "Figure 3" in svg and "bytes" in svg and "CDF" in svg
+
+    def test_log_axis_tick_labels(self):
+        xs = np.array([1.0, 10.0, 100.0, 10000.0])
+        svg = svg_chart({"c": (xs, xs / 10000)}, logx=True)
+        assert "1e+04" in svg or "10000" in svg
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            svg_chart({"c": (np.array([0.0, 1.0]), np.array([0.0, 1.0]))}, logx=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            svg_chart({})
+
+    def test_text_escaped(self):
+        xs = np.arange(2, dtype=float)
+        svg = svg_chart({"a<b": (xs, xs)}, title="x & y")
+        assert "a&lt;b" in svg and "x &amp; y" in svg
+        _parse(svg)
+
+
+class TestSvgBars:
+    def test_grouped_bars(self):
+        svg = svg_bars([1, 2, 4], {"jobs": [3, 2, 1], "usage": [1, 2, 3]})
+        assert svg.count("<rect") >= 1 + 6 + 2  # background + bars + legend
+        _parse(svg)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            svg_bars([], {})
+        with pytest.raises(ReproError):
+            svg_bars([1, 2], {"g": [1.0]})
+
+
+class TestFigureSvgs:
+    def test_every_figure_renders_valid_svg(self, small_frame):
+        for figure in FIGURES:
+            svg = render_figure_svg(small_frame, figure)
+            root = _parse(svg)
+            assert root.tag.endswith("svg"), figure
+            assert FIGURES[figure].split(" ")[0] in svg or figure in svg

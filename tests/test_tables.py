@@ -1,0 +1,40 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_percent, format_table
+
+
+class TestFormatTable:
+    def test_renders_header_and_rows(self):
+        text = format_table(["name", "count"], [("a", 1), ("b", 22)])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "count" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert "22" in lines[3]
+
+    def test_title_line(self):
+        text = format_table(["x"], [(1,)], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [(0.123456,)])
+        assert "0.123" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_numeric_right_alignment(self):
+        text = format_table(["n"], [(1,), (100,)])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.961) == "96.1%"
+
+    def test_digits(self):
+        assert format_percent(0.0061, digits=2) == "0.61%"

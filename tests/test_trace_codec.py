@@ -1,0 +1,115 @@
+"""Tests for repro.trace.codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceFormatError
+from repro.trace.codec import (
+    RECORD_SIZE,
+    decode_block_header,
+    decode_header,
+    decode_records,
+    encode_block_header,
+    encode_header,
+    encode_record,
+)
+from repro.trace.records import EventKind, Record, TraceHeader
+
+
+def _record_strategy():
+    transfer = st.builds(
+        Record,
+        time=st.floats(min_value=0, max_value=1e7, allow_nan=False),
+        node=st.integers(min_value=0, max_value=127),
+        job=st.integers(min_value=0, max_value=10_000),
+        kind=st.sampled_from([EventKind.READ, EventKind.WRITE]),
+        file=st.integers(min_value=0, max_value=100_000),
+        offset=st.integers(min_value=0, max_value=2**40),
+        size=st.integers(min_value=0, max_value=2**30),
+    )
+    openrec = st.builds(
+        Record,
+        time=st.floats(min_value=0, max_value=1e7, allow_nan=False),
+        node=st.integers(min_value=0, max_value=127),
+        job=st.integers(min_value=0, max_value=10_000),
+        kind=st.just(EventKind.OPEN),
+        file=st.integers(min_value=0, max_value=100_000),
+        mode=st.integers(min_value=0, max_value=3),
+        flags=st.integers(min_value=0, max_value=31),
+    )
+    other = st.builds(
+        Record,
+        time=st.floats(min_value=0, max_value=1e7, allow_nan=False),
+        node=st.integers(min_value=0, max_value=127),
+        job=st.integers(min_value=0, max_value=10_000),
+        kind=st.sampled_from([EventKind.CLOSE, EventKind.DELETE]),
+        file=st.integers(min_value=0, max_value=100_000),
+    )
+    return st.one_of(transfer, openrec, other)
+
+
+class TestRecordCodec:
+    def test_fixed_width(self):
+        r = Record(time=1.5, node=2, job=3, kind=EventKind.READ, file=4, offset=5, size=6)
+        assert len(encode_record(r)) == RECORD_SIZE
+
+    def test_roundtrip_single(self):
+        r = Record(time=1.5, node=2, job=3, kind=EventKind.WRITE, file=4, offset=5, size=6)
+        assert decode_records(encode_record(r)) == [r]
+
+    @given(st.lists(_record_strategy(), max_size=30))
+    def test_roundtrip_batch(self, records):
+        payload = b"".join(encode_record(r) for r in records)
+        assert decode_records(payload) == records
+
+    def test_rejects_partial_record(self):
+        with pytest.raises(TraceFormatError):
+            decode_records(b"\x00" * (RECORD_SIZE - 1))
+
+    def test_rejects_unknown_kind(self):
+        r = Record(time=0, node=0, job=0, kind=EventKind.CLOSE, file=1)
+        raw = bytearray(encode_record(r))
+        raw[20] = 250  # kind byte
+        with pytest.raises(TraceFormatError):
+            decode_records(bytes(raw))
+
+
+class TestHeaderCodec:
+    def test_roundtrip(self):
+        h = TraceHeader(site="test", n_compute_nodes=16, n_io_nodes=2, notes="x")
+        data = encode_header(h) + b"tail"
+        back, consumed = decode_header(data)
+        assert back == h
+        assert data[consumed:] == b"tail"
+
+    def test_rejects_missing_magic(self):
+        with pytest.raises(TraceFormatError):
+            decode_header(b"NOTATRACE\n{}")
+
+    def test_rejects_unterminated(self):
+        h = TraceHeader()
+        data = encode_header(h)[:-1]
+        with pytest.raises(TraceFormatError):
+            decode_header(data)
+
+    def test_rejects_bad_json(self):
+        from repro.trace.codec import HEADER_MAGIC
+
+        with pytest.raises(TraceFormatError):
+            decode_header(HEADER_MAGIC + b"{nope}\n")
+
+
+class TestBlockHeaderCodec:
+    def test_roundtrip(self):
+        raw = encode_block_header(5, 9, 102, 1.25, 2.5)
+        assert decode_block_header(raw) == (5, 9, 102, 1.25, 2.5)
+
+    def test_rejects_truncation(self):
+        with pytest.raises(TraceFormatError):
+            decode_block_header(b"\x00" * 4)
+
+    def test_rejects_bad_magic(self):
+        raw = bytearray(encode_block_header(1, 2, 3, 0.0, 0.0))
+        raw[0] = ord(b"X")
+        with pytest.raises(TraceFormatError):
+            decode_block_header(bytes(raw))

@@ -1,0 +1,48 @@
+"""Tests for repro.trace.dump."""
+
+from repro.trace.dump import dump_frame, dump_raw
+
+
+class TestDumpFrame:
+    def test_one_line_per_event(self, micro_frame):
+        lines = list(dump_frame(micro_frame))
+        assert len(lines) == micro_frame.n_events
+
+    def test_limit(self, micro_frame):
+        assert len(list(dump_frame(micro_frame, limit=3))) == 3
+
+    def test_job_filter(self, micro_frame):
+        lines = list(dump_frame(micro_frame, job=1))
+        assert all("j1" in line for line in lines)
+        assert len(lines) == 4
+
+    def test_file_filter(self, micro_frame):
+        lines = list(dump_frame(micro_frame, file=1))
+        assert len(lines) == 6
+
+    def test_transfer_formatting(self, micro_frame):
+        read_lines = [l for l in dump_frame(micro_frame) if "READ" in l]
+        assert all("off=" in l and "len=" in l for l in read_lines)
+
+    def test_open_formatting(self, micro_frame):
+        open_lines = [l for l in dump_frame(micro_frame) if "OPEN" in l]
+        assert all("mode=" in l for l in open_lines)
+
+    def test_job_marker_formatting(self, micro_frame):
+        start_lines = [l for l in dump_frame(micro_frame) if "JOB_START" in l]
+        assert any("nodes=2" in l for l in start_lines)
+
+
+class TestDumpRaw:
+    def test_block_structure_visible(self, full_pipeline_workload):
+        raw = full_pipeline_workload.raw
+        lines = list(dump_raw(raw, limit_blocks=3))
+        headers = [l for l in lines if l.startswith("-- block")]
+        assert len(headers) == 3
+        assert lines[0].startswith("# iPSC/860")
+        assert any("more blocks" in l for l in lines)
+
+    def test_records_indented_under_blocks(self, full_pipeline_workload):
+        lines = list(dump_raw(full_pipeline_workload.raw, limit_blocks=1))
+        record_lines = [l for l in lines if l.startswith("   ")]
+        assert record_lines

@@ -1,0 +1,72 @@
+"""Tests for repro.trace.merge."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.collector import RawTrace
+from repro.trace.frame import TraceFrame
+from repro.trace.merge import concat_frames, merge_raw_traces
+from repro.trace.records import EventKind, OpenFlags, Record, TraceHeader
+
+
+def _period(t0, job=0, file=0):
+    records = [
+        Record(time=t0, node=0, job=job, kind=EventKind.JOB_START, size=1, offset=0),
+        Record(time=t0 + 0.1, node=0, job=job, kind=EventKind.OPEN, file=file,
+               mode=0, flags=int(OpenFlags.WRITE | OpenFlags.CREATE)),
+        Record(time=t0 + 0.2, node=0, job=job, kind=EventKind.WRITE, file=file,
+               offset=0, size=100),
+        Record(time=t0 + 0.3, node=0, job=job, kind=EventKind.CLOSE, file=file),
+        Record(time=t0 + 0.4, node=0, job=job, kind=EventKind.JOB_END, size=0, offset=0),
+    ]
+    return TraceFrame.from_records(records)
+
+
+class TestConcatFrames:
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            concat_frames([])
+
+    def test_single_passthrough(self):
+        frame = _period(0.0)
+        assert concat_frames([frame]) is frame
+
+    def test_renumbering_avoids_collisions(self):
+        merged = concat_frames([_period(0.0, job=0, file=0), _period(10.0, job=0, file=0)])
+        assert len(np.unique(merged.jobs.data["job"])) == 2
+        files = merged.events["file"]
+        assert len(np.unique(files[files >= 0])) == 2
+
+    def test_result_time_sorted(self):
+        merged = concat_frames([_period(10.0), _period(0.0)])
+        assert merged.is_time_sorted()
+
+    def test_event_count_preserved(self):
+        a, b = _period(0.0), _period(5.0)
+        merged = concat_frames([a, b])
+        assert merged.n_events == a.n_events + b.n_events
+
+    def test_without_renumbering_collisions_are_rejected(self):
+        # both periods used job 0: the job table refuses the duplicate id
+        with pytest.raises(TraceError):
+            concat_frames([_period(0.0, job=0), _period(10.0, job=0)], renumber=False)
+
+
+class TestMergeRawTraces:
+    def test_blocks_concatenate(self):
+        h = TraceHeader()
+        a = RawTrace(h)
+        b = RawTrace(h)
+        merged = merge_raw_traces([a, b])
+        assert merged.header == h
+
+    def test_different_machines_rejected(self):
+        a = RawTrace(TraceHeader(n_compute_nodes=128))
+        b = RawTrace(TraceHeader(n_compute_nodes=64))
+        with pytest.raises(TraceError):
+            merge_raw_traces([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            merge_raw_traces([])

@@ -1,0 +1,137 @@
+"""Tests for repro.trace.postprocess: drift correction and ordering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.machine.clock import DriftingClock
+from repro.trace.collector import Collector, RawTrace
+from repro.trace.postprocess import (
+    DriftModel,
+    estimate_drift,
+    postprocess,
+    reorder_quality,
+)
+from repro.trace.records import EventKind, Record, TraceHeader
+from repro.trace.writer import TraceWriter
+
+
+def _build_skewed_trace(offsets, n_records=400, capacity=4096):
+    """Records from several nodes whose clocks have the given offsets.
+
+    True event times interleave round-robin across nodes; each node's
+    record carries its skewed local stamp.
+    """
+    clocks = {node: DriftingClock(offset=off) for node, off in offsets.items()}
+    true_time = {"t": 0.0}
+    # the collector stamps receipt on the (true-time) reference clock
+    collector = Collector(TraceHeader(), clock=lambda block: true_time["t"])
+
+    def clock_for(node):
+        return lambda: clocks[node].local(true_time["t"])
+
+    writer = TraceWriter(collector, clock_for, buffer_capacity=capacity)
+    true_records = []
+    nodes = sorted(offsets)
+    for i in range(n_records):
+        node = nodes[i % len(nodes)]
+        true_time["t"] = i * 0.01
+        rec = Record(
+            time=float(clocks[node].local(true_time["t"])),
+            node=node,
+            job=0,
+            kind=EventKind.READ,
+            file=1,
+            offset=i * 10,
+            size=10,
+        )
+        true_records.append(
+            Record(time=true_time["t"], node=node, job=0, kind=EventKind.READ,
+                   file=1, offset=i * 10, size=10)
+        )
+        writer.emit(rec)
+    writer.flush_all()
+    return collector.finish(), true_records
+
+
+class TestEstimateDrift:
+    def test_constant_offset_recovered(self):
+        raw, _ = _build_skewed_trace({0: 5.0, 1: -3.0})
+        models = estimate_drift(raw)
+        assert set(models) == {0, 1}
+        for node, m in models.items():
+            assert isinstance(m, DriftModel)
+            assert m.n_blocks >= 1
+            # recv - send = -offset, so the fitted intercept recovers it
+            assert m.b == pytest.approx(-{0: 5.0, 1: -3.0}[node], abs=0.5)
+
+    def test_rate_fit_with_enough_blocks(self):
+        collector = Collector(TraceHeader(), clock=lambda b: b.send_stamp / 1.001)
+        writer = TraceWriter(collector, lambda n: (lambda: 0.0), buffer_capacity=4096)
+        clock = DriftingClock(offset=0.0, rate=1e-3)
+        for i in range(1200):
+            t = i * 0.01
+            writer.emit(Record(time=float(clock.local(t)), node=0, job=0,
+                               kind=EventKind.READ, file=1, offset=i, size=1))
+        writer.flush_all()
+        # blocks' send stamps advance; recv = send/1.001 -> slope ~1/1.001
+        models = estimate_drift(collector.finish())
+        assert models[0].a == pytest.approx(1 / 1.001, rel=1e-3)
+
+    def test_single_block_falls_back_to_offset(self):
+        raw, _ = _build_skewed_trace({0: 1.0}, n_records=3)
+        model = estimate_drift(raw)[0]
+        assert model.a == 1.0
+
+
+class TestPostprocess:
+    def test_sorted_output(self):
+        raw, _ = _build_skewed_trace({0: 0.5, 1: -0.5, 2: 0.0})
+        frame = postprocess(raw)
+        assert frame.is_time_sorted()
+        assert frame.n_events == raw.n_records
+
+    def test_drift_correction_restores_order(self):
+        # clock skew (0.5s) is much larger than inter-event gaps (10ms),
+        # so raw order is badly wrong and corrected order nearly right
+        offsets = {0: 0.5, 1: -0.5, 2: 0.0, 3: 0.25}
+        raw, true_records = _build_skewed_trace(offsets, n_records=600)
+        from repro.trace.frame import TraceFrame
+
+        reference = TraceFrame.from_records(true_records)
+        corrected = postprocess(raw, correct_clocks=True)
+        uncorrected = postprocess(raw, correct_clocks=False)
+        q_corrected = reorder_quality(corrected, reference)
+        q_uncorrected = reorder_quality(uncorrected, reference)
+        assert q_corrected > 0.99
+        assert q_corrected > q_uncorrected
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            postprocess(RawTrace(TraceHeader()))
+
+    def test_validation_runs(self):
+        raw, _ = _build_skewed_trace({0: 0.0})
+        frame = postprocess(raw, validate=True)
+        frame.validate()
+
+
+class TestReorderQuality:
+    def test_identical_frames_score_one(self, micro_frame):
+        assert reorder_quality(micro_frame, micro_frame) == 1.0
+
+    def test_mismatched_events_rejected(self, micro_frame, small_frame):
+        with pytest.raises(TraceError):
+            reorder_quality(micro_frame, small_frame)
+
+    def test_reversal_scores_zero(self):
+        from repro.trace.frame import TraceFrame
+
+        records = [
+            Record(time=float(i), node=0, job=0, kind=EventKind.READ,
+                   file=1, offset=i, size=1)
+            for i in range(10)
+        ]
+        forward = TraceFrame.from_records(records)
+        backward = TraceFrame.from_records(records[::-1], sort=False)
+        assert reorder_quality(backward, forward) == 0.0

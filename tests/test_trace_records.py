@@ -1,0 +1,78 @@
+"""Tests for repro.trace.records."""
+
+import pytest
+
+from repro.trace.records import NO_VALUE, EventKind, OpenFlags, Record, TraceHeader
+
+
+class TestEventKind:
+    def test_transfer_kinds(self):
+        assert EventKind.READ.is_transfer
+        assert EventKind.WRITE.is_transfer
+        assert not EventKind.OPEN.is_transfer
+
+    def test_job_markers(self):
+        assert EventKind.JOB_START.is_job_marker
+        assert EventKind.JOB_END.is_job_marker
+        assert not EventKind.READ.is_job_marker
+
+
+class TestRecordValidation:
+    def test_valid_read(self):
+        r = Record(time=1.0, node=3, job=7, kind=EventKind.READ, file=2, offset=0, size=100)
+        assert r.end_offset == 100
+
+    def test_transfer_needs_offsets(self):
+        with pytest.raises(ValueError):
+            Record(time=0, node=0, job=0, kind=EventKind.READ, file=1)
+
+    def test_transfer_needs_file(self):
+        with pytest.raises(ValueError):
+            Record(time=0, node=0, job=0, kind=EventKind.WRITE, offset=0, size=1)
+
+    def test_open_needs_valid_mode(self):
+        with pytest.raises(ValueError):
+            Record(time=0, node=0, job=0, kind=EventKind.OPEN, file=1, mode=5)
+        with pytest.raises(ValueError):
+            Record(time=0, node=0, job=0, kind=EventKind.OPEN, file=1)  # mode -1
+
+    def test_open_with_mode_ok(self):
+        r = Record(time=0, node=0, job=0, kind=EventKind.OPEN, file=1, mode=0,
+                   flags=int(OpenFlags.READ | OpenFlags.TRACED))
+        assert r.flags & OpenFlags.TRACED
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError):
+            Record(time=0, node=-1, job=0, kind=EventKind.CLOSE, file=1)
+
+    def test_negative_job_rejected(self):
+        with pytest.raises(ValueError):
+            Record(time=0, node=0, job=-2, kind=EventKind.CLOSE, file=1)
+
+    def test_end_offset_undefined_for_non_transfer(self):
+        r = Record(time=0, node=0, job=0, kind=EventKind.CLOSE, file=1)
+        with pytest.raises(ValueError):
+            r.end_offset
+
+    def test_job_marker_defaults(self):
+        r = Record(time=0, node=0, job=0, kind=EventKind.JOB_START, size=4, offset=0)
+        assert r.file == NO_VALUE
+
+    def test_records_are_frozen(self):
+        r = Record(time=0, node=0, job=0, kind=EventKind.CLOSE, file=1)
+        with pytest.raises(AttributeError):
+            r.time = 1.0
+
+
+class TestTraceHeader:
+    def test_defaults_describe_the_nas_machine(self):
+        h = TraceHeader()
+        assert h.n_compute_nodes == 128
+        assert h.n_io_nodes == 10
+        assert h.block_size == 4096
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            TraceHeader(n_compute_nodes=0)
+        with pytest.raises(ValueError):
+            TraceHeader(block_size=-1)

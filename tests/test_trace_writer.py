@@ -1,0 +1,136 @@
+"""Tests for repro.trace.writer and the collector."""
+
+import pytest
+
+from repro.errors import TraceError, TraceFormatError
+from repro.trace.codec import RECORD_SIZE
+from repro.trace.collector import Collector, RawBlock, RawTrace, parse_raw_trace
+from repro.trace.records import EventKind, Record, TraceHeader
+from repro.trace.writer import NodeTraceBuffer, TraceWriter
+
+
+def _read(i, node=0):
+    return Record(time=float(i), node=node, job=0, kind=EventKind.READ,
+                  file=1, offset=i * 100, size=100)
+
+
+class TestNodeTraceBuffer:
+    def test_flushes_when_full(self):
+        buf = NodeTraceBuffer(0, local_clock=lambda: 42.0, capacity=4096)
+        per_block = buf.records_per_block
+        blocks = [b for i in range(per_block + 1) if (b := buf.append(_read(i)))]
+        assert len(blocks) == 1
+        block = blocks[0]
+        assert block.n_records == per_block
+        assert block.send_stamp == 42.0
+        assert len(buf) == 1  # one record left over
+
+    def test_capacity_matches_paper_block(self):
+        buf = NodeTraceBuffer(0, local_clock=lambda: 0.0)
+        assert buf.records_per_block == 4096 // RECORD_SIZE
+
+    def test_rejects_wrong_node(self):
+        buf = NodeTraceBuffer(0, local_clock=lambda: 0.0)
+        with pytest.raises(TraceError):
+            buf.append(_read(0, node=3))
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(TraceError):
+            NodeTraceBuffer(0, local_clock=lambda: 0.0, capacity=10)
+
+    def test_flush_empty_returns_none(self):
+        buf = NodeTraceBuffer(0, local_clock=lambda: 0.0)
+        assert buf.flush() is None
+
+    def test_sequence_numbers_increase(self):
+        buf = NodeTraceBuffer(0, local_clock=lambda: 0.0)
+        buf.append(_read(0))
+        b1 = buf.flush()
+        buf.append(_read(1))
+        b2 = buf.flush()
+        assert (b1.seq, b2.seq) == (0, 1)
+
+
+class TestTraceWriter:
+    def _writer(self):
+        collector = Collector(TraceHeader())
+        return TraceWriter(collector, clock_for=lambda node: (lambda: float(node))), collector
+
+    def test_records_route_to_per_node_buffers(self):
+        writer, collector = self._writer()
+        for node in (0, 1):
+            for i in range(writer.buffer(node).records_per_block):
+                writer.emit(_read(i, node=node))
+        writer.flush_all()
+        nodes = {b.node for b in collector.trace.blocks}
+        assert nodes == {0, 1}
+
+    def test_message_savings_over_90_percent(self):
+        # the paper's claim: buffering cut trace messages by over 90%
+        writer, collector = self._writer()
+        for i in range(1000):
+            writer.emit(_read(i))
+        assert writer.message_savings > 0.9
+
+    def test_flush_all_drains_everything(self):
+        writer, collector = self._writer()
+        for i in range(5):
+            writer.emit(_read(i, node=i))
+        writer.flush_all()
+        assert collector.trace.n_records == 5
+
+    def test_record_count_preserved(self):
+        writer, collector = self._writer()
+        n = 500
+        for i in range(n):
+            writer.emit(_read(i, node=i % 3))
+        writer.flush_all()
+        assert collector.trace.n_records == n
+        assert writer.records_emitted == n
+
+
+class TestCollector:
+    def test_stamps_receive_time(self):
+        collector = Collector(TraceHeader(), clock=lambda block: block.send_stamp + 0.5)
+        block = RawBlock(node=0, seq=0, send_stamp=1.0, recv_stamp=0.0, payload=b"")
+        collector.receive(block)
+        assert collector.trace.blocks[0].recv_stamp == 1.5
+
+    def test_default_clock_echoes_send(self):
+        collector = Collector()
+        collector.receive(RawBlock(node=0, seq=0, send_stamp=3.0, recv_stamp=0.0, payload=b""))
+        assert collector.trace.blocks[0].recv_stamp == 3.0
+
+
+class TestRawTracePersistence:
+    def _trace(self):
+        writer = TraceWriter(Collector(TraceHeader(site="t")), clock_for=lambda n: (lambda: 0.0))
+        for i in range(300):
+            writer.emit(_read(i, node=i % 4))
+        writer.flush_all()
+        return writer.collector.finish()
+
+    def test_bytes_roundtrip(self):
+        trace = self._trace()
+        back = parse_raw_trace(trace.to_bytes())
+        assert back.header == trace.header
+        assert back.n_records == trace.n_records
+        assert [b.node for b in back.blocks] == [b.node for b in trace.blocks]
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.trace.reader import read_raw_trace
+
+        trace = self._trace()
+        path = tmp_path / "x.trace"
+        trace.save(path)
+        back = read_raw_trace(path)
+        assert back.records() == trace.records()
+
+    def test_truncated_file_rejected(self):
+        data = self._trace().to_bytes()
+        with pytest.raises(TraceFormatError):
+            parse_raw_trace(data[:-5])
+
+    def test_block_payload_must_be_whole_records(self):
+        with pytest.raises(TraceFormatError):
+            RawBlock(node=0, seq=0, send_stamp=0, recv_stamp=0, payload=b"xyz")

@@ -1,0 +1,122 @@
+"""Tests for repro.util.units."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    BLOCK_SIZE,
+    GB,
+    KB,
+    MB,
+    align_down,
+    align_up,
+    blocks_spanned,
+    format_bytes,
+    parse_bytes,
+)
+
+
+class TestParseBytes:
+    def test_plain_integer_passthrough(self):
+        assert parse_bytes(512) == 512
+
+    def test_float_rounds(self):
+        assert parse_bytes(1.6) == 2
+
+    def test_suffixes_are_binary(self):
+        assert parse_bytes("1kb") == 1024
+        assert parse_bytes("1MB") == 1024 * 1024
+        assert parse_bytes("2GiB") == 2 * GB
+
+    def test_fractional_value(self):
+        assert parse_bytes("1.5 KB") == 1536
+
+    def test_bare_b_suffix(self):
+        assert parse_bytes("42b") == 42
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_bytes("lots")
+
+    def test_rejects_unknown_suffix(self):
+        with pytest.raises(ValueError):
+            parse_bytes("4tb")
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(ValueError):
+            parse_bytes(-1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            parse_bytes(True)
+
+
+class TestFormatBytes:
+    def test_sub_kb(self):
+        assert format_bytes(17) == "17B"
+
+    def test_kb(self):
+        assert format_bytes(4096) == "4.0KB"
+
+    def test_mb(self):
+        assert format_bytes(3 * MB) == "3.0MB"
+
+    def test_gb(self):
+        assert format_bytes(int(7.6 * GB)) == "7.6GB"
+
+    def test_negative_keeps_sign(self):
+        assert format_bytes(-2048) == "-2.0KB"
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_roundtrip_magnitude(self, n):
+        # parsing a formatted value stays within 5% (format keeps 1 decimal)
+        back = parse_bytes(format_bytes(n))
+        assert abs(back - n) <= max(0.06 * n, 1)
+
+
+class TestBlocksSpanned:
+    def test_zero_size_spans_nothing(self):
+        assert list(blocks_spanned(100, 0)) == []
+
+    def test_within_one_block(self):
+        assert list(blocks_spanned(0, 100)) == [0]
+
+    def test_straddles_boundary(self):
+        assert list(blocks_spanned(BLOCK_SIZE - 1, 2)) == [0, 1]
+
+    def test_exact_block(self):
+        assert list(blocks_spanned(BLOCK_SIZE, BLOCK_SIZE)) == [1]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            blocks_spanned(-1, 10)
+
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=1, max_value=10**7),
+    )
+    def test_span_covers_extent(self, offset, size):
+        span = list(blocks_spanned(offset, size))
+        assert span[0] == offset // BLOCK_SIZE
+        assert span[-1] == (offset + size - 1) // BLOCK_SIZE
+
+
+class TestAlign:
+    def test_align_down(self):
+        assert align_down(5000) == 4096
+
+    def test_align_up(self):
+        assert align_up(5000) == 8192
+
+    def test_aligned_is_fixed_point(self):
+        assert align_down(8192) == 8192
+        assert align_up(8192) == 8192
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_bracketing(self, x):
+        assert align_down(x) <= x <= align_up(x)
+        assert align_up(x) - align_down(x) in (0, BLOCK_SIZE)
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            align_down(10, 0)

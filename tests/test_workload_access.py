@@ -1,0 +1,174 @@
+"""Tests for repro.workload.access: pattern primitives and their metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import WorkloadError
+from repro.workload import access
+
+
+class TestConsecutiveRun:
+    def test_shape_and_values(self):
+        off, sz = access.consecutive_run(100, 3, 50)
+        assert list(off) == [100, 150, 200]
+        assert list(sz) == [50, 50, 50]
+
+    def test_metrics(self):
+        off, sz = access.consecutive_run(0, 10, 8)
+        assert access.sequential_fraction(off) == 1.0
+        assert access.consecutive_fraction(off, sz) == 1.0
+        assert list(access.interval_sizes(off, sz)) == [0] * 9
+
+    def test_empty_run(self):
+        off, sz = access.consecutive_run(0, 0, 8)
+        assert len(off) == 0
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(WorkloadError):
+            access.consecutive_run(0, 3, 0)
+
+
+class TestStridedRun:
+    def test_constant_interval(self):
+        off, sz = access.strided_run(0, 4, 10, 25)
+        assert list(access.interval_sizes(off, sz)) == [15, 15, 15]
+        assert access.sequential_fraction(off) == 1.0
+        assert access.consecutive_fraction(off, sz) == 0.0
+
+    def test_stride_equals_size_is_consecutive(self):
+        off, sz = access.strided_run(0, 4, 10, 10)
+        assert access.consecutive_fraction(off, sz) == 1.0
+
+    def test_overlapping_stride_rejected(self):
+        with pytest.raises(WorkloadError):
+            access.strided_run(0, 2, 10, 5)
+
+
+class TestInterleavedPartition:
+    def test_partition_is_exact_and_disjoint(self):
+        P, rec, n = 4, 100, 19
+        seen = []
+        for rank in range(P):
+            off, sz = access.interleaved_partition(rank, P, rec, n)
+            seen.extend(off.tolist())
+            # per-node pattern is sequential but not consecutive
+            if len(off) > 1:
+                assert access.sequential_fraction(off) == 1.0
+                assert access.consecutive_fraction(off, sz) == 0.0
+                assert set(access.interval_sizes(off, sz).tolist()) == {(P - 1) * rec}
+        assert sorted(seen) == [i * rec for i in range(n)]
+
+    def test_rank_bounds(self):
+        with pytest.raises(WorkloadError):
+            access.interleaved_partition(4, 4, 10, 10)
+
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=1, max_value=512),
+    )
+    def test_every_record_read_once(self, P, n_records, rec):
+        covered = []
+        for rank in range(P):
+            off, _ = access.interleaved_partition(rank, P, rec, n_records)
+            covered.extend((off // rec).tolist())
+        assert sorted(covered) == list(range(n_records))
+
+
+class TestSegmentedPartition:
+    def test_covers_file_disjointly(self):
+        P, total, req = 3, 1000, 64
+        intervals = []
+        for rank in range(P):
+            off, sz = access.segmented_partition(rank, P, total, req)
+            assert access.consecutive_fraction(off, sz) == 1.0
+            intervals.extend(zip(off.tolist(), (off + sz).tolist()))
+        intervals.sort()
+        assert intervals[0][0] == 0
+        assert intervals[-1][1] == total
+        for (a0, a1), (b0, b1) in zip(intervals, intervals[1:]):
+            assert a1 == b0  # contiguous, no overlap
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=100_000),
+        st.integers(min_value=1, max_value=4096),
+    )
+    def test_total_bytes_preserved(self, P, total, req):
+        covered = sum(
+            int(access.segmented_partition(r, P, total, req)[1].sum()) for r in range(P)
+        )
+        assert covered == total
+
+
+class TestTiledRun:
+    def test_two_interval_signature(self):
+        off, sz = access.tiled_run(0, 3, 4, 100, 2)
+        ivals = set(access.interval_sizes(off, sz).tolist())
+        assert ivals == {0, 200}
+        assert access.sequential_fraction(off) == 1.0
+
+    def test_single_tile(self):
+        off, sz = access.tiled_run(0, 1, 3, 10, 5)
+        assert list(off) == [0, 10, 20]
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(WorkloadError):
+            access.tiled_run(0, -1, 2, 10, 1)
+
+
+class TestWholeFile:
+    def test_last_request_short(self):
+        off, sz = access.whole_file(250, 100)
+        assert list(sz) == [100, 100, 50]
+        assert int(sz.sum()) == 250
+
+    def test_zero_bytes(self):
+        off, sz = access.whole_file(0, 100)
+        assert len(off) == 0
+
+    @given(st.integers(min_value=1, max_value=10**6), st.integers(min_value=1, max_value=10**5))
+    def test_coverage_exact(self, total, req):
+        off, sz = access.whole_file(total, req)
+        assert int(sz.sum()) == total
+        assert access.consecutive_fraction(off, sz) == 1.0
+
+
+class TestRandomRequests:
+    def test_within_bounds(self):
+        rng = np.random.default_rng(0)
+        off, sz = access.random_requests(rng, 100, 64, 10_000)
+        assert (off >= 0).all()
+        assert (off + sz <= 10_000).all()
+
+    def test_alignment(self):
+        rng = np.random.default_rng(0)
+        off, _ = access.random_requests(rng, 50, 64, 10_000, align=512)
+        assert (off % 512 == 0).all()
+
+    def test_file_too_small(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(WorkloadError):
+            access.random_requests(rng, 1, 100, 50)
+
+
+class TestWithHeader:
+    def test_shifts_body(self):
+        body = access.consecutive_run(0, 2, 100)
+        off, sz = access.with_header(16, body)
+        assert list(off) == [0, 16, 116]
+        assert list(sz) == [16, 100, 100]
+        # exactly two distinct request sizes — Table 3's dominant bucket
+        assert len(set(sz.tolist())) == 2
+
+    def test_rejects_zero_header(self):
+        with pytest.raises(WorkloadError):
+            access.with_header(0, access.consecutive_run(0, 1, 10))
+
+
+class TestMetricEdgeCases:
+    def test_single_request_is_trivially_sequential(self):
+        assert access.sequential_fraction(np.array([5])) == 1.0
+        assert access.consecutive_fraction(np.array([5]), np.array([10])) == 1.0
+        assert len(access.interval_sizes(np.array([5]), np.array([10]))) == 0

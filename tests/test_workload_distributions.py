@@ -1,0 +1,124 @@
+"""Tests for repro.workload.distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.util.rng import make_rng
+from repro.workload.distributions import (
+    FileSizeModel,
+    JobArrivalModel,
+    NodeCountModel,
+    RecordSizeModel,
+    SnapshotCountModel,
+)
+
+
+class TestNodeCountModel:
+    def test_powers_of_two_only(self):
+        sample = NodeCountModel().sample(make_rng(0), 500)
+        assert all(c & (c - 1) == 0 for c in sample)
+
+    def test_single_node_majority(self):
+        sample = NodeCountModel().sample(make_rng(1), 4000)
+        assert 0.55 < np.mean(sample == 1) < 0.75
+
+    def test_large_jobs_dominate_node_usage(self):
+        # Figure 2's dichotomy: 1-node jobs dominate the count but not
+        # the node-count mass
+        sample = NodeCountModel().sample(make_rng(2), 4000)
+        usage_share = sample[sample >= 32].sum() / sample.sum()
+        assert usage_share > 0.5
+
+    def test_rejects_non_power_weights(self):
+        with pytest.raises(WorkloadError):
+            NodeCountModel(weights={3: 1.0})
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(WorkloadError):
+            NodeCountModel(weights={1: -1.0})
+
+
+class TestFileSizeModel:
+    def test_range_clipping(self):
+        m = FileSizeModel(min_bytes=1000, max_bytes=10_000)
+        sample = m.sample(make_rng(0), 2000)
+        assert sample.min() >= 1000
+        assert sample.max() <= 10_000
+
+    def test_bulk_between_10kb_and_1mb(self):
+        # Figure 3: "most of the files accessed were large (10 KB to 1 MB)"
+        sample = FileSizeModel().sample(make_rng(3), 5000)
+        frac = np.mean((sample >= 10 * 1024) & (sample <= 1 << 20))
+        assert frac > 0.6
+
+    def test_clusters_present(self):
+        sample = FileSizeModel().sample(make_rng(4), 8000)
+        near_25k = np.mean(np.abs(np.log(sample / (25 * 1024.0))) < 0.3)
+        near_250k = np.mean(np.abs(np.log(sample / (250 * 1024.0))) < 0.3)
+        assert near_25k > 0.15
+        assert near_250k > 0.12
+
+    def test_mean_exceeds_median(self):
+        sample = FileSizeModel().sample(make_rng(5), 5000)
+        assert sample.mean() > 2 * np.median(sample)
+
+
+class TestRecordSizeModel:
+    def test_all_small(self):
+        sample = RecordSizeModel().sample(make_rng(0), 1000)
+        assert sample.max() <= 4096
+
+    def test_weights_length_check(self):
+        with pytest.raises(WorkloadError):
+            RecordSizeModel(choices=(1, 2), weights=(1.0,))
+
+    def test_block_size_peak_exists(self):
+        sample = RecordSizeModel().sample(make_rng(1), 5000)
+        assert 0.01 < np.mean(sample == 4096) < 0.15
+
+
+class TestJobArrivalModel:
+    def test_arrivals_within_horizon(self):
+        m = JobArrivalModel()
+        arrivals, durations = m.sample_user_jobs(make_rng(0), 3600.0)
+        assert (arrivals < 3600.0).all()
+        assert (durations >= 1.0).all()
+        assert (durations <= m.max_duration_s).all()
+
+    def test_rate_calibration(self):
+        m = JobArrivalModel()
+        arrivals, _ = m.sample_user_jobs(make_rng(1), 100 * 3600.0)
+        rate = len(arrivals) / 100.0
+        assert rate == pytest.approx(m.rate_per_hour, rel=0.15)
+
+    def test_status_jobs_periodic(self):
+        m = JobArrivalModel(status_period_s=100.0)
+        times = m.status_job_times(1000.0)
+        assert len(times) == 10
+        assert np.allclose(np.diff(times), 100.0)
+
+    def test_rejects_empty_period(self):
+        with pytest.raises(WorkloadError):
+            JobArrivalModel().sample_user_jobs(make_rng(0), 0.0)
+
+    def test_three_week_status_count_matches_paper(self):
+        # the paper: one status job accounted for over 800 of the
+        # single-node jobs in ~3 weeks of tracing
+        m = JobArrivalModel()
+        times = m.status_job_times(156 * 3600.0)
+        assert 700 < len(times) < 900
+
+
+class TestSnapshotCountModel:
+    def test_at_least_one(self):
+        sample = SnapshotCountModel().sample(make_rng(0), 1000)
+        assert sample.min() >= 1
+
+    def test_cap_enforced(self):
+        sample = SnapshotCountModel(mean=10, cap=5).sample(make_rng(0), 1000)
+        assert sample.max() <= 5
+
+    def test_rejects_mean_below_one(self):
+        with pytest.raises(WorkloadError):
+            SnapshotCountModel(mean=0.5).sample(make_rng(0), 1)

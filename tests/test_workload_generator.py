@@ -1,0 +1,150 @@
+"""Tests for repro.workload.generator and scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.records import EventKind, OpenFlags
+from repro.workload import Scenario, WorkloadGenerator, ames1993, tiny
+from repro.workload.generator import _phase_windows, _schedule_use
+from repro.workload.apps import FileUse, OpsPlan
+from repro.cfs.modes import IOMode
+from repro.util.rng import make_rng
+
+
+class TestScenario:
+    def test_ames_defaults(self):
+        s = ames1993()
+        assert s.duration_hours == 156.0
+        assert s.machine.n_compute_nodes == 128
+
+    def test_scaling(self):
+        assert ames1993(0.1).duration_hours == pytest.approx(15.6)
+        with pytest.raises(WorkloadError):
+            ames1993(0)
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(WorkloadError):
+            Scenario(name="bad", duration_hours=1.0, parallel_app_weights={"nope": 1.0})
+
+    def test_tiny_is_cheap(self):
+        t = tiny()
+        assert t.models.max_requests_per_node_file <= 500
+
+
+class TestScheduling:
+    def _use(self, ranks=(0, 1), n_ops=10, rr=False, mode=IOMode.INDEPENDENT):
+        plans = {
+            r: OpsPlan.reads(
+                np.arange(n_ops, dtype=np.int64) * 100,
+                np.full(n_ops, 100, dtype=np.int64),
+            )
+            for r in ranks
+        }
+        return FileUse(
+            name="/x", flags=OpenFlags.READ, mode=mode,
+            node_plans=plans, open_ranks=tuple(ranks), rr_schedule=rr,
+        )
+
+    def test_ops_within_window(self):
+        use = self._use()
+        sched = _schedule_use(use, 10.0, 20.0, make_rng(0))
+        for times in sched.op_times.values():
+            assert (times > 10.0).all() and (times < 20.0).all()
+
+    def test_opens_before_ops_before_closes(self):
+        use = self._use()
+        sched = _schedule_use(use, 0.0, 10.0, make_rng(0))
+        for r in use.open_ranks:
+            assert sched.open_times[r] < sched.op_times[r].min()
+            assert sched.op_times[r].max() < sched.close_times[r]
+
+    def test_rr_schedule_serializes_round_robin(self):
+        use = self._use(ranks=(0, 1, 2), n_ops=4, rr=True, mode=IOMode.SHARED)
+        sched = _schedule_use(use, 0.0, 10.0, make_rng(0))
+        merged = sorted(
+            (t, r) for r, times in sched.op_times.items() for t in times
+        )
+        order = [r for _, r in merged]
+        assert order == [0, 1, 2] * 4
+
+    def test_interleaving_across_ranks(self):
+        # rank streams must interleave in time (interprocess locality)
+        use = self._use(ranks=(0, 1), n_ops=50)
+        sched = _schedule_use(use, 0.0, 10.0, make_rng(1))
+        merged = sorted((t, r) for r, ts in sched.op_times.items() for t in ts)
+        switches = sum(1 for (_, a), (_, b) in zip(merged, merged[1:]) if a != b)
+        assert switches > 30
+
+
+class TestDirectPipeline:
+    def test_deterministic(self):
+        a = WorkloadGenerator(tiny(1.0), seed=3).run("direct")
+        b = WorkloadGenerator(tiny(1.0), seed=3).run("direct")
+        assert np.array_equal(a.frame.events, b.frame.events)
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(tiny(1.0), seed=3).run("direct")
+        b = WorkloadGenerator(tiny(1.0), seed=4).run("direct")
+        assert not np.array_equal(a.frame.events, b.frame.events)
+
+    def test_frame_is_valid(self, small_workload):
+        small_workload.frame.validate()
+
+    def test_job_table_covers_all_jobs(self, small_workload):
+        assert len(small_workload.frame.jobs) == small_workload.n_jobs
+        assert small_workload.n_traced_jobs < small_workload.n_jobs
+
+    def test_untraced_jobs_have_only_markers(self, small_workload):
+        frame = small_workload.frame
+        untraced = frame.jobs.data[~frame.jobs.data["traced"]]["job"]
+        ev = frame.events
+        for job in untraced[:20]:
+            kinds = set(ev["kind"][ev["job"] == job].tolist())
+            assert kinds <= {int(EventKind.JOB_START), int(EventKind.JOB_END)}
+
+    def test_events_within_job_lifetimes(self, small_workload):
+        frame = small_workload.frame
+        spans = {int(r["job"]): (float(r["start"]), float(r["end"])) for r in frame.jobs.data}
+        ev = frame.events
+        for row in ev[:: max(1, len(ev) // 500)]:
+            lo, hi = spans[int(row["job"])]
+            assert lo - 1e-6 <= row["time"] <= hi + 1e-6
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadGenerator(tiny(0.5)).run("sideways")
+
+
+class TestFullPipeline:
+    def test_runs_end_to_end(self, full_pipeline_workload):
+        wl = full_pipeline_workload
+        assert wl.raw is not None
+        assert wl.fs is not None
+        wl.frame.validate()
+
+    def test_full_matches_direct_logically(self):
+        """Both pipelines produce the same transfers, modulo timing/SEEKs."""
+        gen_d = WorkloadGenerator(tiny(0.8), seed=11)
+        gen_f = WorkloadGenerator(tiny(0.8), seed=11)
+        direct = gen_d.run("direct").frame
+        full = gen_f.run("full").frame
+
+        def signature(frame):
+            tr = frame.transfers
+            keys = np.stack(
+                [tr["job"], tr["node"], tr["kind"].astype(np.int64),
+                 tr["offset"], tr["size"]], axis=1,
+            )
+            return keys[np.lexsort(keys.T)]
+
+        assert np.array_equal(signature(direct), signature(full))
+
+    def test_full_trace_has_drifted_then_corrected_clocks(self, full_pipeline_workload):
+        assert full_pipeline_workload.frame.is_time_sorted()
+
+    def test_fs_state_consistent(self, full_pipeline_workload):
+        fs = full_pipeline_workload.fs
+        used, cap = fs.disk_usage()
+        assert 0 <= used <= cap
+        assert fs.open_fds == 0  # everything closed at job end

@@ -1,0 +1,140 @@
+"""Tests for repro.workload.jobs: the mix and the scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.util.rng import make_rng
+from repro.workload.distributions import JobArrivalModel, NodeCountModel
+from repro.workload.jobs import (
+    JobMix,
+    JobSpec,
+    PlacedJob,
+    concurrency_timeline,
+    schedule_jobs,
+)
+
+
+def _mix(**kw):
+    kw.setdefault("arrivals", JobArrivalModel())
+    kw.setdefault("node_counts", NodeCountModel())
+    kw.setdefault("parallel_app_weights", {"bcast": 1.0})
+    return JobMix(**kw)
+
+
+class TestJobSpec:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            JobSpec(job=0, arrival=0, duration=0, n_nodes=1, app="tool", traced=True)
+        with pytest.raises(WorkloadError):
+            JobSpec(job=0, arrival=0, duration=1, n_nodes=3, app="tool", traced=True)
+
+
+class TestJobMix:
+    def test_population_structure(self):
+        specs = _mix().sample(8 * 3600.0, make_rng(0))
+        assert specs
+        # chronological ids
+        assert all(s.job == i for i, s in enumerate(specs))
+        assert all(a.arrival <= b.arrival for a, b in zip(specs, specs[1:]))
+
+    def test_status_jobs_present_and_untraced(self):
+        specs = _mix().sample(4 * 3600.0, make_rng(1))
+        status = [s for s in specs if s.is_status]
+        assert len(status) == pytest.approx(4 * 3600 / 700, abs=2)
+        assert all(not s.traced and s.n_nodes == 1 for s in status)
+
+    def test_single_node_jobs_run_tool(self):
+        specs = _mix().sample(8 * 3600.0, make_rng(2))
+        for s in specs:
+            if s.n_nodes == 1 and not s.is_status:
+                assert s.app == "tool"
+            elif s.n_nodes > 1:
+                assert s.app == "bcast"
+
+    def test_traced_fractions_respected(self):
+        mix = _mix(traced_multi_fraction=1.0, traced_single_fraction=0.0)
+        specs = mix.sample(20 * 3600.0, make_rng(3))
+        multi = [s for s in specs if s.n_nodes > 1]
+        single = [s for s in specs if s.n_nodes == 1 and not s.is_status]
+        assert all(s.traced for s in multi)
+        assert not any(s.traced for s in single)
+
+    def test_rejects_empty_app_mix(self):
+        with pytest.raises(WorkloadError):
+            _mix(parallel_app_weights={})
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(WorkloadError):
+            _mix(traced_multi_fraction=1.5)
+
+
+class TestScheduleJobs:
+    def _spec(self, job, arrival, duration, nodes):
+        return JobSpec(job=job, arrival=arrival, duration=duration,
+                       n_nodes=nodes, app="bcast", traced=True)
+
+    def test_no_contention_starts_at_arrival(self):
+        placed = schedule_jobs([self._spec(0, 1.0, 5.0, 8)], n_compute_nodes=16)
+        assert placed[0].start == 1.0
+        assert placed[0].end == 6.0
+
+    def test_node_capacity_queues_jobs(self):
+        specs = [self._spec(0, 0.0, 10.0, 16), self._spec(1, 1.0, 5.0, 16)]
+        placed = schedule_jobs(specs, n_compute_nodes=16)
+        by_job = {p.job: p for p in placed}
+        assert by_job[1].start == by_job[0].end  # waited for the machine
+
+    def test_concurrency_cap(self):
+        specs = [self._spec(i, 0.0, 10.0, 1) for i in range(12)]
+        placed = schedule_jobs(specs, n_compute_nodes=128, max_concurrent=8)
+        times, counts = concurrency_timeline(placed)
+        assert counts.max() <= 8
+
+    def test_allocations_fit_machine(self):
+        specs = [self._spec(i, float(i), 3.0, 4) for i in range(20)]
+        placed = schedule_jobs(specs, n_compute_nodes=16)
+        # at any instant, the running jobs' nodes are disjoint
+        for p in placed:
+            overlapping = [
+                q for q in placed
+                if q.job != p.job and q.start < p.end and p.start < q.end
+            ]
+            mine = set(p.nodes)
+            for q in overlapping:
+                assert not (mine & set(q.nodes))
+
+    def test_oversized_job_rejected(self):
+        with pytest.raises(WorkloadError):
+            schedule_jobs([self._spec(0, 0.0, 1.0, 32)], n_compute_nodes=16)
+
+    def test_fifo_ordering_of_queue(self):
+        specs = [
+            self._spec(0, 0.0, 10.0, 16),
+            self._spec(1, 1.0, 1.0, 16),
+            self._spec(2, 2.0, 1.0, 16),
+        ]
+        placed = schedule_jobs(specs, n_compute_nodes=16)
+        by_job = {p.job: p for p in placed}
+        assert by_job[1].start <= by_job[2].start
+
+    def test_every_spec_placed_once(self):
+        rng = make_rng(5)
+        specs = _mix().sample(6 * 3600.0, rng)
+        placed = schedule_jobs(specs)
+        assert sorted(p.job for p in placed) == sorted(s.job for s in specs)
+
+
+class TestConcurrencyTimeline:
+    def test_simple_overlap(self):
+        placed = [
+            PlacedJob(JobSpec(0, 0.0, 10.0, 1, "tool", True), start=0.0, base_node=0),
+            PlacedJob(JobSpec(1, 5.0, 10.0, 1, "tool", True), start=5.0, base_node=1),
+        ]
+        times, counts = concurrency_timeline(placed)
+        # levels: 1 on [0,5), 2 on [5,10), 1 on [10,15), 0 after
+        assert list(counts[:3]) == [1, 2, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            concurrency_timeline([])

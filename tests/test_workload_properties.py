@@ -1,0 +1,144 @@
+"""Property-based invariants of the workload layer.
+
+These hold for every seed and node count, not just the calibrated
+defaults — hypothesis hunts for counterexamples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.records import EventKind, OpenFlags
+from repro.util.rng import make_rng
+from repro.workload.apps import APP_REGISTRY, WorkloadModels
+from repro.workload.distributions import JobArrivalModel, NodeCountModel
+from repro.workload.jobs import JobMix, JobSpec, concurrency_timeline, schedule_jobs
+
+MODELS = WorkloadModels(max_requests_per_node_file=200)
+
+node_counts = st.sampled_from([1, 2, 4, 8, 16])
+seeds = st.integers(0, 10_000)
+parallel_apps = st.sampled_from(
+    [name for name in sorted(APP_REGISTRY) if name != "tool"]
+)
+
+
+class TestAppInvariants:
+    @given(parallel_apps, node_counts, seeds)
+    @settings(max_examples=120, deadline=None)
+    def test_plans_are_well_formed(self, app_name, n_nodes, seed):
+        app = APP_REGISTRY[app_name]
+        uses = app.build(0, n_nodes, MODELS, make_rng(seed))
+        for use in uses:
+            # every planning rank opens the file
+            assert set(use.node_plans) <= set(use.open_ranks)
+            # ranks are within the job's allocation
+            assert all(0 <= r < n_nodes for r in use.open_ranks)
+            for plan in use.node_plans.values():
+                assert (plan.offsets >= 0).all()
+                assert (plan.sizes > 0).all()
+                kinds = set(plan.kinds.tolist())
+                assert kinds <= {int(EventKind.READ), int(EventKind.WRITE)}
+
+    @given(parallel_apps, node_counts, seeds)
+    @settings(max_examples=120, deadline=None)
+    def test_reads_stay_inside_preexisting_files(self, app_name, n_nodes, seed):
+        """A read of a pre-existing input must not run past its size —
+        otherwise the full pipeline would silently short-read."""
+        app = APP_REGISTRY[app_name]
+        uses = app.build(0, n_nodes, MODELS, make_rng(seed))
+        for use in uses:
+            if use.preexisting_size <= 0 or use.creates:
+                continue
+            writable = bool(use.flags & OpenFlags.WRITE)
+            for plan in use.node_plans.values():
+                reads = plan.kinds == int(EventKind.READ)
+                if not reads.any():
+                    continue
+                ends = plan.offsets[reads] + plan.sizes[reads]
+                if not writable:
+                    assert int(ends.max()) <= use.preexisting_size
+
+    @given(parallel_apps, node_counts, seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_created_files_only_read_written_bytes(self, app_name, n_nodes, seed):
+        """Reading back a byte the job never wrote means reading garbage."""
+        app = APP_REGISTRY[app_name]
+        uses = app.build(0, n_nodes, MODELS, make_rng(seed))
+        for use in uses:
+            if not use.creates or not (use.flags & OpenFlags.READ):
+                continue
+            written_end = 0
+            read_end = 0
+            for plan in use.node_plans.values():
+                w = plan.kinds == int(EventKind.WRITE)
+                r = plan.kinds == int(EventKind.READ)
+                if w.any():
+                    written_end = max(written_end, int((plan.offsets[w] + plan.sizes[w]).max()))
+                if r.any():
+                    read_end = max(read_end, int((plan.offsets[r] + plan.sizes[r]).max()))
+            assert read_end <= max(written_end, use.preexisting_size)
+
+    @given(node_counts, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_shared_pointer_plans_tile_the_file(self, n_nodes, seed):
+        """Mode 1-3 plans must claim disjoint, gap-free ranges in some
+        global round-robin order (that is what the shared pointer does)."""
+        app = APP_REGISTRY["shptr"]
+        uses = app.build(0, n_nodes, MODELS, make_rng(seed))
+        use = uses[0]
+        assert use.rr_schedule
+        extents = []
+        for plan in use.node_plans.values():
+            extents.extend(zip(plan.offsets.tolist(), (plan.offsets + plan.sizes).tolist()))
+        extents.sort()
+        assert extents[0][0] == 0
+        for (a0, a1), (b0, b1) in zip(extents, extents[1:]):
+            assert a1 == b0  # no gaps, no overlap
+
+
+class TestSchedulerInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e4, allow_nan=False),
+                st.floats(min_value=0.5, max_value=1e3, allow_nan=False),
+                st.sampled_from([1, 2, 4, 8, 16]),
+            ),
+            min_size=1, max_size=40,
+        ),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_placements_never_overlap_nodes(self, raw_specs, max_concurrent):
+        specs = [
+            JobSpec(job=i, arrival=a, duration=d, n_nodes=n, app="bcast", traced=True)
+            for i, (a, d, n) in enumerate(raw_specs)
+        ]
+        placed = schedule_jobs(specs, n_compute_nodes=16, max_concurrent=max_concurrent)
+        assert sorted(p.job for p in placed) == sorted(s.job for s in specs)
+        for p in placed:
+            assert p.start >= p.spec.arrival
+            assert 0 <= p.base_node and p.base_node + p.spec.n_nodes <= 16
+            assert p.base_node % p.spec.n_nodes == 0  # aligned subcube
+        _, counts = concurrency_timeline(placed)
+        assert counts.max() <= max_concurrent
+        # pairwise node-disjointness among temporal overlaps
+        for i, p in enumerate(placed):
+            for q in placed[i + 1:]:
+                if p.start < q.end and q.start < p.end:
+                    assert not (set(p.nodes) & set(q.nodes))
+
+
+class TestMixInvariants:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_job_ids_chronological_and_dense(self, seed):
+        mix = JobMix(
+            arrivals=JobArrivalModel(),
+            node_counts=NodeCountModel(),
+            parallel_app_weights={"bcast": 1.0},
+        )
+        specs = mix.sample(2 * 3600.0, make_rng(seed))
+        assert [s.job for s in specs] == list(range(len(specs)))
+        assert all(a.arrival <= b.arrival for a, b in zip(specs, specs[1:]))

@@ -1,0 +1,67 @@
+"""Tests for repro.workload.validate."""
+
+import pytest
+
+from repro.workload import WorkloadGenerator, ames1993
+from repro.workload.validate import Check, validate_workload
+
+
+class TestCheck:
+    def test_band_logic(self):
+        assert Check("x", 1.0, 0.5, 0.0, 1.0).ok
+        assert not Check("x", 1.0, 1.5, 0.0, 1.0).ok
+        assert Check("x", 1.0, 0.0, 0.0, 1.0).ok  # inclusive bounds
+
+
+class TestValidateWorkload:
+    def test_default_calibration_mostly_in_band(self, small_frame):
+        report = validate_workload(small_frame)
+        # wide bands: the default calibration should rarely miss more
+        # than a couple of metrics from seed variance
+        assert report.passed >= len(report.checks) - 3
+
+    def test_stable_metrics_always_pass(self, small_frame):
+        report = validate_workload(small_frame)
+        by_name = {c.name: c for c in report.checks}
+        for name in (
+            "mode-0 file fraction",
+            "files with <=1 interval size",
+            "files with 1-2 request sizes",
+            "write-only fully consecutive",
+            "reads <4000B (count)",
+        ):
+            assert by_name[name].ok, name
+
+    def test_render_flags_failures(self, small_frame):
+        report = validate_workload(small_frame)
+        text = report.render()
+        assert "calibration:" in text
+        assert "paper" in text and "measured" in text
+
+    def test_report_accessors(self, small_frame):
+        report = validate_workload(small_frame)
+        assert report.passed + len(report.failed) == len(report.checks)
+        assert report.all_ok == (len(report.failed) == 0)
+
+    def test_detects_distributional_drift(self):
+        """A deliberately mis-calibrated scenario must fail validation —
+        the module's whole purpose."""
+        from dataclasses import replace
+
+        base = ames1993(0.04)
+        # kill the parallel apps: everything becomes single-node tools
+        broken = replace(
+            base,
+            node_counts=replace_node_counts(),
+            parallel_app_weights={"bcast": 1.0},
+        )
+        frame = WorkloadGenerator(broken, seed=3).run("direct").frame
+        report = validate_workload(frame)
+        by_name = {c.name: c for c in report.checks}
+        assert not by_name["node-seconds in >=16-node jobs"].ok
+
+
+def replace_node_counts():
+    from repro.workload.distributions import NodeCountModel
+
+    return NodeCountModel(weights={1: 0.95, 2: 0.05})
