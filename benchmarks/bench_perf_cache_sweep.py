@@ -1,0 +1,107 @@
+"""Perf benchmark: replay sweep vs single-pass stack-distance engine.
+
+The Figure 9 replay sweep costs one full trace traversal *per buffer
+count*; the stack-distance engine traverses the trace once and reads
+every capacity off the resulting depth profile.  This benchmark times
+both engines on the same LRU sweep at two trace scales, checks the
+acceptance contract (bit-for-bit equal curves, >= 5x speedup on the
+bench trace), and records the trajectory in ``BENCH_cache_sweep.json``.
+
+Methodology (also in docs/DEVELOPMENT.md): the request stream is
+precomputed and shared, so only engine time is measured; the replay
+sweep is timed once (it is seconds long — timer noise is negligible);
+the stackdist pass is timed as the best of three after one warmup run,
+which discharges first-call allocator effects the same way a warm sweep
+loop would.
+"""
+
+import time
+
+from conftest import emit_json, show
+
+from repro.caching.io_node import request_stream, sweep_buffer_counts
+from repro.util.tables import format_table
+from repro.workload import WorkloadGenerator, ames1993
+
+#: the Figure 9 buffer-count grid
+COUNTS = [50, 125, 250, 500, 1000, 2000, 4000]
+
+#: the second, smaller scale (the first is the session bench trace)
+SMALL_SCALE = 0.02
+
+#: acceptance floor for the bench-trace speedup
+MIN_SPEEDUP = 5.0
+
+
+def _time_engines(frame) -> dict:
+    stream = request_stream(frame)
+    n_events = int(len(stream[0]))
+
+    t0 = time.perf_counter()
+    replay = sweep_buffer_counts(
+        None, COUNTS, n_io_nodes=10, policy="lru", engine="replay", stream=stream
+    )
+    replay_s = time.perf_counter() - t0
+
+    sweep_buffer_counts(  # warmup
+        None, COUNTS, n_io_nodes=10, policy="lru", engine="stackdist", stream=stream
+    )
+    stack_s = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        stackdist = sweep_buffer_counts(
+            None, COUNTS, n_io_nodes=10, policy="lru",
+            engine="stackdist", stream=stream,
+        )
+        stack_s = min(stack_s, time.perf_counter() - t0)
+
+    assert (replay.hit_rates == stackdist.hit_rates).all(), (
+        "stack-distance curve must equal replay bit-for-bit"
+    )
+    return {
+        "events": n_events,
+        "replay_seconds": replay_s,
+        "stackdist_seconds": stack_s,
+        "speedup": replay_s / stack_s,
+        "replay_events_per_sec": n_events / replay_s,
+        "stackdist_events_per_sec": n_events / stack_s,
+        "buffer_counts": COUNTS,
+        "hit_rates": [float(r) for r in stackdist.hit_rates],
+    }
+
+
+def test_perf_cache_sweep(benchmark, frame):
+    small_frame = WorkloadGenerator(
+        ames1993(SMALL_SCALE), seed=7
+    ).run("direct").frame
+
+    results = benchmark.pedantic(
+        lambda: {"bench": _time_engines(frame), "small": _time_engines(small_frame)},
+        rounds=1, iterations=1,
+    )
+
+    rows = [
+        (
+            name,
+            r["events"],
+            f"{r['replay_seconds']:.2f}",
+            f"{r['stackdist_seconds']:.3f}",
+            f"{r['speedup']:.1f}x",
+            f"{r['stackdist_events_per_sec']:,.0f}",
+        )
+        for name, r in results.items()
+    ]
+    show(
+        "Figure 9 LRU sweep: replay vs single-pass stack distances",
+        format_table(
+            ["trace", "events", "replay s", "stackdist s", "speedup", "events/s"],
+            rows,
+        ),
+    )
+    emit_json("cache_sweep", results)
+
+    # one stackdist pass must beat the whole replay sweep by >= 5x on
+    # the bench trace (the smaller trace has proportionally more fixed
+    # overhead, so it only needs to win)
+    assert results["bench"]["speedup"] >= MIN_SPEEDUP
+    assert results["small"]["speedup"] > 1.0

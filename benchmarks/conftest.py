@@ -6,7 +6,9 @@ the traced period (default 0.06 — about 9.4 synthetic hours, a few
 hundred thousand events; the shapes are scale-invariant).
 """
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -37,3 +39,14 @@ def show(title: str, body: str) -> None:
     captured output on failure)."""
     bar = "=" * len(title)
     print(f"\n{title}\n{bar}\n{body}\n")
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Write ``BENCH_<name>.json`` next to the benchmarks.
+
+    Perf benchmarks use this to leave a machine-readable record
+    (speedups, throughput) that is tracked across PRs.
+    """
+    path = Path(__file__).resolve().parent / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -21,6 +21,7 @@ The paper evaluates buffer caches at both ends of the I/O path:
 extension.
 """
 
+from repro.caching.blockspan import BlockSpans, SubRequests, expand_spans
 from repro.caching.compute_node import (
     ComputeNodeCacheResult,
     simulate_compute_node_caches,
@@ -53,6 +54,16 @@ from repro.caching.policies import (
     make_policy,
 )
 from repro.caching.results import HitRateCurve
+from repro.caching.stackdist import (
+    STACKDIST_POLICIES,
+    ComputeNodeStackProfile,
+    IONodeStackProfile,
+    compute_node_stack_profile,
+    io_node_stack_profile,
+    lru_depths,
+    opt_depths,
+)
+from repro.caching.sweeps import SweepLine, sweep_lines
 from repro.caching.writeback import (
     WritebackResult,
     compare_write_policies,
@@ -60,8 +71,20 @@ from repro.caching.writeback import (
 )
 
 __all__ = [
+    "BlockSpans",
     "CombinedResult",
     "ComputeNodeCacheResult",
+    "ComputeNodeStackProfile",
+    "IONodeStackProfile",
+    "STACKDIST_POLICIES",
+    "SubRequests",
+    "SweepLine",
+    "compute_node_stack_profile",
+    "expand_spans",
+    "io_node_stack_profile",
+    "lru_depths",
+    "opt_depths",
+    "sweep_lines",
     "DiskDirectedComparison",
     "DiskTimeResult",
     "compare_interfaces",

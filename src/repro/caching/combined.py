@@ -14,12 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.caching.blockspan import expand_spans
 from repro.caching.compute_node import read_only_file_ids
-from repro.caching.io_node import _build_caches
+from repro.caching.io_node import _build_caches, _resolve_stream, request_jobs
 from repro.caching.policies import LRUPolicy, ReplacementPolicy
 from repro.errors import CacheConfigError
 from repro.trace.frame import TraceFrame
-from repro.trace.records import EventKind
 from repro.util.units import BLOCK_SIZE
 
 
@@ -42,23 +42,29 @@ class CombinedResult:
 
 
 def _serve(
-    caches: list[ReplacementPolicy], n_io: int, file: int, b0: int, b1: int
+    caches: list[ReplacementPolicy],
+    blocks: list[int],
+    ios: list[int],
+    file: int,
+    lo: int,
+    hi: int,
 ) -> tuple[int, int]:
-    """Send one request to the I/O nodes; returns (sub_requests, hits).
+    """Send one request's blocks (``[lo, hi)`` in the expansion) to the
+    I/O nodes; returns (sub_requests, hits).
 
     Writes also pass through here (populating buffers), but the caller
     only scores the read traffic, matching the Figure 9 metric."""
-    if b0 == b1:
-        cache = caches[b0 % n_io]
-        key = (file, b0)
+    if hi - lo == 1:
+        cache = caches[ios[lo]]
+        key = (file, blocks[lo])
         present = key in cache
         cache.access(key)
         return 1, 1 if present else 0
     full: dict[int, bool] = {}
-    for b in range(b0, b1 + 1):
-        io = b % n_io
+    for i in range(lo, hi):
+        io = ios[i]
         cache = caches[io]
-        key = (file, b)
+        key = (file, blocks[i])
         full[io] = full.get(io, True) and key in cache
         cache.access(key)
     return len(full), sum(1 for v in full.values() if v)
@@ -71,6 +77,7 @@ def simulate_combined(
     n_io_nodes: int = 10,
     policy: str = "lru",
     block_size: int = BLOCK_SIZE,
+    stream: tuple[np.ndarray, ...] | None = None,
 ) -> CombinedResult:
     """Run both cache layers over the trace, with and without filtering.
 
@@ -79,58 +86,57 @@ def simulate_combined(
     the I/O nodes.  Everything else (writes, reads of writable files, and
     partially-missed reads) goes to the I/O nodes in full, as CFS would
     send it.
+
+    The request stream and its block expansion are computed once and
+    shared by all three cache layers; callers that already hold the
+    stream (e.g. alongside a Figure 9 sweep) can pass it in.
     """
     if compute_buffers < 1:
         raise CacheConfigError("need at least one compute-node buffer")
     ro = set(read_only_file_ids(frame).tolist())
-    tr = frame.transfers
-    if len(tr) == 0:
-        raise CacheConfigError("no transfers in trace")
+    files, first, last, nodes, is_read = _resolve_stream(frame, stream, block_size)
+    jobs = request_jobs(frame, block_size)
 
     io_with = _build_caches(policy, io_buffers_per_node * n_io_nodes, n_io_nodes)
     io_without = _build_caches(policy, io_buffers_per_node * n_io_nodes, n_io_nodes)
     compute: dict[tuple[int, int], LRUPolicy] = {}
 
-    read_kind = int(EventKind.READ)
-    kinds = tr["kind"].tolist()
-    jobs = tr["job"].astype(np.int64).tolist()
-    nodes = tr["node"].astype(np.int64).tolist()
-    files = tr["file"].astype(np.int64).tolist()
-    offs = tr["offset"].astype(np.int64).tolist()
-    sizes = tr["size"].astype(np.int64).tolist()
+    spans = expand_spans(files, first, last)
+    starts = spans.starts.tolist()
+    blocks = spans.block.tolist()
+    ios = spans.io_nodes(n_io_nodes).tolist()
 
     io_hits_with = io_hits_without = 0
     io_sub_with = io_sub_without = 0
     comp_hits = comp_reqs = 0
     absorbed = 0
 
-    for kind, job, node, file, off, size in zip(kinds, jobs, nodes, files, offs, sizes):
-        if size <= 0:
-            continue
-        b0 = off // block_size
-        b1 = (off + size - 1) // block_size
+    for r, (job, node, file, rd) in enumerate(
+        zip(jobs.tolist(), nodes.tolist(), files.tolist(), is_read.tolist())
+    ):
+        lo, hi = starts[r], starts[r + 1]
         # the unfiltered baseline sees every request
-        subs, hits = _serve(io_without, n_io_nodes, file, b0, b1)
-        if kind == read_kind:
+        subs, hits = _serve(io_without, blocks, ios, file, lo, hi)
+        if rd:
             io_sub_without += subs
             io_hits_without += hits
         forwarded = True
-        if kind == read_kind and file in ro:
+        if rd and file in ro:
             cache = compute.get((job, node))
             if cache is None:
                 cache = LRUPolicy(compute_buffers)
                 compute[(job, node)] = cache
-            hit = all((file, b) in cache for b in range(b0, b1 + 1))
-            for b in range(b0, b1 + 1):
-                cache.touch((file, b))
+            hit = all((file, blocks[i]) in cache for i in range(lo, hi))
+            for i in range(lo, hi):
+                cache.touch((file, blocks[i]))
             comp_reqs += 1
             if hit:
                 comp_hits += 1
                 absorbed += 1
                 forwarded = False
         if forwarded:
-            subs, hits = _serve(io_with, n_io_nodes, file, b0, b1)
-            if kind == read_kind:
+            subs, hits = _serve(io_with, blocks, ios, file, lo, hi)
+            if rd:
                 io_sub_with += subs
                 io_hits_with += hits
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.caching.blockspan import expand_spans
 from repro.caching.policies import LRUPolicy
 from repro.errors import CacheConfigError
 from repro.trace.frame import TraceFrame
@@ -90,27 +91,38 @@ def simulate_compute_node_caches(
     if len(reads) == 0:
         raise CacheConfigError("no read-only reads in trace")
 
-    jobs = reads["job"].astype(np.int64).tolist()
-    nodes = reads["node"].astype(np.int64).tolist()
-    files = reads["file"].astype(np.int64).tolist()
-    first_block = (reads["offset"] // block_size).astype(np.int64).tolist()
+    file_arr = reads["file"].astype(np.int64)
+    first_block = (reads["offset"] // block_size).astype(np.int64)
     last_block = (
         np.maximum(reads["offset"] + reads["size"] - 1, reads["offset"]) // block_size
-    ).astype(np.int64).tolist()
+    ).astype(np.int64)
+    spans = expand_spans(file_arr, first_block, last_block)
+    starts = spans.starts.tolist()
+    blocks = spans.block.tolist()
+    jobs = reads["job"].astype(np.int64).tolist()
+    nodes = reads["node"].astype(np.int64).tolist()
+    files = file_arr.tolist()
 
     caches: dict[tuple[int, int], LRUPolicy] = {}
     hits_by_job: dict[int, int] = {}
     reqs_by_job: dict[int, int] = {}
 
-    for job, node, file, b0, b1 in zip(jobs, nodes, files, first_block, last_block):
+    for r, (job, node, file) in enumerate(zip(jobs, nodes, files)):
         cache = caches.get((job, node))
         if cache is None:
             cache = LRUPolicy(buffers)
             caches[(job, node)] = cache
-        # a request hits only when every block it spans is already present
-        hit = all((file, b) in cache for b in range(b0, b1 + 1))
-        for b in range(b0, b1 + 1):
-            cache.touch((file, b))
+        lo, hi = starts[r], starts[r + 1]
+        if hi - lo == 1:
+            # fast path: the common sub-block request
+            key = (file, blocks[lo])
+            hit = key in cache
+            cache.touch(key)
+        else:
+            # a request hits only when every block it spans is present
+            hit = all((file, blocks[i]) in cache for i in range(lo, hi))
+            for i in range(lo, hi):
+                cache.touch((file, blocks[i]))
         reqs_by_job[job] = reqs_by_job.get(job, 0) + 1
         if hit:
             hits_by_job[job] = hits_by_job.get(job, 0) + 1

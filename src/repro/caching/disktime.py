@@ -14,7 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.caching.io_node import _build_caches, request_stream
+import numpy as np
+
+from repro.caching.blockspan import expand_spans
+from repro.caching.io_node import _build_caches, _resolve_stream
 from repro.errors import CacheConfigError
 from repro.machine.disk import Disk
 from repro.trace.frame import TraceFrame
@@ -41,12 +44,13 @@ class DiskTimeResult:
 
 
 def simulate_disk_time(
-    frame: TraceFrame,
+    frame: TraceFrame | None,
     total_buffers: int,
     n_io_nodes: int = 10,
     policy: str = "lru",
     block_size: int = BLOCK_SIZE,
     disk: Disk | None = None,
+    stream: tuple[np.ndarray, ...] | None = None,
 ) -> tuple[DiskTimeResult, DiskTimeResult]:
     """(cacheless, cached) disk-time results for the same trace.
 
@@ -55,10 +59,13 @@ def simulate_disk_time(
     contiguous misses of one request are coalesced into single disk
     operations (the cache's request-combining effect).  Writes are
     write-behind in both systems but uncoalesced without a cache.
+
+    ``stream`` lets callers reuse one precomputed request stream; the
+    ``frame`` may then be ``None``.
     """
     if total_buffers < 0:
         raise CacheConfigError("total_buffers must be non-negative")
-    files, first, last, nodes, is_read = request_stream(frame, block_size)
+    files, first, last, nodes, is_read = _resolve_stream(frame, stream, block_size)
     caches = _build_caches(policy, total_buffers, n_io_nodes)
 
     raw_disk = disk if disk is not None else Disk()
@@ -74,11 +81,17 @@ def simulate_disk_time(
     cache_busy = 0.0
     cache_last: dict[int, tuple[int, int]] = {}
 
-    for f, b0, b1 in zip(files.tolist(), first.tolist(), last.tolist()):
+    spans = expand_spans(files, first, last)
+    starts = spans.starts.tolist()
+    span_blocks = spans.block.tolist()
+    span_ios = spans.io_nodes(n_io_nodes).tolist()
+
+    for r, f in enumerate(files.tolist()):
+        lo, hi = starts[r], starts[r + 1]
         # --- cacheless system: one disk op per (request, io node) ---
         per_io: dict[int, list[int]] = {}
-        for b in range(b0, b1 + 1):
-            per_io.setdefault(b % n_io_nodes, []).append(b)
+        for i in range(lo, hi):
+            per_io.setdefault(span_ios[i], []).append(span_blocks[i])
         for io, blocks in per_io.items():
             raw_ops += 1
             nbytes = len(blocks) * block_size
@@ -91,8 +104,9 @@ def simulate_disk_time(
 
         # --- cached system: only misses, coalesced into runs ---
         miss_runs: dict[int, list[tuple[int, int]]] = {}
-        for b in range(b0, b1 + 1):
-            io = b % n_io_nodes
+        for i in range(lo, hi):
+            b = span_blocks[i]
+            io = span_ios[i]
             key = (f, b)
             hit = caches[io].access(key)
             if hit:

@@ -21,6 +21,12 @@ Figure 9's published shape: with LRU, ~4000 4 KB buffers across the
 system reach a 90 % hit rate; FIFO needs nearly 20000, because it evicts
 hot blocks on arrival schedule rather than on locality.  How the buffers
 are spread across 1-20 I/O nodes barely changes the hit rate.
+
+Two engines produce the Figure 9 curves: the per-capacity **replay**
+simulator below (the oracle, required for FIFO and the interprocess
+policy), and the single-pass **stack-distance** engine in
+:mod:`repro.caching.stackdist`, which yields the exact LRU/OPT curve at
+every buffer count from one traversal of the trace.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.caching.blockspan import expand_spans
 from repro.caching.policies import (
     OptimalPolicy,
     ReplacementPolicy,
@@ -38,7 +45,11 @@ from repro.caching.policies import (
 from repro.caching.results import HitRateCurve
 from repro.errors import CacheConfigError
 from repro.trace.frame import TraceFrame
+from repro.trace.records import EventKind
 from repro.util.units import BLOCK_SIZE
+
+#: engines accepted by :func:`sweep_buffer_counts`
+ENGINES = ("auto", "replay", "stackdist")
 
 
 @dataclass(frozen=True)
@@ -65,24 +76,28 @@ class IONodeCacheResult:
         return self.all_hits / self.all_sub_requests if self.all_sub_requests else 0.0
 
 
-def request_stream(
-    frame: TraceFrame, block_size: int = BLOCK_SIZE
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """(file, first_block, last_block, node) per transfer, in time order.
-
-    Zero-size transfers are dropped (they touch no blocks).
-    """
+def _nonzero_transfers(frame: TraceFrame) -> np.ndarray:
+    """READ/WRITE events with a positive size, in time order."""
     tr = frame.transfers
     if len(tr) == 0:
         raise CacheConfigError("no transfers in trace")
-    sizes = tr["size"].astype(np.int64)
-    tr = tr[sizes > 0]
+    tr = tr[tr["size"].astype(np.int64) > 0]
     if len(tr) == 0:
         raise CacheConfigError("only zero-size transfers in trace")
+    return tr
+
+
+def request_stream(
+    frame: TraceFrame, block_size: int = BLOCK_SIZE
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(file, first_block, last_block, node, is_read) per transfer, in
+    time order.
+
+    Zero-size transfers are dropped (they touch no blocks).
+    """
+    tr = _nonzero_transfers(frame)
     first = (tr["offset"] // block_size).astype(np.int64)
     last = ((tr["offset"] + tr["size"] - 1) // block_size).astype(np.int64)
-    from repro.trace.records import EventKind
-
     is_read = tr["kind"] == int(EventKind.READ)
     return (
         tr["file"].astype(np.int64),
@@ -91,6 +106,23 @@ def request_stream(
         tr["node"].astype(np.int64),
         is_read,
     )
+
+
+def request_jobs(frame: TraceFrame, block_size: int = BLOCK_SIZE) -> np.ndarray:
+    """Job ids aligned with :func:`request_stream`'s transfer filtering."""
+    return _nonzero_transfers(frame)["job"].astype(np.int64)
+
+
+def _resolve_stream(
+    frame: TraceFrame | None,
+    stream: tuple[np.ndarray, ...] | None,
+    block_size: int,
+) -> tuple[np.ndarray, ...]:
+    if stream is not None:
+        return stream
+    if frame is None:
+        raise CacheConfigError("need a frame or a precomputed stream")
+    return request_stream(frame, block_size)
 
 
 def _build_caches(
@@ -114,44 +146,51 @@ def _prime_opt(
     n_io_nodes: int,
 ) -> None:
     """Give each OPT cache its own future block sequence."""
+    spans = expand_spans(files, first, last)
+    io = spans.io_nodes(n_io_nodes)
     sequences: list[list[tuple[int, int]]] = [[] for _ in range(n_io_nodes)]
-    for f, b0, b1 in zip(files.tolist(), first.tolist(), last.tolist()):
-        for b in range(b0, b1 + 1):
-            sequences[b % n_io_nodes].append((f, b))
+    for f, b, node in zip(spans.file.tolist(), spans.block.tolist(), io.tolist()):
+        sequences[node].append((f, b))
     for cache, seq in zip(caches, sequences):
         assert isinstance(cache, OptimalPolicy)
         cache.prime(seq)
 
 
 def simulate_io_node_caches(
-    frame: TraceFrame,
+    frame: TraceFrame | None,
     total_buffers: int,
     n_io_nodes: int = 10,
     policy: str = "lru",
     block_size: int = BLOCK_SIZE,
     stream: tuple[np.ndarray, ...] | None = None,
 ) -> IONodeCacheResult:
-    """Run the Figure 9 simulation at one (policy, buffer count) setting.
+    """Run the Figure 9 replay at one (policy, buffer count) setting.
 
-    ``stream`` lets sweeps reuse one precomputed request stream.
+    ``stream`` lets sweeps reuse one precomputed request stream; when it
+    is supplied the ``frame`` may be ``None``.
     """
-    if stream is None:
-        stream = request_stream(frame, block_size)
+    stream = _resolve_stream(frame, stream, block_size)
     files, first, last, nodes, is_read = stream
     caches = _build_caches(policy, total_buffers, n_io_nodes)
     if policy.lower() == "opt":
         _prime_opt(caches, files, first, last, n_io_nodes)
     interprocess = policy.lower() == "interprocess"
 
+    spans = expand_spans(files, first, last)
+    starts = spans.starts.tolist()
+    blocks = spans.block.tolist()
+    ios = spans.io_nodes(n_io_nodes).tolist()
+
     read_subs = read_hits = 0
     all_subs = all_hits = 0
-    for f, b0, b1, node, rd in zip(
-        files.tolist(), first.tolist(), last.tolist(), nodes.tolist(), is_read.tolist()
+    for r, (f, node, rd) in enumerate(
+        zip(files.tolist(), nodes.tolist(), is_read.tolist())
     ):
-        if b0 == b1:
+        lo, hi = starts[r], starts[r + 1]
+        if hi - lo == 1:
             # fast path: sub-block request, one I/O node, one block
-            cache = caches[b0 % n_io_nodes]
-            key = (f, b0)
+            cache = caches[ios[lo]]
+            key = (f, blocks[lo])
             present = key in cache
             if interprocess:
                 cache.access_from(key, node)
@@ -163,24 +202,22 @@ def simulate_io_node_caches(
                 read_subs += 1
                 read_hits += present
             continue
-        touched = set()
         full_hit: dict[int, bool] = {}
-        for b in range(b0, b1 + 1):
-            io = b % n_io_nodes
+        for i in range(lo, hi):
+            io = ios[i]
             cache = caches[io]
-            key = (f, b)
+            key = (f, blocks[i])
             present = key in cache
             full_hit[io] = full_hit.get(io, True) and present
             if interprocess:
                 cache.access_from(key, node)
             else:
                 cache.access(key)
-            touched.add(io)
-        n_full = sum(1 for io in touched if full_hit[io])
-        all_subs += len(touched)
+        n_full = sum(1 for ok in full_hit.values() if ok)
+        all_subs += len(full_hit)
         all_hits += n_full
         if rd:
-            read_subs += len(touched)
+            read_subs += len(full_hit)
             read_hits += n_full
     return IONodeCacheResult(
         policy=policy,
@@ -194,18 +231,41 @@ def simulate_io_node_caches(
 
 
 def sweep_buffer_counts(
-    frame: TraceFrame,
+    frame: TraceFrame | None,
     buffer_counts: Sequence[int],
     n_io_nodes: int = 10,
     policy: str = "lru",
     block_size: int = BLOCK_SIZE,
+    engine: str = "auto",
+    stream: tuple[np.ndarray, ...] | None = None,
 ) -> HitRateCurve:
-    """One Figure 9 line: hit rate across a range of total buffer counts."""
-    stream = request_stream(frame, block_size)
+    """One Figure 9 line: hit rate across a range of total buffer counts.
+
+    ``engine`` selects how the curve is computed:
+
+    - ``"replay"`` — brute-force: one full trace replay per buffer count;
+    - ``"stackdist"`` — the single-pass stack-distance engine (LRU/OPT
+      only; exactly equal to replay at every capacity);
+    - ``"auto"`` (default) — stackdist where supported, replay otherwise.
+    """
+    if engine not in ENGINES:
+        raise CacheConfigError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    stream = _resolve_stream(frame, stream, block_size)
+    use_stackdist = engine == "stackdist" or (
+        engine == "auto" and policy.lower() in ("lru", "opt")
+    )
+    if use_stackdist:
+        # imported lazily: stackdist builds on this module's stream/result types
+        from repro.caching.stackdist import io_node_stack_profile
+
+        profile = io_node_stack_profile(
+            n_io_nodes=n_io_nodes, policy=policy, stream=stream
+        )
+        return profile.curve(buffer_counts)
     rates = []
     for count in buffer_counts:
         result = simulate_io_node_caches(
-            frame, count, n_io_nodes=n_io_nodes, policy=policy,
+            None, count, n_io_nodes=n_io_nodes, policy=policy,
             block_size=block_size, stream=stream,
         )
         rates.append(result.hit_rate)

@@ -18,7 +18,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.caching.io_node import _build_caches, request_stream
+import numpy as np
+
+from repro.caching.blockspan import expand_spans
+from repro.caching.io_node import _build_caches, _resolve_stream
 from repro.caching.policies import ReplacementPolicy
 from repro.errors import CacheConfigError
 from repro.trace.frame import TraceFrame
@@ -77,33 +80,39 @@ class _PrefetchState:
 
 
 def simulate_io_node_prefetch(
-    frame: TraceFrame,
+    frame: TraceFrame | None,
     total_buffers: int,
     n_io_nodes: int = 10,
     policy: str = "lru",
     depth: int = 1,
     block_size: int = BLOCK_SIZE,
+    stream: tuple[np.ndarray, ...] | None = None,
 ) -> PrefetchResult:
     """The Figure 9 simulation with ``depth``-block lookahead per I/O node.
 
     ``depth=0`` degenerates to the plain simulation (useful as the
-    baseline in the same units).
+    baseline in the same units).  ``stream`` lets callers reuse one
+    precomputed request stream; the ``frame`` may then be ``None``.
     """
     if depth < 0:
         raise CacheConfigError("prefetch depth must be non-negative")
-    files, first, last, nodes, is_read = request_stream(frame, block_size)
+    files, first, last, nodes, is_read = _resolve_stream(frame, stream, block_size)
     caches = _build_caches(policy, total_buffers, n_io_nodes)
     states = [_PrefetchState() for _ in range(n_io_nodes)]
 
+    spans = expand_spans(files, first, last)
+    starts = spans.starts.tolist()
+    blocks = spans.block.tolist()
+    ios = spans.io_nodes(n_io_nodes).tolist()
+
     read_subs = read_hits = 0
     issued = used = 0
-    for f, b0, b1, rd in zip(
-        files.tolist(), first.tolist(), last.tolist(), is_read.tolist()
-    ):
+    for r, (f, rd) in enumerate(zip(files.tolist(), is_read.tolist())):
         touched: dict[int, bool] = {}
         trigger_blocks: list[int] = []
-        for b in range(b0, b1 + 1):
-            io = b % n_io_nodes
+        for i in range(starts[r], starts[r + 1]):
+            b = blocks[i]
+            io = ios[i]
             cache = caches[io]
             key = (f, b)
             present = key in cache
@@ -140,17 +149,23 @@ def simulate_io_node_prefetch(
 
 
 def prefetch_benefit(
-    frame: TraceFrame,
+    frame: TraceFrame | None,
     total_buffers: int,
     n_io_nodes: int = 10,
     depth: int = 1,
     block_size: int = BLOCK_SIZE,
+    stream: tuple[np.ndarray, ...] | None = None,
 ) -> tuple[PrefetchResult, PrefetchResult]:
-    """(baseline, prefetching) results at identical cache settings."""
+    """(baseline, prefetching) results at identical cache settings.
+
+    The request stream is derived once and shared by both runs."""
+    stream = _resolve_stream(frame, stream, block_size)
     base = simulate_io_node_prefetch(
-        frame, total_buffers, n_io_nodes=n_io_nodes, depth=0, block_size=block_size
+        None, total_buffers, n_io_nodes=n_io_nodes, depth=0,
+        block_size=block_size, stream=stream,
     )
     pref = simulate_io_node_prefetch(
-        frame, total_buffers, n_io_nodes=n_io_nodes, depth=depth, block_size=block_size
+        None, total_buffers, n_io_nodes=n_io_nodes, depth=depth,
+        block_size=block_size, stream=stream,
     )
     return base, pref

@@ -1,0 +1,479 @@
+"""Single-pass stack-distance cache analysis: exact curves at all capacities.
+
+The replay simulators in :mod:`repro.caching.io_node` and
+:mod:`repro.caching.compute_node` answer "what is the hit rate at *one*
+cache size" by replaying the whole trace; sweeping Figure 8/9 over a
+grid of buffer counts replays the trace once per point.  This module
+answers the same question for **every** capacity simultaneously from one
+traversal, using the classic stack-distance observation (Mattson et al.
+1970): for a *stack algorithm*, the capacity-``C`` cache always holds
+the top ``C`` entries of a single priority stack, so an access hits at
+capacity ``C`` iff its stack depth is <= ``C``.
+
+- **LRU** depths are computed with the Bennett–Kruskal counting method,
+  vectorized: the depth of an access at position ``i`` with previous use
+  at ``p`` is ``i - p - D(i)`` where ``D(i)`` counts earlier accesses
+  whose own previous use lies after ``p`` — an inversion-style count
+  done with a bottom-up, numpy-vectorized merge (no per-access Python).
+- **OPT** (Belady) depths come from the Mattson priority stack with
+  "sooner next use wins" percolation, primed with vectorized
+  next-occurrence indices.  OPT is a stack algorithm under this
+  priority, and ties (blocks never referenced again) are interchangeable,
+  so the depths reproduce :class:`repro.caching.policies.OptimalPolicy`
+  replay bit-for-bit at every capacity.
+- **FIFO** and the interprocess-aware policy are *not* stack algorithms
+  (FIFO famously violates inclusion — Belady's anomaly), so the replay
+  simulator remains the oracle for them.
+
+The profiles returned here reproduce the replay simulators' results
+*exactly* — same integer hit/request counts, hence bit-identical hit
+rates — which the property-based tests in
+``tests/test_caching_stackdist.py`` enforce on random traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.caching.blockspan import expand_spans
+from repro.caching.compute_node import ComputeNodeCacheResult, read_only_file_ids
+from repro.caching.io_node import IONodeCacheResult, request_stream
+from repro.caching.results import HitRateCurve
+from repro.errors import CacheConfigError
+from repro.trace.frame import TraceFrame
+from repro.util.units import BLOCK_SIZE
+
+#: sentinel depth for cold (first-touch) accesses: misses at any capacity
+COLD = np.iinfo(np.int64).max
+
+#: policies whose curves the stack-distance engine can produce exactly
+STACKDIST_POLICIES = ("lru", "opt")
+
+
+# -- occurrence indexing -----------------------------------------------------
+
+
+def _prev_occurrences(ids: np.ndarray) -> np.ndarray:
+    """Index of the previous access to the same id, or -1 for first touch."""
+    n = len(ids)
+    prev = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return prev
+    order = np.argsort(ids, kind="stable")
+    srt = ids[order]
+    same = srt[1:] == srt[:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def _next_occurrences(ids: np.ndarray) -> np.ndarray:
+    """Index of the next access to the same id, or COLD for last touch."""
+    n = len(ids)
+    nxt = np.full(n, COLD, dtype=np.int64)
+    if n == 0:
+        return nxt
+    order = np.argsort(ids, kind="stable")
+    srt = ids[order]
+    same = srt[1:] == srt[:-1]
+    nxt[order[:-1][same]] = order[1:][same]
+    return nxt
+
+
+def _encode_pairs(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Injective int64 encoding of (a, b) pairs.
+
+    Fast path: plain ``a * (max(b) + 1) + b`` when the product cannot
+    overflow; falls back to factorizing both columns otherwise.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if len(a) == 0:
+        return np.zeros(0, dtype=np.int64)
+    a_min, a_max = int(a.min()), int(a.max())
+    b_min, b_max = int(b.min()), int(b.max())
+    if a_min >= 0 and b_min >= 0 and (a_max + 1) * (b_max + 1) < (1 << 62):
+        return a * np.int64(b_max + 1) + b
+    _, ia = np.unique(a, return_inverse=True)
+    ub, ib = np.unique(b, return_inverse=True)
+    return ia.astype(np.int64) * np.int64(len(ub)) + ib.astype(np.int64)
+
+
+# -- LRU: vectorized Bennett–Kruskal distances -------------------------------
+
+
+#: bootstrap block width for :func:`_count_prev_greater_before`: pairs
+#: inside blocks this wide are counted by one O(w^2) broadcast compare,
+#: replacing the five cheapest (and proportionally most overhead-heavy)
+#: merge levels
+_BOOT = 32
+
+
+def _count_prev_greater_before(prev: np.ndarray) -> np.ndarray:
+    """``res[i] = #{q < i : prev[q] > prev[i]}`` by vectorized merge.
+
+    A bottom-up merge sort where, at the level two blocks meet, each
+    right-block element counts the left-block elements greater than it
+    (a searchsorted against the already-sorted left block).  Each q < i
+    pair is counted exactly once, at the level where their blocks merge.
+    All per-level work is whole-array numpy; Python touches only the
+    ``log2(n)`` levels.
+
+    Two constant-factor refinements matter at trace scale: the bottom
+    ``log2(_BOOT)`` levels are folded into a single broadcast compare
+    over ``_BOOT``-wide blocks, and each merge level places both sorted
+    halves directly (one searchsorted; the left half lands on the
+    complement slots) instead of re-sorting the merged block.
+    """
+    n = len(prev)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    size = 1 << max(_BOOT.bit_length() - 1, (n - 1).bit_length())
+    vals = np.full(size, -2, dtype=np.int64)  # padding never counts as greater
+    vals[:n] = prev
+
+    # bootstrap: count every q < i pair inside each _BOOT-wide block with
+    # one strictly-lower-triangle broadcast compare, then sort the blocks
+    nb = size // _BOOT
+    blocks = vals.reshape(nb, _BOOT)
+    before = np.tril(np.ones((_BOOT, _BOOT), dtype=bool), -1)  # [i, q] = q < i
+    res = np.sum(
+        blocks[:, None, :] > blocks[:, :, None],
+        axis=2,
+        where=before[None],
+        dtype=np.int64,
+    ).ravel()
+    order = np.argsort(blocks, axis=1, kind="stable")
+    idx = (order + np.arange(nb, dtype=np.int64)[:, None] * _BOOT).ravel()
+    vals = np.take_along_axis(blocks, order, axis=1).ravel()
+
+    big = np.int64(size + 4)  # row offset keeping the flattened rows sorted
+    new_vals = np.empty(size, dtype=np.int64)
+    new_idx = np.empty(size, dtype=np.int64)
+    taken = np.empty(size, dtype=bool)
+    width = _BOOT
+    while width < size:
+        nb = size // (2 * width)
+        shape = (nb, 2 * width)
+        rows_col = np.arange(nb, dtype=np.int64)[:, None]
+        left = vals.reshape(shape)[:, :width]
+        right = vals.reshape(shape)[:, width:]
+        # broadcasting the row offset onto the halves yields contiguous
+        # copies whose concatenation is sorted row over row
+        left_flat = (left + rows_col * big).ravel()
+        right_flat = (right + rows_col * big).ravel()
+        rows = np.repeat(np.arange(nb, dtype=np.int64), width)
+        # per right element: # of left-half elements <= it
+        le = np.searchsorted(left_flat, right_flat, side="right")
+        le -= rows * width
+        right_i = idx.reshape(shape)[:, width:].ravel()
+        res[right_i] += width - le
+        # merge by direct placement: each right element lands le slots
+        # deep into its output row; the left half fills the complement
+        # slots in order (both halves are sorted, so order is preserved)
+        right_dest = rows * (2 * width) + np.tile(
+            np.arange(width, dtype=np.int64), nb
+        )
+        right_dest += le
+        taken[:] = False
+        taken[right_dest] = True
+        left_dest = np.flatnonzero(~taken)
+        new_vals[right_dest] = right.ravel()
+        new_vals[left_dest] = left.ravel()
+        new_idx[right_dest] = right_i
+        new_idx[left_dest] = idx.reshape(shape)[:, :width].ravel()
+        vals, new_vals = new_vals, vals
+        idx, new_idx = new_idx, idx
+        width *= 2
+    out = np.empty(n, dtype=np.int64)
+    out[:] = res[:n]
+    return out
+
+
+def lru_depths(cache_ids: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Per-access LRU stack depth (1-based); :data:`COLD` on first touch.
+
+    ``cache_ids`` partitions the accesses into independent caches (an
+    access only competes with accesses to the same cache); ``keys``
+    identify blocks within a cache.  An access with depth ``d`` hits any
+    LRU cache of capacity >= ``d`` — the LRU inclusion property.
+    """
+    n = len(keys)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(cache_ids, kind="stable")  # time order kept per cache
+    combined = _encode_pairs(np.asarray(cache_ids)[order], np.asarray(keys)[order])
+    prev = _prev_occurrences(combined)
+    # distinct keys touched since the previous use: window size minus
+    # repeats, where a repeat is a q in the window whose own previous use
+    # is also in the window (equivalently prev[q] > prev[i])
+    depth = np.arange(n, dtype=np.int64) - prev - _count_prev_greater_before(prev)
+    depth[prev < 0] = COLD
+    out = np.empty(n, dtype=np.int64)
+    out[order] = depth
+    return out
+
+
+# -- OPT: Mattson priority stack ---------------------------------------------
+
+
+def opt_depths(cache_ids: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Per-access OPT (Belady) stack depth; :data:`COLD` on first touch.
+
+    Maintains, per cache, the Mattson priority stack for the MIN policy:
+    on each access the referenced block takes the top and the displaced
+    blocks percolate down, the block with the *sooner next use* winning
+    each level.  The top ``C`` entries are exactly the contents of a
+    capacity-``C`` Belady cache, so depth <= C  ⇔  replay hit.
+    """
+    n = len(keys)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(cache_ids, kind="stable")
+    cache_srt = np.asarray(cache_ids)[order]
+    combined = _encode_pairs(cache_srt, np.asarray(keys)[order])
+    nxt = _next_occurrences(combined)
+    bounds = np.flatnonzero(cache_srt[1:] != cache_srt[:-1]) + 1
+    segments = np.concatenate(([0], bounds, [n]))
+    depth = np.empty(n, dtype=np.int64)
+    ids = combined.tolist()
+    nxts = nxt.tolist()
+    for lo, hi in zip(segments[:-1].tolist(), segments[1:].tolist()):
+        _opt_segment(ids, nxts, lo, hi, depth)
+    out = np.empty(n, dtype=np.int64)
+    out[order] = depth
+    return out
+
+
+def _opt_segment(
+    ids: list, nxts: list, lo: int, hi: int, depth: np.ndarray
+) -> None:
+    """Run the OPT priority stack over one cache's access slice."""
+    stack_key: list = []   # level 0 = top of stack
+    stack_next: list = []  # current next-use time of each resident
+    level: dict = {}
+    for i in range(lo, hi):
+        k = ids[i]
+        nx = nxts[i]
+        lvl = level.get(k)
+        if lvl is None:
+            depth[i] = COLD
+            d = len(stack_key)
+        else:
+            depth[i] = lvl + 1
+            d = lvl
+        if d == 0:
+            if lvl is None:  # miss into an empty stack
+                stack_key.append(k)
+                stack_next.append(nx)
+                level[k] = 0
+            else:            # hit at the top: refresh the priority
+                stack_next[0] = nx
+            continue
+        # k takes the top; the old top percolates down, winning each
+        # level contest when its next use is sooner than the incumbent's
+        ck, cn = stack_key[0], stack_next[0]
+        stack_key[0], stack_next[0] = k, nx
+        level[k] = 0
+        for j in range(1, d):
+            ik, inn = stack_key[j], stack_next[j]
+            if cn < inn:
+                stack_key[j], stack_next[j] = ck, cn
+                level[ck] = j
+                ck, cn = ik, inn
+        if lvl is None:
+            stack_key.append(ck)
+            stack_next.append(cn)
+        else:
+            stack_key[d], stack_next[d] = ck, cn
+        level[ck] = d
+
+
+def _depths_for_policy(
+    policy: str, cache_ids: np.ndarray, keys: np.ndarray
+) -> np.ndarray:
+    name = policy.lower()
+    if name == "lru":
+        return lru_depths(cache_ids, keys)
+    if name == "opt":
+        return opt_depths(cache_ids, keys)
+    raise CacheConfigError(
+        f"stack-distance engine supports {STACKDIST_POLICIES}, not {policy!r}; "
+        "use the replay engine for FIFO/interprocess (they are not stack "
+        "algorithms)"
+    )
+
+
+# -- I/O-node profile (Figure 9 at all capacities) ---------------------------
+
+
+@dataclass(frozen=True)
+class IONodeStackProfile:
+    """One-pass summary yielding exact Figure 9 results at any capacity.
+
+    Per I/O node, holds the sorted minimum capacity (max stack depth over
+    the sub-request's blocks) at which each sub-request becomes a full
+    hit; a replay at ``total_buffers`` is then a pair of binary searches
+    per node.
+    """
+
+    policy: str
+    n_io_nodes: int
+    #: per node: sorted min-capacity of each *read* sub-request
+    read_depths: tuple[np.ndarray, ...]
+    #: per node: sorted min-capacity of each sub-request (reads + writes)
+    all_depths: tuple[np.ndarray, ...]
+
+    @property
+    def read_sub_requests(self) -> int:
+        return int(sum(len(d) for d in self.read_depths))
+
+    @property
+    def all_sub_requests(self) -> int:
+        return int(sum(len(d) for d in self.all_depths))
+
+    def result_at(self, total_buffers: int) -> IONodeCacheResult:
+        """The exact :func:`simulate_io_node_caches` result at one size."""
+        if total_buffers < 0:
+            raise CacheConfigError("total_buffers must be non-negative")
+        base, extra = divmod(int(total_buffers), self.n_io_nodes)
+        read_hits = all_hits = 0
+        for node in range(self.n_io_nodes):
+            cap = base + (1 if node < extra else 0)
+            read_hits += int(np.searchsorted(self.read_depths[node], cap, side="right"))
+            all_hits += int(np.searchsorted(self.all_depths[node], cap, side="right"))
+        return IONodeCacheResult(
+            policy=self.policy,
+            n_io_nodes=self.n_io_nodes,
+            total_buffers=int(total_buffers),
+            read_sub_requests=self.read_sub_requests,
+            read_hits=read_hits,
+            all_sub_requests=self.all_sub_requests,
+            all_hits=all_hits,
+        )
+
+    def curve(self, buffer_counts) -> HitRateCurve:
+        """The exact Figure 9 line over any grid of buffer counts."""
+        rates = [self.result_at(count).hit_rate for count in buffer_counts]
+        return HitRateCurve(
+            policy=self.policy,
+            n_io_nodes=self.n_io_nodes,
+            buffer_counts=np.asarray(list(buffer_counts), dtype=np.int64),
+            hit_rates=np.asarray(rates),
+        )
+
+
+def io_node_stack_profile(
+    frame: TraceFrame | None = None,
+    n_io_nodes: int = 10,
+    policy: str = "lru",
+    block_size: int = BLOCK_SIZE,
+    stream: tuple[np.ndarray, ...] | None = None,
+) -> IONodeStackProfile:
+    """One pass over the trace → Figure 9 at every buffer count.
+
+    ``stream`` (from :func:`repro.caching.io_node.request_stream`) lets
+    callers reuse a precomputed request stream; otherwise it is derived
+    from ``frame``.
+    """
+    if stream is None:
+        if frame is None:
+            raise CacheConfigError("need a frame or a precomputed stream")
+        stream = request_stream(frame, block_size)
+    if n_io_nodes <= 0:
+        raise CacheConfigError("need at least one I/O node")
+    files, first, last, _nodes, is_read = stream
+    spans = expand_spans(files, first, last)
+    io = spans.io_nodes(n_io_nodes)
+    depths = _depths_for_policy(policy, io, _encode_pairs(spans.file, spans.block))
+    subs = spans.sub_requests(n_io_nodes)
+    # a sub-request becomes a full hit once every block it spans is
+    # resident: min sufficient capacity = max depth over its blocks
+    min_caps = subs.max_over_blocks(depths)
+    sub_read = np.asarray(is_read, dtype=bool)[subs.req]
+    read_depths = []
+    all_depths = []
+    for node in range(n_io_nodes):
+        on_node = subs.io_node == node
+        read_depths.append(np.sort(min_caps[on_node & sub_read]))
+        all_depths.append(np.sort(min_caps[on_node]))
+    return IONodeStackProfile(
+        policy=policy.lower(),
+        n_io_nodes=n_io_nodes,
+        read_depths=tuple(read_depths),
+        all_depths=tuple(all_depths),
+    )
+
+
+# -- compute-node profile (Figure 8 at all capacities) -----------------------
+
+
+@dataclass(frozen=True)
+class ComputeNodeStackProfile:
+    """One-pass summary yielding exact Figure 8 results at any capacity."""
+
+    #: sorted job ids with at least one read-only read
+    job_ids: np.ndarray
+    #: per job (aligned with job_ids): request count
+    job_request_counts: np.ndarray
+    #: per job: sorted min-capacity of each request
+    job_depths: tuple[np.ndarray, ...]
+
+    def result_at(self, buffers: int = 1) -> ComputeNodeCacheResult:
+        """The exact :func:`simulate_compute_node_caches` result."""
+        if buffers < 1:
+            raise CacheConfigError("need at least one buffer")
+        hits = np.asarray(
+            [int(np.searchsorted(d, buffers, side="right")) for d in self.job_depths],
+            dtype=np.int64,
+        )
+        return ComputeNodeCacheResult(
+            buffers=buffers,
+            job_ids=self.job_ids,
+            job_hit_rates=hits / self.job_request_counts,
+            job_request_counts=self.job_request_counts,
+            total_hits=int(hits.sum()),
+            total_requests=int(self.job_request_counts.sum()),
+        )
+
+    def sweep(self, buffer_counts) -> list[ComputeNodeCacheResult]:
+        """Figure 8 at every requested buffer count, from the one pass."""
+        return [self.result_at(int(b)) for b in buffer_counts]
+
+
+def compute_node_stack_profile(
+    frame: TraceFrame, block_size: int = BLOCK_SIZE
+) -> ComputeNodeStackProfile:
+    """One pass over the read-only reads → Figure 8 at every buffer count."""
+    ro = read_only_file_ids(frame)
+    reads = frame.reads
+    reads = reads[np.isin(reads["file"], ro)]
+    if len(reads) == 0:
+        raise CacheConfigError("no read-only reads in trace")
+    files = reads["file"].astype(np.int64)
+    offsets = reads["offset"].astype(np.int64)
+    sizes = reads["size"].astype(np.int64)
+    first = offsets // block_size
+    last = np.maximum(offsets + sizes - 1, offsets) // block_size
+    spans = expand_spans(files, first, last)
+    jobs = reads["job"].astype(np.int64)
+    nodes = reads["node"].astype(np.int64)
+    # one private LRU cache per (job, node); keys are (file, block)
+    cache_ids = _encode_pairs(jobs, nodes)[spans.req]
+    depths = lru_depths(cache_ids, _encode_pairs(spans.file, spans.block))
+    min_caps = spans.max_over_requests(depths)
+    order = np.lexsort((min_caps, jobs))
+    jobs_sorted = jobs[order]
+    caps_sorted = min_caps[order]
+    job_ids, starts, counts = np.unique(
+        jobs_sorted, return_index=True, return_counts=True
+    )
+    job_depths = tuple(
+        caps_sorted[lo : lo + cnt] for lo, cnt in zip(starts.tolist(), counts.tolist())
+    )
+    return ComputeNodeStackProfile(
+        job_ids=job_ids.astype(np.int64),
+        job_request_counts=counts.astype(np.int64),
+        job_depths=job_depths,
+    )

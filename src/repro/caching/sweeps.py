@@ -1,0 +1,105 @@
+"""Parallel fan-out across independent cache-sweep lines.
+
+A Figure 9 style experiment is a set of *lines* — one
+``(policy, n_io_nodes)`` curve each — that share nothing but the
+read-only request stream.  The stack-distance engine already collapses
+each LRU/OPT line to a single pass; what remains (FIFO and interprocess
+replays, multi-``n_io_nodes`` grids, benchmark matrices) is
+embarrassingly parallel across lines, so this module fans the lines out
+over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Workers receive the precomputed stream (a tuple of numpy arrays, cheap
+to pickle and shared page-for-page under fork), never a
+:class:`~repro.trace.frame.TraceFrame`.  When the pool cannot help —
+one line, one worker, or an executor the platform refuses to start —
+the lines run serially in-process with identical results.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.caching.io_node import _resolve_stream, sweep_buffer_counts
+from repro.caching.results import HitRateCurve
+from repro.errors import CacheConfigError
+from repro.trace.frame import TraceFrame
+from repro.util.units import BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class SweepLine:
+    """One curve of a sweep: a policy on a given I/O-node layout."""
+
+    policy: str
+    n_io_nodes: int = 10
+    engine: str = "auto"
+
+
+def _as_line(spec: SweepLine | str | tuple) -> SweepLine:
+    if isinstance(spec, SweepLine):
+        return spec
+    if isinstance(spec, str):
+        return SweepLine(policy=spec)
+    if isinstance(spec, tuple) and 1 <= len(spec) <= 3:
+        return SweepLine(*spec)
+    raise CacheConfigError(f"cannot interpret sweep line spec {spec!r}")
+
+
+def _run_line(
+    stream: tuple[np.ndarray, ...],
+    buffer_counts: Sequence[int],
+    line: SweepLine,
+    block_size: int,
+) -> HitRateCurve:
+    return sweep_buffer_counts(
+        None,
+        buffer_counts,
+        n_io_nodes=line.n_io_nodes,
+        policy=line.policy,
+        block_size=block_size,
+        engine=line.engine,
+        stream=stream,
+    )
+
+
+def sweep_lines(
+    frame: TraceFrame | None,
+    buffer_counts: Sequence[int],
+    lines: Sequence[SweepLine | str | tuple],
+    block_size: int = BLOCK_SIZE,
+    workers: int | None = None,
+    stream: tuple[np.ndarray, ...] | None = None,
+) -> list[HitRateCurve]:
+    """Compute several sweep lines over one trace, in parallel.
+
+    ``lines`` entries may be :class:`SweepLine` instances, bare policy
+    names, or ``(policy, n_io_nodes[, engine])`` tuples.  Results come
+    back in the order given.  ``workers`` caps the process count
+    (default: one per line, bounded by the CPU count); with one worker
+    or one line everything runs in-process.
+    """
+    specs = [_as_line(line) for line in lines]
+    if not specs:
+        return []
+    stream = _resolve_stream(frame, stream, block_size)
+    counts = [int(c) for c in buffer_counts]
+    if workers is None:
+        workers = min(len(specs), os.cpu_count() or 1)
+    if workers <= 1 or len(specs) <= 1:
+        return [_run_line(stream, counts, line, block_size) for line in specs]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_line, stream, counts, line, block_size)
+                for line in specs
+            ]
+            return [f.result() for f in futures]
+    except (BrokenExecutor, OSError):
+        # the pool itself failed (fork refused, worker killed, ...);
+        # the lines are deterministic, so fall back to serial
+        return [_run_line(stream, counts, line, block_size) for line in specs]

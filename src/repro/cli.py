@@ -20,12 +20,14 @@ import argparse
 import sys
 
 from repro.caching import (
+    SweepLine,
     simulate_combined,
     simulate_compute_node_caches,
     simulate_disk_time,
     simulate_io_node_prefetch,
-    sweep_buffer_counts,
+    sweep_lines,
 )
+from repro.caching.io_node import ENGINES
 from repro.core import characterize
 from repro.core.figures import FIGURES, render_all, render_figure
 from repro.strided import coalesce_trace
@@ -114,11 +116,16 @@ def cmd_cache(args) -> int:
         ))
     elif args.experiment == "fig9":
         counts = [int(b) for b in (args.buffers or (50, 125, 250, 500, 1000, 2000, 4000))]
-        rows = []
-        for policy in args.policy:
-            curve = sweep_buffer_counts(frame, counts, n_io_nodes=args.io_nodes,
-                                        policy=policy)
-            rows.append([policy] + [f"{r:.3f}" for r in curve.hit_rates])
+        curves = sweep_lines(
+            frame, counts,
+            [SweepLine(policy=p, n_io_nodes=args.io_nodes, engine=args.engine)
+             for p in args.policy],
+            workers=args.workers,
+        )
+        rows = [
+            [policy] + [f"{r:.3f}" for r in curve.hit_rates]
+            for policy, curve in zip(args.policy, curves)
+        ]
         print(format_table(
             ["policy"] + [str(c) for c in counts], rows,
             title=f"Figure 9: I/O-node caching ({args.io_nodes} I/O nodes)",
@@ -177,10 +184,8 @@ def cmd_reproduce(args) -> int:
 
     fig8 = simulate_compute_node_caches(frame, buffers=1)
     counts = [125, 500, 2000]
-    fig9 = {
-        policy: sweep_buffer_counts(frame, counts, n_io_nodes=10, policy=policy)
-        for policy in ("lru", "fifo")
-    }
+    policies = ("lru", "fifo")
+    fig9 = dict(zip(policies, sweep_lines(frame, counts, list(policies))))
     combined = simulate_combined(frame)
     strided = coalesce_trace(frame)
 
@@ -263,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--policy", nargs="+", default=["lru", "fifo"])
     p.add_argument("--buffers", nargs="+", type=int)
     p.add_argument("--io-nodes", type=int, default=10)
+    p.add_argument("--engine", choices=list(ENGINES), default="auto",
+                   help="fig9 curve engine: single-pass stack distances "
+                        "(LRU/OPT) or per-capacity replay")
+    p.add_argument("--workers", type=int, default=None,
+                   help="processes to fan fig9 policy lines across")
     p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("strided", help="measure the §5 strided-interface benefit")

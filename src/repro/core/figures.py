@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.caching.compute_node import simulate_compute_node_caches
-from repro.caching.io_node import sweep_buffer_counts
+from repro.caching.stackdist import compute_node_stack_profile
+from repro.caching.sweeps import SweepLine, sweep_lines
 from repro.core.filestats import file_size_cdf
 from repro.core.jobstats import concurrency_profile, node_count_distribution
 from repro.core.requests import request_size_cdfs
@@ -37,8 +37,19 @@ FIGURES = {
 }
 
 
-def figure_series(frame: TraceFrame, figure: str) -> dict[str, tuple[np.ndarray, np.ndarray]]:
-    """The (x, y) series of one figure, keyed by series name."""
+def figure_series(
+    frame: TraceFrame,
+    figure: str,
+    engine: str = "auto",
+    workers: int | None = None,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """The (x, y) series of one figure, keyed by series name.
+
+    ``engine`` and ``workers`` steer the cache figures: ``engine``
+    selects replay vs the single-pass stack-distance engine for fig9
+    (see :func:`repro.caching.io_node.sweep_buffer_counts`), ``workers``
+    caps the process fan-out across fig9's policy lines.
+    """
     if figure == "fig1":
         prof = concurrency_profile(frame)
         return {"time at level": (prof.levels.astype(float), prof.fractions)}
@@ -65,20 +76,25 @@ def figure_series(frame: TraceFrame, figure: str) -> dict[str, tuple[np.ndarray,
             out[f"{label}/blocks"] = blocks_cdf.steps()
         return out
     if figure == "fig8":
-        out = {}
-        for buffers in (1, 10, 50):
-            res = simulate_compute_node_caches(frame, buffers=buffers)
-            out[f"{buffers} buffer{'s' if buffers > 1 else ''}"] = res.cdf().steps()
-        return out
+        # one stack-distance pass yields the exact per-job hit rates at
+        # every buffer count (bit-equal to the per-capacity replay)
+        profile = compute_node_stack_profile(frame)
+        return {
+            f"{res.buffers} buffer{'s' if res.buffers > 1 else ''}": res.cdf().steps()
+            for res in profile.sweep((1, 10, 50))
+        }
     if figure == "fig9":
         counts = [50, 125, 250, 500, 1000, 2000, 4000]
-        out = {}
-        for policy in ("lru", "fifo"):
-            curve = sweep_buffer_counts(frame, counts, n_io_nodes=10, policy=policy)
-            out[policy] = (
-                curve.buffer_counts.astype(float), curve.hit_rates,
-            )
-        return out
+        policies = ("lru", "fifo")
+        curves = sweep_lines(
+            frame, counts,
+            [SweepLine(policy=p, n_io_nodes=10, engine=engine) for p in policies],
+            workers=workers,
+        )
+        return {
+            policy: (curve.buffer_counts.astype(float), curve.hit_rates)
+            for policy, curve in zip(policies, curves)
+        }
     raise AnalysisError(f"unknown figure {figure!r}; choose from {sorted(FIGURES)}")
 
 

@@ -1,0 +1,247 @@
+"""Equivalence tests for the single-pass stack-distance engine.
+
+The engine's contract is exactness: at every capacity, the curves it
+produces must be bit-for-bit equal to brute-force replay through the
+actual cache policies.  These tests check that on random traces, plus
+the LRU inclusion (stack) property the engine's correctness rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.caching.blockspan import expand_spans
+from repro.caching.compute_node import simulate_compute_node_caches
+from repro.caching.io_node import request_stream, simulate_io_node_caches, sweep_buffer_counts
+from repro.caching.policies import LRUPolicy, OptimalPolicy
+from repro.caching.stackdist import (
+    COLD,
+    compute_node_stack_profile,
+    io_node_stack_profile,
+    lru_depths,
+    opt_depths,
+)
+from repro.caching.sweeps import SweepLine, sweep_lines
+from repro.errors import CacheConfigError
+from repro.trace.frame import TraceFrame
+from repro.trace.records import EventKind, Record
+
+
+def _stream(draw_requests):
+    """Build a request-stream tuple from (file, first, span, node, read) rows."""
+    files, first, last, nodes, is_read = [], [], [], [], []
+    for f, b0, span, node, rd in draw_requests:
+        files.append(f)
+        first.append(b0)
+        last.append(b0 + span)
+        nodes.append(node)
+        is_read.append(rd)
+    return (
+        np.asarray(files, dtype=np.int64),
+        np.asarray(first, dtype=np.int64),
+        np.asarray(last, dtype=np.int64),
+        np.asarray(nodes, dtype=np.int64),
+        np.asarray(is_read, dtype=bool),
+    )
+
+
+request_rows = st.lists(
+    st.tuples(
+        st.integers(0, 2),        # file
+        st.integers(0, 9),        # first block
+        st.integers(0, 3),        # extra blocks spanned
+        st.integers(0, 3),        # issuing node
+        st.booleans(),            # is_read
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+key_sequences = st.lists(st.integers(0, 7), min_size=1, max_size=40)
+
+
+class TestIONodeEquivalence:
+    @given(request_rows, st.sampled_from([1, 3]), st.sampled_from(["lru", "opt"]))
+    @settings(max_examples=30, deadline=None)
+    def test_profile_equals_replay_at_every_capacity(self, rows, n_io, policy):
+        stream = _stream(rows)
+        profile = io_node_stack_profile(n_io_nodes=n_io, policy=policy, stream=stream)
+        for cap in range(0, 14):
+            got = profile.result_at(cap)
+            want = simulate_io_node_caches(
+                None, cap, n_io_nodes=n_io, policy=policy, stream=stream
+            )
+            assert (
+                got.read_hits, got.read_sub_requests, got.all_hits, got.all_sub_requests
+            ) == (
+                want.read_hits, want.read_sub_requests,
+                want.all_hits, want.all_sub_requests,
+            )
+
+    @given(request_rows)
+    @settings(max_examples=20, deadline=None)
+    def test_curve_matches_result_at(self, rows):
+        stream = _stream(rows)
+        profile = io_node_stack_profile(n_io_nodes=2, policy="lru", stream=stream)
+        counts = [0, 1, 3, 8]
+        curve = profile.curve(counts)
+        for cap, rate in zip(counts, curve.hit_rates):
+            assert rate == profile.result_at(cap).hit_rate
+
+    @given(request_rows, st.sampled_from(["lru", "opt"]))
+    @settings(max_examples=15, deadline=None)
+    def test_sweep_engines_agree(self, rows, policy):
+        stream = _stream(rows)
+        counts = [0, 2, 5, 11]
+        by_stack = sweep_buffer_counts(
+            None, counts, n_io_nodes=3, policy=policy,
+            engine="stackdist", stream=stream,
+        )
+        by_replay = sweep_buffer_counts(
+            None, counts, n_io_nodes=3, policy=policy,
+            engine="replay", stream=stream,
+        )
+        assert np.array_equal(by_stack.hit_rates, by_replay.hit_rates)
+
+
+def _read_frame(rows):
+    """A frame of read-only reads from (job, node, file, offset, size) rows."""
+    return TraceFrame.from_records([
+        Record(time=float(i), node=n, job=j, kind=EventKind.READ,
+               file=f, offset=o, size=s)
+        for i, (j, n, f, o, s) in enumerate(rows)
+    ])
+
+
+read_rows = st.lists(
+    st.tuples(
+        st.integers(0, 2),            # job
+        st.integers(0, 1),            # node
+        st.integers(1, 2),            # file
+        st.integers(0, 5 * 4096),     # offset
+        st.integers(0, 2 * 4096),     # size (zero-size reads included)
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestComputeNodeEquivalence:
+    @given(read_rows)
+    @settings(max_examples=30, deadline=None)
+    def test_profile_equals_replay_at_every_capacity(self, rows):
+        frame = _read_frame(rows)
+        profile = compute_node_stack_profile(frame)
+        for cap in range(1, 9):
+            got = profile.result_at(cap)
+            want = simulate_compute_node_caches(frame, buffers=cap)
+            assert got.buffers == want.buffers
+            assert np.array_equal(got.job_ids, want.job_ids)
+            assert np.array_equal(got.job_request_counts, want.job_request_counts)
+            assert np.array_equal(got.job_hit_rates, want.job_hit_rates)
+            assert (got.total_hits, got.total_requests) == (
+                want.total_hits, want.total_requests,
+            )
+
+
+class TestStackProperties:
+    @given(key_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_lru_depths_predict_policy_hits(self, keys):
+        arr = np.asarray(keys, dtype=np.int64)
+        depths = lru_depths(np.zeros(len(arr), dtype=np.int64), arr)
+        for cap in range(0, 9):
+            policy = LRUPolicy(cap)
+            hits = np.asarray([policy.access((0, k)) for k in keys])
+            assert np.array_equal(hits, depths <= cap)
+
+    @given(key_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_opt_depths_predict_policy_hits(self, keys):
+        arr = np.asarray(keys, dtype=np.int64)
+        depths = opt_depths(np.zeros(len(arr), dtype=np.int64), arr)
+        for cap in range(0, 9):
+            policy = OptimalPolicy(cap)
+            policy.prime([(0, k) for k in keys])
+            hits = np.asarray([policy.access((0, k)) for k in keys])
+            assert np.array_equal(hits, depths <= cap)
+
+    @given(key_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_lru_inclusion(self, keys):
+        """The stack property: a capacity-c LRU cache's contents are
+        always a subset of the capacity-(c+1) cache's contents."""
+        caches = [LRUPolicy(cap) for cap in range(1, 9)]
+        universe = {(0, k) for k in keys}
+        for k in keys:
+            for cache in caches:
+                cache.access((0, k))
+            for small, large in zip(caches, caches[1:]):
+                for key in universe:
+                    if key in small:
+                        assert key in large
+
+    @given(key_sequences)
+    @settings(max_examples=40, deadline=None)
+    def test_depths_are_cold_exactly_on_first_touch(self, keys):
+        arr = np.asarray(keys, dtype=np.int64)
+        depths = lru_depths(np.zeros(len(arr), dtype=np.int64), arr)
+        seen = set()
+        for k, d in zip(keys, depths):
+            assert (d == COLD) == (k not in seen)
+            seen.add(k)
+
+
+class TestExpansionAndErrors:
+    def test_expand_spans_basic(self):
+        spans = expand_spans([5, 7], [2, 4], [4, 4])
+        assert np.array_equal(spans.block, [2, 3, 4, 4])
+        assert np.array_equal(spans.file, [5, 5, 5, 7])
+        assert np.array_equal(spans.req, [0, 0, 0, 1])
+        assert np.array_equal(spans.starts, [0, 3, 4])
+
+    def test_expand_spans_rejects_inverted_span(self):
+        with pytest.raises(CacheConfigError):
+            expand_spans([1], [3], [2])
+
+    def test_expand_spans_rejects_ragged_inputs(self):
+        with pytest.raises(CacheConfigError):
+            expand_spans([1, 2], [0], [0])
+
+    def test_stackdist_rejects_non_stack_policy(self):
+        stream = _stream([(0, 0, 0, 0, True)])
+        with pytest.raises(CacheConfigError, match="replay"):
+            io_node_stack_profile(n_io_nodes=1, policy="fifo", stream=stream)
+
+    def test_sweep_rejects_unknown_engine(self, micro_frame):
+        with pytest.raises(CacheConfigError, match="engine"):
+            sweep_buffer_counts(micro_frame, [1], engine="warp")
+
+    def test_stream_or_frame_required(self):
+        with pytest.raises(CacheConfigError, match="stream"):
+            simulate_io_node_caches(None, 10)
+
+    def test_stackdist_engine_rejects_fifo_sweep(self, micro_frame):
+        with pytest.raises(CacheConfigError):
+            sweep_buffer_counts(micro_frame, [1], policy="fifo", engine="stackdist")
+
+
+class TestSweepLines:
+    def test_serial_and_parallel_agree(self, micro_frame):
+        stream = request_stream(micro_frame)
+        lines = [SweepLine("lru"), SweepLine("fifo"), ("lru", 3), "opt"]
+        counts = [1, 5, 20]
+        serial = sweep_lines(None, counts, lines, workers=1, stream=stream)
+        fanned = sweep_lines(None, counts, lines, workers=2, stream=stream)
+        assert [c.policy for c in serial] == ["lru", "fifo", "lru", "opt"]
+        for a, b in zip(serial, fanned):
+            assert a.policy == b.policy
+            assert a.n_io_nodes == b.n_io_nodes
+            assert np.array_equal(a.hit_rates, b.hit_rates)
+
+    def test_empty_lines(self, micro_frame):
+        assert sweep_lines(micro_frame, [1], []) == []
+
+    def test_rejects_bad_spec(self, micro_frame):
+        with pytest.raises(CacheConfigError):
+            sweep_lines(micro_frame, [1], [42])
