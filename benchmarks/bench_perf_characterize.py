@@ -1,0 +1,121 @@
+"""Perf benchmark: legacy vs index-backed vs parallel characterization.
+
+The §4 characterization used to re-sort and re-group the trace inside
+every analyzer; the shared :class:`~repro.trace.index.TraceIndex` computes
+those orderings once and the analyzers read grouped views.  On top of
+that, ``characterize(frame, workers=N)`` fans the independent analysis
+families out across forked worker processes.  This benchmark times all
+three paths on the same traces at two scales, checks the acceptance
+contract (byte-identical report text, >= 3x end-to-end speedup on the
+bench trace), and records the trajectory in ``BENCH_characterize.json``.
+
+Methodology (also in docs/DEVELOPMENT.md): the index and the ``of_kind``
+views cache on the frame, so every timed run gets a *fresh* frame built
+from the same event arrays — each path pays its own sort/group costs and
+nothing leaks between paths.  Every path is timed as the best of three;
+the first parallel run also absorbs pool start-up, which best-of-three
+discharges the same way a long-lived analysis server would.
+"""
+
+import time
+
+from conftest import emit_json, show
+
+from repro.core import characterize
+from repro.core.legacy import characterize_legacy
+from repro.trace.frame import TraceFrame
+from repro.util.tables import format_table
+from repro.workload import WorkloadGenerator, ames1993
+
+#: the second, smaller scale (the first is the session bench trace)
+SMALL_SCALE = 0.02
+
+#: acceptance floor for the bench-trace end-to-end speedup
+MIN_SPEEDUP = 3.0
+
+#: worker processes for the parallel path
+WORKERS = 4
+
+
+def _fresh(frame) -> TraceFrame:
+    """The same events with cold caches (no index, no kind views)."""
+    return TraceFrame(
+        frame.events, jobs=frame.jobs, files=frame.files, header=frame.header
+    )
+
+
+def _best_of(run, frame, rounds: int = 3) -> tuple[float, str]:
+    best = float("inf")
+    text = ""
+    for _ in range(rounds):
+        f = _fresh(frame)
+        t0 = time.perf_counter()
+        report = run(f)
+        best = min(best, time.perf_counter() - t0)
+        text = report.render()
+    return best, text
+
+
+def _time_paths(frame) -> dict:
+    legacy_s, legacy_text = _best_of(characterize_legacy, frame)
+    indexed_s, indexed_text = _best_of(characterize, frame)
+    parallel_s, parallel_text = _best_of(
+        lambda f: characterize(f, workers=WORKERS), frame
+    )
+
+    assert indexed_text == legacy_text, (
+        "index-backed report must equal the legacy report byte-for-byte"
+    )
+    assert parallel_text == legacy_text, (
+        "parallel report must equal the legacy report byte-for-byte"
+    )
+    return {
+        "events": int(frame.n_events),
+        "legacy_seconds": legacy_s,
+        "indexed_seconds": indexed_s,
+        "parallel_seconds": parallel_s,
+        "workers": WORKERS,
+        "speedup_indexed": legacy_s / indexed_s,
+        "speedup_parallel": legacy_s / parallel_s,
+        "speedup_best": legacy_s / min(indexed_s, parallel_s),
+        "report_identical": True,
+    }
+
+
+def test_perf_characterize(benchmark, frame):
+    small_frame = WorkloadGenerator(
+        ames1993(SMALL_SCALE), seed=7
+    ).run("direct").frame
+
+    results = benchmark.pedantic(
+        lambda: {"bench": _time_paths(frame), "small": _time_paths(small_frame)},
+        rounds=1, iterations=1,
+    )
+
+    rows = [
+        (
+            name,
+            r["events"],
+            f"{r['legacy_seconds']:.3f}",
+            f"{r['indexed_seconds']:.3f}",
+            f"{r['parallel_seconds']:.3f}",
+            f"{r['speedup_indexed']:.1f}x",
+            f"{r['speedup_parallel']:.1f}x",
+        )
+        for name, r in results.items()
+    ]
+    show(
+        "characterize(): legacy vs shared index vs parallel fan-out",
+        format_table(
+            ["trace", "events", "legacy s", "indexed s",
+             f"parallel s (N={WORKERS})", "indexed", "parallel"],
+            rows,
+        ),
+    )
+    emit_json("characterize", results)
+
+    # the indexed/parallel offering must beat the legacy serial path by
+    # >= 3x end-to-end on the bench trace (the smaller trace carries
+    # proportionally more fixed overhead, so it only needs to win)
+    assert results["bench"]["speedup_best"] >= MIN_SPEEDUP
+    assert results["small"]["speedup_best"] > 1.0

@@ -54,7 +54,9 @@ def _load_frame(args) -> TraceFrame:
 
 def cmd_generate(args) -> int:
     scenario = ames1993(args.scale)
-    workload = WorkloadGenerator(scenario, seed=args.seed).run(args.pipeline)
+    workload = WorkloadGenerator(scenario, seed=args.seed).run(
+        args.pipeline, workers=args.workers
+    )
     workload.frame.save(args.out)
     print(
         f"wrote {args.out}: {workload.frame.n_events} events, "
@@ -66,7 +68,7 @@ def cmd_generate(args) -> int:
 
 def cmd_characterize(args) -> int:
     frame = _load_frame(args)
-    print(characterize(frame).render())
+    print(characterize(frame, workers=args.workers).render())
     return 0
 
 
@@ -92,9 +94,9 @@ def cmd_figures(args) -> int:
             print(f"wrote {path}")
         return 0
     if args.figure:
-        print(render_figure(frame, args.figure))
+        print(render_figure(frame, args.figure, workers=args.workers))
     else:
-        print(render_all(frame))
+        print(render_all(frame, workers=args.workers))
     return 0
 
 
@@ -247,15 +249,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--pipeline", choices=["direct", "full"], default="direct")
     p.add_argument("--out", required=True, help="output .npz path")
+    p.add_argument("--workers", type=int, default=None,
+                   help="processes to fan per-job event synthesis across "
+                        "(direct pipeline; output is byte-identical)")
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("characterize", help="run the full §4 characterization")
     _add_input_args(p)
+    p.add_argument("--workers", type=int, default=None,
+                   help="processes to fan analysis families across "
+                        "(report is byte-identical)")
     p.set_defaults(func=cmd_characterize)
 
     p = sub.add_parser("figures", help="render the paper's figures as ASCII charts")
     _add_input_args(p)
     p.add_argument("--figure", choices=sorted(FIGURES))
+    p.add_argument("--workers", type=int, default=None,
+                   help="processes to fan figure families across")
     p.add_argument("--svg", metavar="DIR",
                    help="write SVG files into DIR instead of ASCII charts")
     p.set_defaults(func=cmd_figures)

@@ -98,9 +98,15 @@ def figure_series(
     raise AnalysisError(f"unknown figure {figure!r}; choose from {sorted(FIGURES)}")
 
 
-def render_figure(frame: TraceFrame, figure: str, width: int = 64, height: int = 14) -> str:
+def render_figure(
+    frame: TraceFrame,
+    figure: str,
+    width: int = 64,
+    height: int = 14,
+    workers: int | None = None,
+) -> str:
     """One figure as a captioned ASCII chart."""
-    series = figure_series(frame, figure)
+    series = figure_series(frame, figure, workers=workers)
     caption = f"{figure}: {FIGURES[figure]}"
     if figure in ("fig1", "fig2"):
         # categorical bars read better than a line for these
@@ -148,12 +154,42 @@ def render_figure_svg(frame: TraceFrame, figure: str,
                      logx=logx, width=width, height=height)
 
 
-def render_all(frame: TraceFrame, width: int = 64, height: int = 12) -> str:
-    """All nine figures, skipping any the trace cannot support."""
-    blocks = []
-    for figure in FIGURES:
-        try:
-            blocks.append(render_figure(frame, figure, width=width, height=height))
-        except AnalysisError as exc:
-            blocks.append(f"{figure}: skipped ({exc})")
-    return "\n\n".join(blocks)
+def _render_one(frame: TraceFrame, figure: str, width: int, height: int,
+                inner_workers: int | None) -> str:
+    try:
+        return render_figure(
+            frame, figure, width=width, height=height, workers=inner_workers
+        )
+    except AnalysisError as exc:
+        return f"{figure}: skipped ({exc})"
+
+
+def render_all(
+    frame: TraceFrame,
+    width: int = 64,
+    height: int = 12,
+    workers: int | None = None,
+) -> str:
+    """All nine figures, skipping any the trace cannot support.
+
+    ``workers`` fans the figure families out across a process pool; when
+    it does, each figure runs with an inner worker count of 1 so fig9's
+    own sweep fan-out never nests a pool inside a pool.  Output is
+    byte-identical to the serial path — blocks are reassembled in
+    ``FIGURES`` order.
+    """
+    from functools import partial
+
+    from repro.util.pool import map_tasks
+
+    fanned = workers is not None and workers > 1
+    inner = 1 if fanned else workers
+    tasks = {
+        figure: partial(
+            _render_one, figure=figure, width=width, height=height,
+            inner_workers=inner,
+        )
+        for figure in FIGURES
+    }
+    blocks = map_tasks(tasks, frame, workers)
+    return "\n\n".join(blocks[figure] for figure in FIGURES)

@@ -14,7 +14,6 @@ import numpy as np
 
 from repro.errors import AnalysisError
 from repro.trace.frame import TraceFrame
-from repro.trace.records import NO_VALUE
 from repro.util.cdf import EmpiricalCDF
 
 
@@ -62,17 +61,16 @@ class FilePopulation:
 
 
 def _file_classes(frame: TraceFrame) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """(file_ids, was_read, was_written, opened) boolean arrays."""
-    ev = frame.events
-    file_ids = np.unique(ev["file"][ev["file"] != NO_VALUE]).astype(np.int64)
+    """(file_ids, was_read, was_written, opened) boolean arrays.
+
+    All four come from the shared trace index, so the population scan
+    happens once per frame no matter how many analyses ask.
+    """
+    idx = frame.index
+    file_ids = idx.file_ids
     if len(file_ids) == 0:
         raise AnalysisError("no file events in trace")
-    reads = np.unique(frame.reads["file"]).astype(np.int64)
-    writes = np.unique(frame.writes["file"]).astype(np.int64)
-    was_read = np.isin(file_ids, reads)
-    was_written = np.isin(file_ids, writes)
-    opened = np.isin(file_ids, np.unique(frame.opens["file"]).astype(np.int64))
-    return file_ids, was_read, was_written, opened
+    return file_ids, idx.was_read, idx.was_written, idx.was_opened
 
 
 def population(frame: TraceFrame) -> FilePopulation:
@@ -117,12 +115,9 @@ def file_size_cdf(frame: TraceFrame, include_untouched: bool = False) -> Empiric
         raise AnalysisError("no files in trace")
     sizes = ft["final_size"].astype(np.float64)
     if not include_untouched:
-        _, was_read, was_written, _ = _file_classes(frame)
         # the file table and _file_classes enumerate the same ids in the
         # same sorted order only if the table is sorted; align explicitly
-        file_ids = np.unique(
-            frame.events["file"][frame.events["file"] != NO_VALUE]
-        ).astype(np.int64)
+        file_ids, was_read, was_written, _ = _file_classes(frame)
         touched_ids = file_ids[was_read | was_written]
         keep = np.isin(ft["file"].astype(np.int64), touched_ids)
         sizes = sizes[keep]
@@ -137,15 +132,6 @@ def file_class_labels(frame: TraceFrame) -> dict[int, str]:
     Shared by the sequentiality and sharing analyses, which split their
     CDFs by file class.
     """
-    file_ids, was_read, was_written, _ = _file_classes(frame)
-    labels = {}
-    for fid, r, w in zip(file_ids.tolist(), was_read.tolist(), was_written.tolist()):
-        if r and w:
-            labels[fid] = "rw"
-        elif r:
-            labels[fid] = "ro"
-        elif w:
-            labels[fid] = "wo"
-        else:
-            labels[fid] = "untouched"
-    return labels
+    if len(frame.index.file_ids) == 0:
+        raise AnalysisError("no file events in trace")
+    return frame.index.file_labels

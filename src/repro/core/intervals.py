@@ -15,9 +15,23 @@ import numpy as np
 
 from repro.errors import AnalysisError
 from repro.trace.frame import TraceFrame
-from repro.trace.records import NO_VALUE
-from repro.core.sequentiality import _grouped_transitions
 from repro.util.histogram import bucket_counts
+
+
+def _counts_from_pairs(
+    frame: TraceFrame, pair_files: np.ndarray
+) -> dict[int, int]:
+    """file id → number of (already deduplicated) pairs it appears in,
+    zero-filled for every file in the trace."""
+    all_files = frame.index.file_ids
+    if len(all_files) == 0:
+        raise AnalysisError("no file events in trace")
+    counts = {int(f): 0 for f in all_files}
+    if len(pair_files):
+        uniq, n = np.unique(pair_files, return_counts=True)
+        for f, c in zip(uniq.tolist(), n.tolist()):
+            counts[int(f)] = int(c)
+    return counts
 
 
 def per_file_distinct_intervals(frame: TraceFrame) -> dict[int, int]:
@@ -26,25 +40,10 @@ def per_file_distinct_intervals(frame: TraceFrame) -> dict[int, int]:
     Files with at most one access per node have no intervals and map to
     zero; so do opened-but-untouched files.
     """
-    ev = frame.events
-    all_files = np.unique(ev["file"][ev["file"] != NO_VALUE]).astype(np.int64)
-    if len(all_files) == 0:
-        raise AnalysisError("no file events in trace")
-    counts = {int(f): 0 for f in all_files}
-    try:
-        tr, same = _grouped_transitions(frame)
-    except AnalysisError:
-        return counts
-    if same.any():
-        prev_end = np.zeros(len(tr), dtype=np.int64)
-        prev_end[1:] = tr["offset"][:-1] + tr["size"][:-1]
-        intervals = (tr["offset"] - prev_end)[same]
-        files = tr["file"].astype(np.int64)[same]
-        pairs = np.unique(np.stack([files, intervals], axis=1), axis=0)
-        uniq, n = np.unique(pairs[:, 0], return_counts=True)
-        for f, c in zip(uniq.tolist(), n.tolist()):
-            counts[int(f)] = int(c)
-    return counts
+    if len(frame.transfers) == 0:
+        return _counts_from_pairs(frame, np.empty(0, dtype=np.int64))
+    pair_files, _ = frame.index.distinct_interval_pairs
+    return _counts_from_pairs(frame, pair_files)
 
 
 def per_file_distinct_request_sizes(frame: TraceFrame) -> dict[int, int]:
@@ -53,21 +52,10 @@ def per_file_distinct_request_sizes(frame: TraceFrame) -> dict[int, int]:
     Untouched files (opened and closed without access) map to zero — the
     paper's explicit 0 bucket.
     """
-    ev = frame.events
-    all_files = np.unique(ev["file"][ev["file"] != NO_VALUE]).astype(np.int64)
-    if len(all_files) == 0:
-        raise AnalysisError("no file events in trace")
-    counts = {int(f): 0 for f in all_files}
-    tr = frame.transfers
-    if len(tr):
-        pairs = np.unique(
-            np.stack([tr["file"].astype(np.int64), tr["size"].astype(np.int64)], axis=1),
-            axis=0,
-        )
-        uniq, n = np.unique(pairs[:, 0], return_counts=True)
-        for f, c in zip(uniq.tolist(), n.tolist()):
-            counts[int(f)] = int(c)
-    return counts
+    if len(frame.transfers) == 0:
+        return _counts_from_pairs(frame, np.empty(0, dtype=np.int64))
+    pair_files, _ = frame.index.distinct_size_pairs
+    return _counts_from_pairs(frame, pair_files)
 
 
 def interval_size_table(frame: TraceFrame, cap: int = 4) -> dict[str, int]:
@@ -85,15 +73,12 @@ def zero_interval_dominance(frame: TraceFrame) -> float:
     """Among files with exactly one distinct interval size, the fraction
     whose single interval is zero (the paper: over 99 % — i.e. regular
     access is overwhelmingly *consecutive* access)."""
-    tr, same = _grouped_transitions(frame)
-    prev_end = np.zeros(len(tr), dtype=np.int64)
-    prev_end[1:] = tr["offset"][:-1] + tr["size"][:-1]
-    intervals = (tr["offset"] - prev_end)[same]
-    files = tr["file"].astype(np.int64)[same]
-    pairs = np.unique(np.stack([files, intervals], axis=1), axis=0)
-    uniq, n = np.unique(pairs[:, 0], return_counts=True)
-    one = set(uniq[n == 1].tolist())
-    if not one:
+    if len(frame.transfers) == 0:
+        raise AnalysisError("no transfers in trace")
+    pair_files, pair_intervals = frame.index.distinct_interval_pairs
+    uniq, n = np.unique(pair_files, return_counts=True)
+    one = uniq[n == 1]
+    if len(one) == 0:
         raise AnalysisError("no single-interval files in trace")
-    single = pairs[np.isin(pairs[:, 0], list(one))]
-    return float(np.mean(single[:, 1] == 0))
+    single = pair_intervals[np.isin(pair_files, one)]
+    return float(np.mean(single == 0))

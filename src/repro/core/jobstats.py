@@ -123,13 +123,20 @@ def node_count_distribution(frame: TraceFrame) -> NodeCountDistribution:
     jobs = frame.jobs.data
     if len(jobs) == 0:
         raise AnalysisError("no jobs in trace")
-    counts = np.unique(jobs["nodes"])
-    n_jobs = np.array([(jobs["nodes"] == c).sum() for c in counts], dtype=np.int64)
+    # group jobs by width with one stable sort; per-group products are
+    # summed over contiguous slices so the float accumulation order (and
+    # numpy's pairwise summation) matches the per-count masked sums
+    order = np.argsort(jobs["nodes"], kind="stable")
+    widths = jobs["nodes"][order]
+    products = (jobs["nodes"] * (jobs["end"] - jobs["start"]))[order]
+    new = np.ones(len(widths), dtype=bool)
+    new[1:] = widths[1:] != widths[:-1]
+    starts = np.flatnonzero(new)
+    ends = np.concatenate((starts[1:], [len(widths)]))
+    counts = widths[starts]
+    n_jobs = (ends - starts).astype(np.int64)
     node_seconds = np.array(
-        [
-            float((jobs["nodes"][jobs["nodes"] == c] * (jobs["end"] - jobs["start"])[jobs["nodes"] == c]).sum())
-            for c in counts
-        ]
+        [float(products[a:b].sum()) for a, b in zip(starts.tolist(), ends.tolist())]
     )
     return NodeCountDistribution(
         node_counts=counts.astype(np.int64), n_jobs=n_jobs, node_seconds=node_seconds
@@ -145,14 +152,10 @@ def files_per_job_table(frame: TraceFrame, cap: int = 5) -> dict[str, int]:
     same lower-bound caveat as the paper's).
     Buckets: "1", "2", ..., "<cap>+" (the paper uses 5+).
     """
-    opens = frame.opens
-    if len(opens) == 0:
+    if len(frame.opens) == 0:
         raise AnalysisError("no OPEN events in trace")
-    pairs = np.unique(
-        np.stack([opens["job"].astype(np.int64), opens["file"].astype(np.int64)], axis=1),
-        axis=0,
-    )
-    jobs, counts = np.unique(pairs[:, 0], return_counts=True)
+    pair_jobs, _ = frame.index.open_job_file_pairs
+    _, counts = np.unique(pair_jobs, return_counts=True)
     table = bucket_counts(counts.tolist(), cap=cap)
     table.pop("0", None)  # jobs with zero opens never appear here
     return table
@@ -161,12 +164,8 @@ def files_per_job_table(frame: TraceFrame, cap: int = 5) -> dict[str, int]:
 def max_files_one_job(frame: TraceFrame) -> int:
     """The largest number of distinct files any single job opened
     (the paper's record holder opened 2217)."""
-    opens = frame.opens
-    if len(opens) == 0:
+    if len(frame.opens) == 0:
         raise AnalysisError("no OPEN events in trace")
-    pairs = np.unique(
-        np.stack([opens["job"].astype(np.int64), opens["file"].astype(np.int64)], axis=1),
-        axis=0,
-    )
-    _, counts = np.unique(pairs[:, 0], return_counts=True)
+    pair_jobs, _ = frame.index.open_job_file_pairs
+    _, counts = np.unique(pair_jobs, return_counts=True)
     return int(counts.max())

@@ -50,15 +50,17 @@ def mode_usage(frame: TraceFrame) -> ModeUsage:
     opens = frame.opens
     if len(opens) == 0:
         raise AnalysisError("no OPEN events in trace")
-    opens_per_mode: dict[int, int] = {}
-    modes = opens["mode"].astype(int)
-    for m in np.unique(modes):
-        opens_per_mode[int(m)] = int((modes == m).sum())
+    mode_values, mode_counts = np.unique(opens["mode"].astype(int), return_counts=True)
+    opens_per_mode = {
+        int(m): int(c) for m, c in zip(mode_values.tolist(), mode_counts.tolist())
+    }
 
-    first_mode: dict[int, int] = {}
-    for fid, m in zip(opens["file"].tolist(), modes.tolist()):
-        first_mode.setdefault(int(fid), int(m))
-    files_per_mode: dict[int, int] = {}
-    for m in first_mode.values():
-        files_per_mode[m] = files_per_mode.get(m, 0) + 1
+    # a file's mode comes from its first OPEN in trace order; the index
+    # keeps the first open per file from one stable sort
+    _, first_modes = frame.index.first_open_modes
+    file_mode_values, file_mode_counts = np.unique(first_modes, return_counts=True)
+    files_per_mode = {
+        int(m): int(c)
+        for m, c in zip(file_mode_values.tolist(), file_mode_counts.tolist())
+    }
     return ModeUsage(files_per_mode=files_per_mode, opens_per_mode=opens_per_mode)

@@ -253,37 +253,85 @@ class WorkloadReport:
         return "\n".join(parts)
 
 
-def characterize(frame: TraceFrame) -> WorkloadReport:
-    """Run the full §4 characterization over a trace."""
-    notes = []
+def _part_basics(frame: TraceFrame) -> dict:
+    return {
+        "concurrency": concurrency_profile(frame),
+        "node_counts": node_count_distribution(frame),
+        "files_per_job": files_per_job_table(frame),
+        "files": population(frame),
+        "size_cdf": file_size_cdf(frame),
+        "reads": request_size_summary(frame, EventKind.READ),
+        "writes": request_size_summary(frame, EventKind.WRITE),
+        "modes": mode_usage(frame),
+    }
+
+
+def _part_regularity(frame: TraceFrame):
     try:
-        regularity = per_file_regularity(frame)
+        return per_file_regularity(frame), None
     except AnalysisError as exc:
-        regularity = None
-        notes.append(f"sequentiality skipped: {exc}")
+        return None, f"sequentiality skipped: {exc}"
+
+
+def _part_intervals(frame: TraceFrame):
+    return interval_size_table(frame), request_size_table(frame)
+
+
+def _part_sharing(frame: TraceFrame):
     try:
-        sharing = sharing_per_file(frame)
+        return sharing_per_file(frame), None
     except AnalysisError as exc:
-        sharing = None
-        notes.append(f"sharing skipped: {exc}")
+        return None, f"sharing skipped: {exc}"
+
+
+def _part_interjob(frame: TraceFrame) -> tuple[int, int]:
     try:
         shared, concurrent = interjob_shared_files(frame)
-        interjob = (len(shared), len(concurrent))
+        return len(shared), len(concurrent)
     except AnalysisError:
-        interjob = (0, 0)
+        return 0, 0
+
+
+#: independent analysis families; each is one process-pool task
+_PARTS = {
+    "sharing": _part_sharing,
+    "basics": _part_basics,
+    "regularity": _part_regularity,
+    "intervals": _part_intervals,
+    "interjob": _part_interjob,
+}
+
+
+def characterize(frame: TraceFrame, workers: int | None = None) -> WorkloadReport:
+    """Run the full §4 characterization over a trace.
+
+    ``workers`` fans the independent analysis families out across a
+    process pool (see :mod:`repro.util.pool`); the default (``None``)
+    runs them serially in-process.  The report is byte-identical either
+    way — results are reassembled in a fixed order.
+    """
+    from repro.util.pool import map_tasks
+
+    results = map_tasks(_PARTS, frame, workers)
+    basics = results["basics"]
+    regularity, reg_note = results["regularity"]
+    intervals, request_sizes = results["intervals"]
+    sharing, sharing_note = results["sharing"]
+    interjob = results["interjob"]
+    notes = [n for n in (reg_note, sharing_note) if n is not None]
     return WorkloadReport(
-        concurrency=concurrency_profile(frame),
-        node_counts=node_count_distribution(frame),
-        files_per_job=files_per_job_table(frame),
-        files=population(frame),
-        size_cdf=file_size_cdf(frame),
-        reads=request_size_summary(frame, EventKind.READ),
-        writes=request_size_summary(frame, EventKind.WRITE),
+        concurrency=basics["concurrency"],
+        node_counts=basics["node_counts"],
+        files_per_job=basics["files_per_job"],
+        files=basics["files"],
+        size_cdf=basics["size_cdf"],
+        reads=basics["reads"],
+        writes=basics["writes"],
         regularity=regularity,
-        intervals=interval_size_table(frame),
-        request_sizes=request_size_table(frame),
+        intervals=intervals,
+        request_sizes=request_sizes,
         sharing=sharing,
-        modes=mode_usage(frame),
+        modes=basics["modes"],
         interjob_shared=interjob[0],
         interjob_concurrent=interjob[1],
         notes=notes,

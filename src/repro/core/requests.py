@@ -43,6 +43,8 @@ class RequestSizeSummary:
 
 
 def _transfer_sizes(frame: TraceFrame, kind: EventKind) -> np.ndarray:
+    # of_kind views are cached on the frame, so this scan is shared with
+    # every other analyzer asking for the same kinds
     ev = frame.of_kind(kind)
     if len(ev) == 0:
         raise AnalysisError(f"no {kind.name} events in trace")

@@ -35,7 +35,7 @@ class FileRegularity:
 
     def select(self, label: str) -> tuple[np.ndarray, np.ndarray]:
         """(sequential, consecutive) fraction arrays for one file class."""
-        mask = np.array([lab == label for lab in self.labels])
+        mask = np.asarray(self.labels) == label
         return self.sequential_fraction[mask], self.consecutive_fraction[mask]
 
     def fully_sequential_fraction(self, label: str) -> float:
@@ -55,24 +55,15 @@ class FileRegularity:
 
 
 def _grouped_transitions(frame: TraceFrame):
-    """Sort transfers by (file, node), keeping time order inside groups.
+    """Transfers sorted by (file, node) with time order inside groups.
 
     Returns the sorted transfer array plus a boolean mask of rows that are
     *transitions* (previous row exists in the same (file, node) group).
+    Both come from the shared trace index, sorted once per frame.
     """
-    tr = frame.transfers
-    if len(tr) == 0:
+    if len(frame.transfers) == 0:
         raise AnalysisError("no transfers in trace")
-    order = np.lexsort((tr["node"], tr["file"]))
-    # lexsort is stable, so within (file, node) the original (time) order
-    # is preserved
-    tr = tr[order]
-    same_group = np.zeros(len(tr), dtype=bool)
-    if len(tr) > 1:
-        same_group[1:] = (tr["file"][1:] == tr["file"][:-1]) & (
-            tr["node"][1:] == tr["node"][:-1]
-        )
-    return tr, same_group
+    return frame.index.transfers_by_file_node
 
 
 def per_file_regularity(frame: TraceFrame) -> FileRegularity:
@@ -86,14 +77,16 @@ def per_file_regularity(frame: TraceFrame) -> FileRegularity:
     seq = same & (tr["offset"] > prev_off)
     con = same & (tr["offset"] == prev_end)
 
+    # the index view is already file-sorted, so per-file sums are
+    # contiguous-segment reductions instead of scattered np.add.at
     files = tr["file"].astype(np.int64)
-    uniq, inv = np.unique(files, return_inverse=True)
-    n_trans = np.zeros(len(uniq), dtype=np.int64)
-    n_seq = np.zeros(len(uniq), dtype=np.int64)
-    n_con = np.zeros(len(uniq), dtype=np.int64)
-    np.add.at(n_trans, inv, same.astype(np.int64))
-    np.add.at(n_seq, inv, seq.astype(np.int64))
-    np.add.at(n_con, inv, con.astype(np.int64))
+    new = np.ones(len(files), dtype=bool)
+    new[1:] = files[1:] != files[:-1]
+    starts = np.flatnonzero(new)
+    uniq = files[starts]
+    n_trans = np.add.reduceat(same.astype(np.int64), starts)
+    n_seq = np.add.reduceat(seq.astype(np.int64), starts)
+    n_con = np.add.reduceat(con.astype(np.int64), starts)
 
     keep = n_trans > 0
     uniq, n_trans, n_seq, n_con = uniq[keep], n_trans[keep], n_seq[keep], n_con[keep]

@@ -7,6 +7,9 @@ more than one node.  The paper's findings — reads heavily byte-shared,
 writes almost never, and read-write files block-shared even when not
 byte-shared — are what make I/O-node caching attractive and compute-node
 write-caching hazardous.
+
+Open/close windows and file-sorted transfer views come from the shared
+trace index; the per-file interval arithmetic here is fully vectorized.
 """
 
 from __future__ import annotations
@@ -36,7 +39,7 @@ class SharingResult:
 
     def select(self, label: str) -> tuple[np.ndarray, np.ndarray]:
         """(byte_shared, block_shared) arrays for one file class."""
-        mask = np.array([lab == label for lab in self.labels])
+        mask = np.asarray(self.labels) == label
         return self.byte_shared[mask], self.block_shared[mask]
 
 
@@ -47,39 +50,9 @@ def concurrently_multi_node_files(frame: TraceFrame) -> np.ndarray:
     (or last event on the file, when a CLOSE is missing from the traced
     period).
     """
-    opens = frame.opens
-    closes = frame.closes
-    if len(opens) == 0:
+    if len(frame.opens) == 0:
         raise AnalysisError("no OPEN events in trace")
-
-    def spans(ev, reducer):
-        keys = np.stack([ev["file"].astype(np.int64), ev["node"].astype(np.int64)], axis=1)
-        uniq, inv = np.unique(keys, axis=0, return_inverse=True)
-        agg = np.full(len(uniq), -np.inf if reducer is np.maximum else np.inf)
-        ufunc = reducer
-        ufunc.at(agg, inv, ev["time"])
-        return {tuple(k): float(v) for k, v in zip(map(tuple, uniq.tolist()), agg.tolist())}
-
-    first_open = spans(opens, np.minimum)
-    last_close = spans(closes, np.maximum) if len(closes) else {}
-
-    by_file: dict[int, list[tuple[float, float]]] = {}
-    for (fid, node), t0 in first_open.items():
-        t1 = last_close.get((fid, node), t0)
-        by_file.setdefault(int(fid), []).append((t0, max(t0, t1)))
-
-    shared = []
-    for fid, windows in by_file.items():
-        if len(windows) < 2:
-            continue
-        windows.sort()
-        max_end = windows[0][1]
-        for t0, t1 in windows[1:]:
-            if t0 <= max_end:
-                shared.append(fid)
-                break
-            max_end = max(max_end, t1)
-    return np.asarray(sorted(shared), dtype=np.int64)
+    return frame.index.node_spans.concurrent_files()
 
 
 def interjob_shared_files(frame: TraceFrame) -> tuple[np.ndarray, np.ndarray]:
@@ -91,46 +64,46 @@ def interjob_shared_files(frame: TraceFrame) -> tuple[np.ndarray, np.ndarray]:
     the second, those whose openings by different jobs overlapped in
     time.
     """
-    opens = frame.opens
-    closes = frame.closes
-    if len(opens) == 0:
+    if len(frame.opens) == 0:
         raise AnalysisError("no OPEN events in trace")
+    spans = frame.index.job_spans
+    return spans.multi_window_files(), spans.concurrent_files()
 
-    first_open: dict[tuple[int, int], float] = {}
-    for row in opens:
-        key = (int(row["file"]), int(row["job"]))
-        t = float(row["time"])
-        if key not in first_open or t < first_open[key]:
-            first_open[key] = t
-    last_close: dict[tuple[int, int], float] = {}
-    for row in closes:
-        key = (int(row["file"]), int(row["job"]))
-        t = float(row["time"])
-        if key not in last_close or t > last_close[key]:
-            last_close[key] = t
 
-    by_file: dict[int, list[tuple[float, float]]] = {}
-    for (fid, job), t0 in first_open.items():
-        t1 = max(t0, last_close.get((fid, job), t0))
-        by_file.setdefault(fid, []).append((t0, t1))
+def _merge_per_node(
+    starts: np.ndarray, ends: np.ndarray, nodes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Union each node's byte intervals; runs come back grouped by node
+    (ascending), start-sorted within a node."""
+    order = np.lexsort((starts, nodes))
+    nd, s, e = nodes[order], starts[order], ends[order]
+    new_node = np.ones(len(nd), dtype=bool)
+    new_node[1:] = nd[1:] != nd[:-1]
+    group = np.cumsum(new_node) - 1
+    span = np.int64(int(e.max()) + 1)
+    if int(span) * int(group[-1] + 1) >= 2**62:  # pragma: no cover - pathological
+        return _merge_per_node_slow(nd, s, e, new_node)
+    # exact segmented running max: per-node offsets keep integer cummax
+    # from leaking across node boundaries
+    off = group * span
+    running_max = np.maximum.accumulate(e + off) - off
+    is_new = new_node.copy()
+    if len(s) > 1:
+        is_new[1:] |= s[1:] > running_max[:-1]
+    run_starts = np.flatnonzero(is_new)
+    return s[run_starts], np.maximum.reduceat(e, run_starts)
 
-    shared = []
-    concurrent = []
-    for fid, windows in by_file.items():
-        if len(windows) < 2:
-            continue
-        shared.append(fid)
-        windows.sort()
-        max_end = windows[0][1]
-        for t0, t1 in windows[1:]:
-            if t0 <= max_end:
-                concurrent.append(fid)
-                break
-            max_end = max(max_end, t1)
-    return (
-        np.asarray(sorted(shared), dtype=np.int64),
-        np.asarray(sorted(concurrent), dtype=np.int64),
-    )
+
+def _merge_per_node_slow(nd, s, e, new_node):  # pragma: no cover - pathological
+    merged_s: list[int] = []
+    merged_e: list[int] = []
+    for a, b, fresh in zip(s.tolist(), e.tolist(), new_node.tolist()):
+        if not fresh and merged_s and a <= merged_e[-1]:
+            merged_e[-1] = max(merged_e[-1], b)
+        else:
+            merged_s.append(a)
+            merged_e.append(b)
+    return np.asarray(merged_s, dtype=np.int64), np.asarray(merged_e, dtype=np.int64)
 
 
 def _overlap_fraction(starts: np.ndarray, ends: np.ndarray, nodes: np.ndarray) -> float:
@@ -140,28 +113,11 @@ def _overlap_fraction(starts: np.ndarray, ends: np.ndarray, nodes: np.ndarray) -
     node.  Per node the intervals are first unioned, so repeated access by
     the *same* node does not count as sharing.
     """
-    pieces = []
-    for node in np.unique(nodes):
-        m = nodes == node
-        s = starts[m]
-        e = ends[m]
-        order = np.argsort(s, kind="stable")
-        s, e = s[order], e[order]
-        # union of this node's intervals
-        merged_s = [int(s[0])]
-        merged_e = [int(e[0])]
-        for a, b in zip(s[1:].tolist(), e[1:].tolist()):
-            if a <= merged_e[-1]:
-                merged_e[-1] = max(merged_e[-1], b)
-            else:
-                merged_s.append(a)
-                merged_e.append(b)
-        pieces.append((np.asarray(merged_s), np.asarray(merged_e)))
-
-    edges = np.concatenate([p[0] for p in pieces] + [p[1] for p in pieces])
+    merged_s, merged_e = _merge_per_node(starts, ends, nodes)
+    n_runs = len(merged_s)
+    edges = np.concatenate([merged_s, merged_e])
     deltas = np.concatenate(
-        [np.ones(sum(len(p[0]) for p in pieces), dtype=np.int64),
-         -np.ones(sum(len(p[1]) for p in pieces), dtype=np.int64)]
+        [np.ones(n_runs, dtype=np.int64), -np.ones(n_runs, dtype=np.int64)]
     )
     order = np.argsort(edges, kind="stable")
     edges = edges[order]
@@ -182,17 +138,15 @@ def sharing_per_file(frame: TraceFrame, block_size: int = BLOCK_SIZE) -> Sharing
     candidates = concurrently_multi_node_files(frame)
     if len(candidates) == 0:
         raise AnalysisError("no concurrently multi-node-opened files in trace")
-    tr = frame.transfers
-    order = np.argsort(tr["file"], kind="stable")
-    tr = tr[order]
+    idx = frame.index
+    tr = idx.transfers_by_file
     labels_all = file_class_labels(frame)
 
     file_ids = []
     byte_fracs = []
     block_fracs = []
     labels = []
-    lo = np.searchsorted(tr["file"], candidates, side="left")
-    hi = np.searchsorted(tr["file"], candidates, side="right")
+    lo, hi = idx.file_bounds(candidates)
     for fid, a, b in zip(candidates.tolist(), lo.tolist(), hi.tolist()):
         if b <= a:
             continue  # opened by many nodes but never accessed

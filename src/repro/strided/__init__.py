@@ -14,7 +14,9 @@ and reports how many requests a strided interface would have saved.
 
 from repro.strided.detect import (
     StridedCoalescing,
+    coalesce_runs,
     coalesce_stream,
+    coalesce_stream_vectorized,
     coalesce_trace,
 )
 from repro.strided.requests import StridedRequest
@@ -22,6 +24,8 @@ from repro.strided.requests import StridedRequest
 __all__ = [
     "StridedCoalescing",
     "StridedRequest",
+    "coalesce_runs",
     "coalesce_stream",
+    "coalesce_stream_vectorized",
     "coalesce_trace",
 ]

@@ -7,6 +7,13 @@ to-start stride stay constant.  Each run becomes one
 files overwhelmingly use one or two request sizes and at most one
 interval size (Tables 2-3), this simple detector already collapses most
 streams to a handful of strided requests.
+
+Two implementations share the greedy semantics: :func:`coalesce_stream`
+is the per-element reference loop; :func:`coalesce_runs` precomputes the
+break candidates (size changes, stride changes, non-extendable first
+pairs) with numpy and walks *runs* instead of elements, which is what
+:func:`coalesce_trace` uses over the whole trace.  The hypothesis suite
+asserts they agree on arbitrary streams.
 """
 
 from __future__ import annotations
@@ -27,7 +34,8 @@ def coalesce_stream(
 
     Only forward, non-overlapping strides are folded (a re-read or a
     backward seek starts a new run), so the result is replayable in
-    order.
+    order.  This is the reference implementation; see
+    :func:`coalesce_runs` for the vectorized equivalent.
     """
     offsets = np.asarray(offsets, dtype=np.int64)
     sizes = np.asarray(sizes, dtype=np.int64)
@@ -60,6 +68,78 @@ def coalesce_stream(
     return runs
 
 
+def coalesce_runs(
+    offsets: np.ndarray, sizes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Greedy run decomposition of one stream, vectorized.
+
+    Returns ``(starts, counts)``: element indices where each run begins
+    and the run lengths.  A run of length > 1 starting at element ``p``
+    has stride ``offsets[p+1] - offsets[p]``; singletons take their own
+    size as the stride, exactly as :func:`coalesce_stream`.
+
+    The greedy walk cannot be expressed as a pure boundary predicate
+    (whether a pair can *extend* depends on where its run started), but
+    every run ends at a precomputable break candidate, so the Python loop
+    here is over runs, not elements.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    if offsets.shape != sizes.shape:
+        raise AnalysisError("offsets and sizes must be parallel")
+    n = len(offsets)
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    if n == 1:
+        return np.zeros(1, dtype=np.int64), np.ones(1, dtype=np.int64)
+
+    ds = np.diff(offsets)
+    size_same = sizes[1:] == sizes[:-1]
+    # pair_ok[i]: elements (i, i+1) may start a run with stride ds[i]
+    pair_ok = size_same & (ds >= sizes[:-1])
+    # chain_brk[i]: a run whose previous pair had stride ds[i-1] cannot
+    # absorb element i+1
+    chain_brk = np.ones(n - 1, dtype=bool)
+    if n > 2:
+        chain_brk[1:] = ~size_same[1:] | (ds[1:] != ds[:-1])
+    breaks = np.flatnonzero(chain_brk)
+
+    starts: list[int] = []
+    counts: list[int] = []
+    pos = 0
+    while pos < n:
+        if pos < n - 1 and pair_ok[pos]:
+            j = int(np.searchsorted(breaks, pos, side="right"))
+            # the run uses diffs pos..b-1 (elements pos..b); with no break
+            # after pos it runs through the final element
+            end = int(breaks[j]) if j < len(breaks) else n - 1
+            starts.append(pos)
+            counts.append(end - pos + 1)
+            pos = end + 1
+        else:
+            starts.append(pos)
+            counts.append(1)
+            pos += 1
+    return np.asarray(starts, dtype=np.int64), np.asarray(counts, dtype=np.int64)
+
+
+def coalesce_stream_vectorized(
+    offsets: np.ndarray, sizes: np.ndarray
+) -> list[StridedRequest]:
+    """:func:`coalesce_stream` semantics on top of :func:`coalesce_runs`."""
+    offsets = np.asarray(offsets, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    starts, counts = coalesce_runs(offsets, sizes)
+    out: list[StridedRequest] = []
+    for p, c in zip(starts.tolist(), counts.tolist()):
+        stride = int(offsets[p + 1] - offsets[p]) if c > 1 else int(sizes[p])
+        out.append(
+            StridedRequest(offset=int(offsets[p]), size=int(sizes[p]), stride=stride, count=int(c))
+        )
+    return out
+
+
 @dataclass(frozen=True)
 class StridedCoalescing:
     """Aggregate effect of a strided interface on a whole trace."""
@@ -90,37 +170,31 @@ def coalesce_trace(frame: TraceFrame) -> StridedCoalescing:
     """Coalesce every (file, node) stream in the trace and aggregate.
 
     Reads and writes are coalesced separately within a stream (a strided
-    interface call is one direction of transfer).
+    interface call is one direction of transfer).  Streams come
+    pre-sorted from the shared trace index.
     """
-    tr = frame.transfers
-    if len(tr) == 0:
+    if len(frame.transfers) == 0:
         raise AnalysisError("no transfers in trace")
-    order = np.lexsort((tr["kind"], tr["node"], tr["file"]))
-    tr = tr[order]
-    keys = np.stack(
-        [tr["file"].astype(np.int64), tr["node"].astype(np.int64), tr["kind"].astype(np.int64)],
-        axis=1,
-    )
-    boundaries = np.nonzero(np.any(keys[1:] != keys[:-1], axis=1))[0] + 1
-    starts = np.concatenate(([0], boundaries))
-    ends = np.concatenate((boundaries, [len(tr)]))
+    tr, starts, ends = frame.index.streams
 
-    simple = 0
-    strided = 0
-    total_bytes = 0
-    by_length: dict[int, int] = {}
+    offsets = tr["offset"]
+    sizes = tr["size"]
+    run_starts: list[np.ndarray] = []
+    run_counts: list[np.ndarray] = []
     for a, b in zip(starts.tolist(), ends.tolist()):
-        offs = tr["offset"][a:b]
-        szs = tr["size"][a:b]
-        runs = coalesce_stream(offs, szs)
-        simple += b - a
-        strided += len(runs)
-        for run in runs:
-            total_bytes += run.total_bytes
-            by_length[run.count] = by_length.get(run.count, 0) + 1
+        s, c = coalesce_runs(offsets[a:b], sizes[a:b])
+        run_starts.append(s + a)
+        run_counts.append(c)
+    all_starts = np.concatenate(run_starts)
+    all_counts = np.concatenate(run_counts)
+
+    run_sizes = sizes[all_starts].astype(np.int64)
+    lengths, length_counts = np.unique(all_counts, return_counts=True)
     return StridedCoalescing(
-        simple_requests=simple,
-        strided_requests=strided,
-        bytes_transferred=total_bytes,
-        runs_by_length=by_length,
+        simple_requests=len(tr),
+        strided_requests=int(len(all_starts)),
+        bytes_transferred=int((run_sizes * all_counts).sum()),
+        runs_by_length={
+            int(l): int(c) for l, c in zip(lengths.tolist(), length_counts.tolist())
+        },
     )

@@ -167,6 +167,10 @@ class TraceFrame:
             raise TraceError("event table must be one-dimensional")
         self.events = events
         self.header = header if header is not None else TraceHeader()
+        # frames are immutable, so kind views and the trace index are
+        # computed at most once and never invalidated
+        self._kind_views: dict[tuple[int, ...], np.ndarray] = {}
+        self._index = None
         self.jobs = jobs if jobs is not None else self._derive_jobs()
         self.files = files if files is not None else self._derive_files()
 
@@ -314,9 +318,30 @@ class TraceFrame:
         return len(self.events)
 
     def of_kind(self, *kinds: EventKind) -> np.ndarray:
-        """Events whose kind is one of ``kinds`` (a structured subarray)."""
-        mask = np.isin(self.events["kind"], [int(k) for k in kinds])
-        return self.events[mask]
+        """Events whose kind is one of ``kinds`` (a structured subarray).
+
+        Results are cached on the frame (frames are immutable) and marked
+        read-only so a stale-view bug fails loudly instead of silently
+        corrupting every later analysis.
+        """
+        key = tuple(sorted(int(k) for k in kinds))
+        view = self._kind_views.get(key)
+        if view is None:
+            mask = np.isin(self.events["kind"], list(key))
+            view = self.events[mask]
+            view.flags.writeable = False
+            self._kind_views[key] = view
+        return view
+
+    @property
+    def index(self):
+        """The shared :class:`~repro.trace.index.TraceIndex`, computed lazily
+        once per frame and reused by every analyzer."""
+        if self._index is None:
+            from repro.trace.index import TraceIndex
+
+            self._index = TraceIndex(self)
+        return self._index
 
     @property
     def reads(self) -> np.ndarray:
@@ -414,11 +439,52 @@ class TraceFrame:
 
     @classmethod
     def load(cls, path: str | Path) -> "TraceFrame":
-        """Load a frame previously written by :meth:`save`."""
-        import json
+        """Load a frame previously written by :meth:`save`.
 
-        with np.load(Path(path), allow_pickle=False) as data:
-            header = TraceHeader(**json.loads(str(data["header"])))
+        Raises :class:`TraceError` naming the offending array or field
+        when the file is truncated, not an ``.npz``, or written by
+        something other than :meth:`save`.
+        """
+        import json
+        import zipfile
+
+        path = Path(path)
+        try:
+            data = np.load(path, allow_pickle=False)
+        except (zipfile.BadZipFile, ValueError) as exc:
+            raise TraceError(f"{path} is not a readable trace .npz: {exc}") from exc
+        with data:
+            for name in ("events", "jobs", "files", "header"):
+                if name not in data.files:
+                    raise TraceError(f"{path} is missing trace array {name!r}")
+            for name, want in (
+                ("events", EVENT_DTYPE),
+                ("jobs", JOB_DTYPE),
+                ("files", FILE_DTYPE),
+            ):
+                got = data[name].dtype
+                if got != want:
+                    missing = sorted(set(want.names) - set(got.names or ()))
+                    if missing:
+                        raise TraceError(
+                            f"{path}: array {name!r} is missing "
+                            f"field(s) {', '.join(repr(m) for m in missing)}"
+                        )
+                    bad = sorted(
+                        f for f in want.names if got.fields[f][0] != want.fields[f][0]
+                    )
+                    if bad:
+                        raise TraceError(
+                            f"{path}: array {name!r} has wrong dtype for "
+                            f"field(s) {', '.join(repr(b) for b in bad)}"
+                        )
+                    raise TraceError(
+                        f"{path}: array {name!r} has dtype {got}, expected {want}"
+                    )
+            try:
+                header = TraceHeader(**json.loads(str(data["header"])))
+            except (TypeError, ValueError) as exc:
+                raise TraceError(f"{path}: invalid trace header: {exc}") from exc
             return cls(
                 data["events"],
                 jobs=JobTable(data["jobs"]),

@@ -1,0 +1,320 @@
+"""Shared per-frame trace index.
+
+Every analyzer in :mod:`repro.core` (and the strided detector) groups the
+same event table the same few ways: transfers by file, transfers by
+(file, node), streams by (file, node, kind), open/close spans per
+(file, node) or (file, job), and the file population split into
+read-only / write-only / read-write classes.  Before this module each
+analysis re-sorted and re-grouped independently — the sorts dominated the
+characterization's run time.  A :class:`TraceIndex` is computed lazily,
+once, and cached on the frame (``frame.index``); every view is derived
+with a stable sort so downstream results are byte-identical to the
+per-analyzer sorts they replace.
+
+All views are read-only: frames are immutable, so the index never
+invalidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.trace.records import NO_VALUE, EventKind
+
+__all__ = ["SpanTable", "TraceIndex"]
+
+
+def _pack_pair(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pack two int32-ranged columns into one int64 key whose natural
+    order is the lexicographic (a, b) order."""
+    return a.astype(np.int64) * np.int64(2**32) + (b.astype(np.int64) + np.int64(2**31))
+
+
+def _dedupe_sorted_pairs(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unique (a, b) rows in lexicographic order — equivalent to
+    ``np.unique(np.stack([a, b], axis=1), axis=0)`` without the slow
+    void-view row sort."""
+    order = np.lexsort((b, a))
+    a, b = a[order], b[order]
+    if len(a) == 0:
+        return a, b
+    keep = np.ones(len(a), dtype=bool)
+    keep[1:] = (a[1:] != a[:-1]) | (b[1:] != b[:-1])
+    return a[keep], b[keep]
+
+
+def _group_starts(sorted_keys: np.ndarray) -> np.ndarray:
+    """Start indices of the contiguous equal-key runs in a sorted array."""
+    if len(sorted_keys) == 0:
+        return np.empty(0, dtype=np.int64)
+    new = np.ones(len(sorted_keys), dtype=bool)
+    new[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    return np.flatnonzero(new)
+
+
+@dataclass(frozen=True)
+class SpanTable:
+    """Per-(file, key) open/close windows, one row each.
+
+    A window runs from the key's first OPEN of the file to its last CLOSE
+    (clamped below by the open time when the CLOSE is missing).  Rows are
+    sorted by (file, t0, t1); a file's windows are contiguous.
+    """
+
+    file: np.ndarray    # int64, non-decreasing
+    key: np.ndarray     # int64 — the node or job of each window
+    t0: np.ndarray      # float64 first-open times
+    t1: np.ndarray      # float64 max(t0, last close)
+    files: np.ndarray   # unique file ids, ascending
+    starts: np.ndarray  # per unique file, first row index
+    ends: np.ndarray    # per unique file, one past the last row index
+
+    def __len__(self) -> int:
+        return len(self.file)
+
+    def multi_window_files(self) -> np.ndarray:
+        """File ids with windows from two or more distinct keys."""
+        return self.files[(self.ends - self.starts) >= 2]
+
+    def concurrent_files(self) -> np.ndarray:
+        """File ids whose windows overlap in time.
+
+        With windows sorted by (t0, t1), a non-overlapping prefix has
+        strictly increasing end times, so the running max of the ends is
+        always the previous row's end — testing each adjacent pair is
+        exactly the classic cummax sweep.
+        """
+        if len(self.file) < 2:
+            return np.empty(0, dtype=np.int64)
+        same = self.file[1:] == self.file[:-1]
+        hit = same & (self.t0[1:] <= self.t1[:-1])
+        return np.unique(self.file[1:][hit]).astype(np.int64)
+
+
+class TraceIndex:
+    """Lazily-computed shared groupings of one :class:`TraceFrame`.
+
+    Obtain via ``frame.index``; do not construct per call site (the whole
+    point is that the sorts are paid once).
+    """
+
+    def __init__(self, frame) -> None:
+        self.frame = frame
+
+    # -- kind views (cached on the frame itself) -----------------------------
+
+    @property
+    def transfers(self) -> np.ndarray:
+        """READ+WRITE events in time order (the transfer-only view)."""
+        return self.frame.transfers
+
+    @property
+    def reads(self) -> np.ndarray:
+        return self.frame.reads
+
+    @property
+    def writes(self) -> np.ndarray:
+        return self.frame.writes
+
+    @property
+    def opens(self) -> np.ndarray:
+        return self.frame.opens
+
+    @property
+    def closes(self) -> np.ndarray:
+        return self.frame.closes
+
+    # -- transfers grouped by file -------------------------------------------
+
+    @cached_property
+    def transfers_by_file(self) -> np.ndarray:
+        """Transfers stably sorted by file (time order within a file)."""
+        tr = self.transfers
+        return tr[np.argsort(tr["file"], kind="stable")]
+
+    def file_bounds(self, file_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(lo, hi) row ranges of ``file_ids`` in :attr:`transfers_by_file`."""
+        col = self.transfers_by_file["file"]
+        return (
+            np.searchsorted(col, file_ids, side="left"),
+            np.searchsorted(col, file_ids, side="right"),
+        )
+
+    # -- transfers grouped by (file, node) -----------------------------------
+
+    @cached_property
+    def transfers_by_file_node(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted transfers, transition mask) for the sequentiality family.
+
+        Sorted stably by (file, node) so time order survives within each
+        group; a row is a *transition* when the previous row belongs to
+        the same (file, node) group.
+        """
+        tr = self.transfers
+        order = np.lexsort((tr["node"], tr["file"]))
+        tr = tr[order]
+        same = np.zeros(len(tr), dtype=bool)
+        if len(tr) > 1:
+            same[1:] = (tr["file"][1:] == tr["file"][:-1]) & (
+                tr["node"][1:] == tr["node"][:-1]
+            )
+        return tr, same
+
+    @cached_property
+    def transition_intervals(self) -> tuple[np.ndarray, np.ndarray]:
+        """(file, interval) per transition row — the Table 2 raw data."""
+        tr, same = self.transfers_by_file_node
+        prev_end = np.zeros(len(tr), dtype=np.int64)
+        if len(tr) > 1:
+            prev_end[1:] = tr["offset"][:-1] + tr["size"][:-1]
+        return tr["file"].astype(np.int64)[same], (tr["offset"] - prev_end)[same]
+
+    @cached_property
+    def distinct_interval_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Unique (file, interval) pairs, lexicographically sorted."""
+        files, intervals = self.transition_intervals
+        return _dedupe_sorted_pairs(files, intervals)
+
+    @cached_property
+    def distinct_size_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Unique (file, request size) pairs over all transfers."""
+        tr = self.transfers
+        return _dedupe_sorted_pairs(
+            tr["file"].astype(np.int64), tr["size"].astype(np.int64)
+        )
+
+    # -- transfers grouped by (file, node, kind) — strided streams -----------
+
+    @cached_property
+    def streams(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(sorted transfers, starts, ends) per (file, node, kind) stream."""
+        tr = self.transfers
+        order = np.lexsort((tr["kind"], tr["node"], tr["file"]))
+        tr = tr[order]
+        if len(tr) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return tr, empty, empty
+        change = np.zeros(len(tr), dtype=bool)
+        change[0] = True
+        change[1:] = (
+            (tr["file"][1:] != tr["file"][:-1])
+            | (tr["node"][1:] != tr["node"][:-1])
+            | (tr["kind"][1:] != tr["kind"][:-1])
+        )
+        starts = np.flatnonzero(change)
+        ends = np.concatenate((starts[1:], [len(tr)]))
+        return tr, starts, ends
+
+    # -- open/close span tables ----------------------------------------------
+
+    def _span_table(self, key_field: str) -> SpanTable:
+        opens = self.opens
+        closes = self.closes
+        empty_i = np.empty(0, dtype=np.int64)
+        empty_f = np.empty(0, dtype=np.float64)
+        if len(opens) == 0:
+            return SpanTable(empty_i, empty_i, empty_f, empty_f,
+                             empty_i, empty_i, empty_i)
+
+        def grouped(ev, reduce_ufunc):
+            f = ev["file"].astype(np.int64)
+            k = ev[key_field].astype(np.int64)
+            packed = _pack_pair(f, k)
+            order = np.argsort(packed, kind="stable")
+            ps = packed[order]
+            starts = _group_starts(ps)
+            times = reduce_ufunc.reduceat(ev["time"][order], starts)
+            return ps[starts], f[order][starts], k[order][starts], times
+
+        o_pack, o_file, o_key, t0 = grouped(opens, np.minimum)
+        t1 = t0.copy()
+        if len(closes):
+            c_pack, _, _, c_max = grouped(closes, np.maximum)
+            pos = np.searchsorted(o_pack, c_pack)
+            ok = (pos < len(o_pack))
+            ok &= o_pack[np.minimum(pos, len(o_pack) - 1)] == c_pack
+            t1[pos[ok]] = c_max[ok]
+        t1 = np.maximum(t0, t1)
+
+        order = np.lexsort((t1, t0, o_file))
+        file = o_file[order]
+        table_starts = _group_starts(file)
+        table_ends = np.concatenate((table_starts[1:], [len(file)])) \
+            if len(table_starts) else empty_i
+        return SpanTable(
+            file=file,
+            key=o_key[order],
+            t0=t0[order],
+            t1=t1[order],
+            files=file[table_starts] if len(table_starts) else empty_i,
+            starts=table_starts,
+            ends=table_ends,
+        )
+
+    @cached_property
+    def node_spans(self) -> SpanTable:
+        """Per-(file, node) open/close windows — Figure 7's sharing spans."""
+        return self._span_table("node")
+
+    @cached_property
+    def job_spans(self) -> SpanTable:
+        """Per-(file, job) open/close windows — §4.7's inter-job spans."""
+        return self._span_table("job")
+
+    # -- file population and classes -----------------------------------------
+
+    @cached_property
+    def file_ids(self) -> np.ndarray:
+        """All file ids appearing in any event, ascending."""
+        ev = self.frame.events
+        return np.unique(ev["file"][ev["file"] != NO_VALUE]).astype(np.int64)
+
+    @cached_property
+    def was_read(self) -> np.ndarray:
+        return np.isin(self.file_ids, np.unique(self.reads["file"]).astype(np.int64))
+
+    @cached_property
+    def was_written(self) -> np.ndarray:
+        return np.isin(self.file_ids, np.unique(self.writes["file"]).astype(np.int64))
+
+    @cached_property
+    def was_opened(self) -> np.ndarray:
+        return np.isin(self.file_ids, np.unique(self.opens["file"]).astype(np.int64))
+
+    @cached_property
+    def label_array(self) -> np.ndarray:
+        """Per-file class label ("ro"|"wo"|"rw"|"untouched"), aligned with
+        :attr:`file_ids`."""
+        r, w = self.was_read, self.was_written
+        return np.where(
+            r & w, "rw", np.where(r, "ro", np.where(w, "wo", "untouched"))
+        )
+
+    @cached_property
+    def file_labels(self) -> dict[int, str]:
+        """file id → class label (the :func:`file_class_labels` mapping)."""
+        return dict(zip(self.file_ids.tolist(), self.label_array.tolist()))
+
+    # -- opens grouped by file / by (job, file) ------------------------------
+
+    @cached_property
+    def open_job_file_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """Unique (job, file) OPEN pairs in lexicographic order."""
+        opens = self.opens
+        return _dedupe_sorted_pairs(
+            opens["job"].astype(np.int64), opens["file"].astype(np.int64)
+        )
+
+    @cached_property
+    def first_open_modes(self) -> tuple[np.ndarray, np.ndarray]:
+        """(file ids, mode of each file's first OPEN in trace order)."""
+        opens = self.opens
+        f = opens["file"].astype(np.int64)
+        order = np.argsort(f, kind="stable")
+        fs = f[order]
+        starts = _group_starts(fs)
+        firsts = order[starts] if len(starts) else np.empty(0, dtype=np.int64)
+        return fs[starts] if len(starts) else fs, opens["mode"][firsts].astype(int)

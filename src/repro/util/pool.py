@@ -1,0 +1,79 @@
+"""Fork-based fan-out over one shared in-memory object.
+
+The characterization, the figure renderer, and the direct generator all
+fan independent tasks out over a :class:`ProcessPoolExecutor` the same
+way the cache sweeps do (:mod:`repro.caching.sweeps`): deterministic
+per-task functions, results reassembled in task order, and a serial
+fallback with identical output whenever the pool cannot help.
+
+Unlike the sweeps (whose request stream is cheap to pickle), these tasks
+share a multi-megabyte :class:`~repro.trace.frame.TraceFrame` or planned
+workload.  The pool therefore uses the ``fork`` start method and parks
+the shared state in a module global before forking, so children inherit
+it copy-on-write and only task *names* cross the pipe.  On platforms
+without ``fork`` the tasks simply run serially.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Mapping
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import Any
+
+#: state inherited by forked workers: (task mapping, shared object)
+_SHARED: tuple[Mapping[str, Callable[[Any], Any]], Any] | None = None
+
+
+def fork_available() -> bool:
+    """True when the platform can fork worker processes."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_workers(n_tasks: int) -> int:
+    """One worker per task, bounded by the CPU count."""
+    return min(n_tasks, os.cpu_count() or 1)
+
+
+def _call(name: str) -> tuple[str, Any]:
+    assert _SHARED is not None, "worker forked without shared state"
+    tasks, obj = _SHARED
+    return name, tasks[name](obj)
+
+
+def map_tasks(
+    tasks: Mapping[str, Callable[[Any], Any]],
+    obj: Any,
+    workers: int | None,
+) -> dict[str, Any]:
+    """Run every ``tasks[name](obj)`` and return ``{name: result}``.
+
+    With ``workers`` of ``None``/0/1, a single task, or no ``fork``
+    support, the tasks run serially in-process.  Otherwise they fan out
+    across a forked process pool; a pool that fails to start or loses a
+    worker falls back to the serial path, which produces identical
+    results because every task is deterministic.
+    """
+    names = list(tasks)
+    if (
+        workers is None
+        or workers <= 1
+        or len(names) <= 1
+        or not fork_available()
+    ):
+        return {name: tasks[name](obj) for name in names}
+
+    global _SHARED
+    _SHARED = (tasks, obj)
+    try:
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(names)), mp_context=ctx
+        ) as pool:
+            futures = [pool.submit(_call, name) for name in names]
+            return dict(f.result() for f in futures)
+    except (BrokenExecutor, OSError):
+        return {name: tasks[name](obj) for name in names}
+    finally:
+        _SHARED = None

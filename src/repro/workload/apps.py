@@ -435,8 +435,13 @@ class PerNodeFilterApp(AppModel):
                 n, rec = bounded_record_count(
                     size, record, models.max_requests_per_node_file
                 )
-                n_tiles = max(n // (2 * tile), 1)
-                offsets, sizes = access.tiled_run(0, n_tiles, tile, rec, tile)
+                if n < 2 * tile:
+                    # too few records to tile: a single forced tile would
+                    # read past the pre-existing extent
+                    offsets, sizes = access.whole_file(size, rec)
+                else:
+                    n_tiles = n // (2 * tile)
+                    offsets, sizes = access.tiled_run(0, n_tiles, tile, rec, tile)
             else:
                 _, rec = bounded_record_count(
                     size, record, models.max_requests_per_node_file

@@ -123,6 +123,24 @@ class _Columns:
                 "scenario scale or tighten max_requests_per_node_file"
             )
 
+    def merge(self, other: "_Columns") -> None:
+        """Append another accumulator's blocks, preserving their order."""
+        self.time += other.time
+        self.node += other.node
+        self.job += other.job
+        self.file += other.file
+        self.kind += other.kind
+        self.mode += other.mode
+        self.flags += other.flags
+        self.offset += other.offset
+        self.size += other.size
+        self.n += other.n
+        if self.n > MAX_EVENTS:
+            raise WorkloadError(
+                f"planned trace exceeds {MAX_EVENTS} events; reduce the "
+                "scenario scale or tighten max_requests_per_node_file"
+            )
+
 
 @dataclass(frozen=True, slots=True)
 class _UseSchedule:
@@ -216,10 +234,18 @@ class WorkloadGenerator:
 
     # -- direct pipeline ------------------------------------------------------------
 
-    def run(self, pipeline: str = "direct") -> GeneratedWorkload:
-        """Generate the workload trace via the chosen pipeline."""
+    def run(
+        self, pipeline: str = "direct", workers: int | None = None
+    ) -> GeneratedWorkload:
+        """Generate the workload trace via the chosen pipeline.
+
+        ``workers`` fans the ``direct`` pipeline's per-job event
+        synthesis across a process pool; the trace is byte-identical to
+        a serial run.  The ``full`` pipeline replays a single global
+        timeline and always runs serially.
+        """
         if pipeline == "direct":
-            return self._run_direct()
+            return self._run_direct(workers)
         if pipeline == "full":
             return self._run_full()
         raise WorkloadError(f"unknown pipeline {pipeline!r} (use 'direct' or 'full')")
@@ -233,13 +259,32 @@ class WorkloadGenerator:
             notes=f"seed={self.seed}",
         )
 
-    def _run_direct(self) -> GeneratedWorkload:
-        pool = SeedSequencePool(self.seed)
+    def _run_direct(self, workers: int | None = None) -> GeneratedWorkload:
+        from functools import partial
+
+        from repro.util.pool import map_tasks
+
         placed, uses_by_job = self.plan()
+
+        # file ids are assigned per use in placed-job order; fixing each
+        # job's first id up front lets jobs synthesize independently
+        fid_starts: dict[int, int] = {}
+        next_fid = 0
+        emitting = [p for p in placed if uses_by_job.get(p.job)]
+        for p in emitting:
+            fid_starts[p.job] = next_fid
+            next_fid += len(uses_by_job[p.job])
+
+        shared = (
+            {p.job: p for p in emitting}, uses_by_job, fid_starts, self.seed
+        )
+        tasks = {
+            str(p.job): partial(_emit_job_block, job=p.job) for p in emitting
+        }
+        blocks = map_tasks(tasks, shared, workers)
+
         cols = _Columns()
         file_rows: list[tuple[int, int, int, int]] = []
-        next_fid = 0
-
         for p in placed:
             # job markers for every job, traced or not
             cols.add(
@@ -250,11 +295,12 @@ class WorkloadGenerator:
                 np.array([p.end]), np.array([p.base_node]), p.job, NO_VALUE,
                 int(EventKind.JOB_END), 0, 0,
             )
-            uses = uses_by_job.get(p.job)
-            if not uses:
+            block = blocks.get(str(p.job))
+            if block is None:
                 continue
-            rng = pool.rng(f"timing/{p.job}")
-            next_fid = self._emit_job_direct(p, uses, cols, file_rows, next_fid, rng)
+            job_cols, job_rows = block
+            cols.merge(job_cols)
+            file_rows.extend(job_rows)
 
         frame = TraceFrame.from_arrays(
             time=np.concatenate(cols.time),
@@ -275,67 +321,6 @@ class WorkloadGenerator:
         return GeneratedWorkload(
             frame=frame, placed=placed, scenario=self.scenario, seed=self.seed
         )
-
-    def _emit_job_direct(
-        self,
-        p: PlacedJob,
-        uses: list[FileUse],
-        cols: _Columns,
-        file_rows: list[tuple[int, int, int, int]],
-        next_fid: int,
-        rng: np.random.Generator,
-    ) -> int:
-        windows = _phase_windows(p, uses)
-        for use, (w0, w1) in zip(uses, windows):
-            fid = next_fid
-            next_fid += 1
-            sched = _schedule_use(use, w0, w1, rng)
-            base = p.base_node
-            flags = int(use.flags | OpenFlags.TRACED)
-            for rank in sorted(use.open_ranks):
-                cols.add(
-                    np.array([sched.open_times[rank]]),
-                    np.array([base + rank]),
-                    p.job, fid, int(EventKind.OPEN), NO_VALUE, NO_VALUE,
-                    mode=int(use.mode), flags=flags,
-                )
-            for rank, plan in use.node_plans.items():
-                times = sched.op_times.get(rank)
-                if times is None or len(plan) == 0:
-                    continue
-                cols.add(
-                    times,
-                    np.full(len(plan), base + rank, dtype=np.int32),
-                    p.job, fid, plan.kinds, plan.offsets, plan.sizes,
-                )
-            for rank in sorted(use.open_ranks):
-                cols.add(
-                    np.array([sched.close_times[rank]]),
-                    np.array([base + rank]),
-                    p.job, fid, int(EventKind.CLOSE), NO_VALUE, NO_VALUE,
-                )
-            if sched.delete_time is not None:
-                cols.add(
-                    np.array([sched.delete_time]),
-                    np.array([base]),
-                    p.job, fid, int(EventKind.DELETE), NO_VALUE, NO_VALUE,
-                )
-            final_size = use.preexisting_size
-            for plan in use.node_plans.values():
-                w = plan.kinds == int(EventKind.WRITE)
-                if w.any():
-                    final_size = max(
-                        final_size, int((plan.offsets[w] + plan.sizes[w]).max())
-                    )
-            file_rows.append(
-                (
-                    fid,
-                    p.job if use.creates else NO_VALUE,
-                    p.job if use.delete_at_end else NO_VALUE,
-                    final_size,
-                )
-            )
-        return next_fid
 
     # -- full pipeline ----------------------------------------------------------------
 
@@ -444,6 +429,84 @@ class WorkloadGenerator:
             "size": np.asarray(size_, dtype=np.int64),
             "_uses": use_index,
         }
+
+
+def _emit_job_direct(
+    p: PlacedJob,
+    uses: list[FileUse],
+    cols: _Columns,
+    file_rows: list[tuple[int, int, int, int]],
+    next_fid: int,
+    rng: np.random.Generator,
+) -> int:
+    """Emit one traced job's open/transfer/close event blocks."""
+    windows = _phase_windows(p, uses)
+    for use, (w0, w1) in zip(uses, windows):
+        fid = next_fid
+        next_fid += 1
+        sched = _schedule_use(use, w0, w1, rng)
+        base = p.base_node
+        flags = int(use.flags | OpenFlags.TRACED)
+        for rank in sorted(use.open_ranks):
+            cols.add(
+                np.array([sched.open_times[rank]]),
+                np.array([base + rank]),
+                p.job, fid, int(EventKind.OPEN), NO_VALUE, NO_VALUE,
+                mode=int(use.mode), flags=flags,
+            )
+        for rank, plan in use.node_plans.items():
+            times = sched.op_times.get(rank)
+            if times is None or len(plan) == 0:
+                continue
+            cols.add(
+                times,
+                np.full(len(plan), base + rank, dtype=np.int32),
+                p.job, fid, plan.kinds, plan.offsets, plan.sizes,
+            )
+        for rank in sorted(use.open_ranks):
+            cols.add(
+                np.array([sched.close_times[rank]]),
+                np.array([base + rank]),
+                p.job, fid, int(EventKind.CLOSE), NO_VALUE, NO_VALUE,
+            )
+        if sched.delete_time is not None:
+            cols.add(
+                np.array([sched.delete_time]),
+                np.array([base]),
+                p.job, fid, int(EventKind.DELETE), NO_VALUE, NO_VALUE,
+            )
+        final_size = use.preexisting_size
+        for plan in use.node_plans.values():
+            w = plan.kinds == int(EventKind.WRITE)
+            if w.any():
+                final_size = max(
+                    final_size, int((plan.offsets[w] + plan.sizes[w]).max())
+                )
+        file_rows.append(
+            (
+                fid,
+                p.job if use.creates else NO_VALUE,
+                p.job if use.delete_at_end else NO_VALUE,
+                final_size,
+            )
+        )
+    return next_fid
+
+
+def _emit_job_block(shared, *, job: int):
+    """Pool task: synthesize one job's event block from shared plan state.
+
+    The timing rng is re-derived from the seed pool by key, so a worker
+    process produces exactly the stream the serial loop would.
+    """
+    placed_by_job, uses_by_job, fid_starts, seed = shared
+    p = placed_by_job[job]
+    uses = uses_by_job[job]
+    rng = SeedSequencePool(seed).rng(f"timing/{job}")
+    cols = _Columns()
+    file_rows: list[tuple[int, int, int, int]] = []
+    _emit_job_direct(p, uses, cols, file_rows, fid_starts[job], rng)
+    return cols, file_rows
 
 
 class _Replayer:

@@ -1,0 +1,116 @@
+"""Byte-identity of the index-backed analyzers and the parallel fan-outs.
+
+The index rewrite and the process-pool fan-out both promise *exactly* the
+report the original per-analyzer code produced — not merely statistically
+equivalent output.  These tests pin that promise against the frozen
+legacy implementation (:mod:`repro.core.legacy`) at two seeds/scales, and
+check the vectorized strided-run detector against its reference loop on
+arbitrary streams.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import characterize
+from repro.core.figures import render_all
+from repro.core.legacy import characterize_legacy
+from repro.strided.detect import (
+    coalesce_runs,
+    coalesce_stream,
+    coalesce_stream_vectorized,
+)
+from repro.workload import WorkloadGenerator, ames1993
+
+
+@pytest.fixture(
+    scope="module",
+    params=[(0.02, 5), (0.01, 11)],
+    ids=["scale02-seed5", "scale01-seed11"],
+)
+def workload(request):
+    scale, seed = request.param
+    return WorkloadGenerator(ames1993(scale), seed=seed).run("direct")
+
+
+class TestIndexEquivalence:
+    def test_report_text_identical(self, workload):
+        frame = workload.frame
+        assert characterize(frame).render() == characterize_legacy(frame).render()
+
+    def test_report_dict_identical(self, workload):
+        frame = workload.frame
+        new = json.dumps(characterize(frame).to_dict(), sort_keys=True)
+        old = json.dumps(characterize_legacy(frame).to_dict(), sort_keys=True)
+        assert new == old
+
+
+class TestParallelEquivalence:
+    def test_characterize_parallel_matches_serial(self, workload):
+        frame = workload.frame
+        serial = characterize(frame)
+        fanned = characterize(frame, workers=4)
+        assert serial.render() == fanned.render()
+        assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+            fanned.to_dict(), sort_keys=True
+        )
+
+    def test_render_all_parallel_matches_serial(self, workload):
+        frame = workload.frame
+        assert render_all(frame) == render_all(frame, workers=4)
+
+    def test_generator_parallel_matches_serial(self, workload):
+        scenario, seed = workload.scenario, workload.seed
+        fanned = WorkloadGenerator(scenario, seed=seed).run("direct", workers=3)
+        assert (fanned.frame.events == workload.frame.events).all()
+        assert (fanned.frame.jobs.data == workload.frame.jobs.data).all()
+        assert (fanned.frame.files.data == workload.frame.files.data).all()
+
+
+# -- strided-run detector: vectorized vs reference loop -----------------------
+
+random_streams = st.lists(
+    st.tuples(st.integers(0, 64), st.integers(1, 8)), min_size=0, max_size=50
+)
+
+# diffs drawn from a tiny alphabet with one request size produce long
+# strided runs — the regime coalesce_runs exists for
+run_rich_diffs = st.lists(st.sampled_from([4, 8, 12]), min_size=1, max_size=60)
+
+
+class TestStridedDetectorProperty:
+    @given(random_streams)
+    @settings(max_examples=300, deadline=None)
+    def test_matches_reference_on_arbitrary_streams(self, pairs):
+        offsets = np.array([p[0] for p in pairs], dtype=np.int64)
+        sizes = np.array([p[1] for p in pairs], dtype=np.int64)
+        assert coalesce_stream_vectorized(offsets, sizes) == coalesce_stream(
+            offsets, sizes
+        )
+
+    @given(run_rich_diffs, st.integers(1, 4))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_on_run_rich_streams(self, diffs, size):
+        offsets = np.concatenate(
+            [[0], np.cumsum(np.asarray(diffs, dtype=np.int64))]
+        )
+        sizes = np.full(len(offsets), size, dtype=np.int64)
+        assert coalesce_stream_vectorized(offsets, sizes) == coalesce_stream(
+            offsets, sizes
+        )
+
+    @given(random_streams)
+    @settings(max_examples=200, deadline=None)
+    def test_runs_partition_the_stream(self, pairs):
+        offsets = np.array([p[0] for p in pairs], dtype=np.int64)
+        sizes = np.array([p[1] for p in pairs], dtype=np.int64)
+        starts, counts = coalesce_runs(offsets, sizes)
+        assert int(counts.sum()) == len(offsets)
+        # runs tile the stream: each starts where the previous ended
+        if len(counts):
+            expected = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            assert starts.tolist() == expected.tolist()
+        else:
+            assert starts.tolist() == []

@@ -1,0 +1,174 @@
+"""The shared trace index: cached views, grouped tables, load validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.frame import EVENT_DTYPE, TraceFrame
+from repro.trace.records import EventKind
+
+
+class TestOfKindCache:
+    def test_same_view_returned(self, micro_frame):
+        a = micro_frame.of_kind(EventKind.READ, EventKind.WRITE)
+        b = micro_frame.of_kind(EventKind.READ, EventKind.WRITE)
+        assert a is b
+
+    def test_kind_order_insensitive(self, micro_frame):
+        a = micro_frame.of_kind(EventKind.READ, EventKind.WRITE)
+        b = micro_frame.of_kind(EventKind.WRITE, EventKind.READ)
+        assert a is b
+
+    def test_views_are_read_only(self, micro_frame):
+        view = micro_frame.of_kind(EventKind.OPEN)
+        assert not view.flags.writeable
+        with pytest.raises(ValueError):
+            view["time"] = 0.0
+
+    def test_transfers_property_is_cached_view(self, micro_frame):
+        assert micro_frame.transfers is micro_frame.transfers
+
+
+class TestIndexStructure:
+    def test_index_is_cached(self, micro_frame):
+        assert micro_frame.index is micro_frame.index
+
+    def test_transfers_by_file_sorted_stably(self, micro_frame):
+        tr = micro_frame.index.transfers_by_file
+        f = tr["file"]
+        assert (f[:-1] <= f[1:]).all()
+        # stable: within a file the original time order survives
+        for fid in np.unique(f):
+            t = tr["time"][f == fid]
+            assert (t[:-1] <= t[1:]).all()
+
+    def test_file_bounds(self, micro_frame):
+        lo, hi = micro_frame.index.file_bounds(np.array([0, 1]))
+        counts = hi - lo
+        assert counts.tolist() == [4, 3]  # 4 reads of file 0, 3 writes of file 1
+
+    def test_file_classes(self, micro_frame):
+        idx = micro_frame.index
+        assert idx.file_ids.tolist() == [0, 1, 2]
+        assert idx.was_read.tolist() == [True, False, False]
+        assert idx.was_written.tolist() == [False, True, False]
+        assert idx.was_opened.tolist() == [True, True, True]
+        assert idx.file_labels == {0: "ro", 1: "wo", 2: "untouched"}
+
+    def test_open_job_file_pairs(self, micro_frame):
+        jobs, files = micro_frame.index.open_job_file_pairs
+        assert list(zip(jobs.tolist(), files.tolist())) == [(0, 0), (0, 1), (1, 2)]
+
+    def test_first_open_modes(self, micro_frame):
+        files, modes = micro_frame.index.first_open_modes
+        assert files.tolist() == [0, 1, 2]
+        assert modes.tolist() == [0, 0, 0]
+
+    def test_node_spans(self, micro_frame):
+        spans = micro_frame.index.node_spans
+        # file 0 is open on nodes 0 and 1 at once -> both multi-window
+        # and concurrently shared; files 1 and 2 have one window each
+        assert spans.multi_window_files().tolist() == [0]
+        assert spans.concurrent_files().tolist() == [0]
+
+    def test_job_spans(self, micro_frame):
+        spans = micro_frame.index.job_spans
+        assert spans.multi_window_files().tolist() == []
+        assert spans.concurrent_files().tolist() == []
+
+    def test_streams_group_by_file_node_kind(self, micro_frame):
+        tr, starts, ends = micro_frame.index.streams
+        keys = [
+            (int(tr["file"][a]), int(tr["node"][a]), int(tr["kind"][a]))
+            for a in starts.tolist()
+        ]
+        # file 0: one read stream per node; file 1: one write stream
+        assert keys == [
+            (0, 0, int(EventKind.READ)),
+            (0, 1, int(EventKind.READ)),
+            (1, 0, int(EventKind.WRITE)),
+        ]
+        assert (ends - starts).tolist() == [2, 2, 3]
+        for a, b in zip(starts.tolist(), ends.tolist()):
+            # in-stream order is issue order
+            t = tr["time"][a:b]
+            assert (t[:-1] <= t[1:]).all()
+
+    def test_transition_intervals(self, micro_frame):
+        files, intervals = micro_frame.index.transition_intervals
+        # file 0 per-node reads are 200 B apart (100 B interval);
+        # file 1 writes are consecutive
+        assert files.tolist() == [0, 0, 1, 1]
+        assert intervals.tolist() == [100, 100, 0, 0]
+
+
+class TestLoadValidation:
+    def _arrays(self, micro_frame, tmp_path):
+        path = tmp_path / "good.npz"
+        micro_frame.save(path)
+        with np.load(path, allow_pickle=False) as data:
+            return {name: data[name] for name in data.files}
+
+    def test_roundtrip(self, micro_frame, tmp_path):
+        path = tmp_path / "trace.npz"
+        micro_frame.save(path)
+        loaded = TraceFrame.load(path)
+        assert (loaded.events == micro_frame.events).all()
+
+    def test_rejects_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(TraceError, match="not a readable trace"):
+            TraceFrame.load(path)
+
+    def test_rejects_truncated_file(self, micro_frame, tmp_path):
+        path = tmp_path / "trace.npz"
+        micro_frame.save(path)
+        clipped = tmp_path / "clipped.npz"
+        clipped.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(TraceError):
+            TraceFrame.load(clipped)
+
+    def test_names_missing_array(self, micro_frame, tmp_path):
+        arrays = self._arrays(micro_frame, tmp_path)
+        del arrays["files"]
+        path = tmp_path / "missing.npz"
+        np.savez(path, **arrays)
+        with pytest.raises(TraceError, match="missing trace array 'files'"):
+            TraceFrame.load(path)
+
+    def test_names_missing_field(self, micro_frame, tmp_path):
+        arrays = self._arrays(micro_frame, tmp_path)
+        fields = [(n, EVENT_DTYPE.fields[n][0]) for n in EVENT_DTYPE.names
+                  if n != "offset"]
+        stripped = np.zeros(len(arrays["events"]), dtype=np.dtype(fields))
+        for name, _ in fields:
+            stripped[name] = arrays["events"][name]
+        arrays["events"] = stripped
+        path = tmp_path / "stripped.npz"
+        np.savez(path, **arrays)
+        with pytest.raises(TraceError, match=r"missing\s+field\(s\) 'offset'"):
+            TraceFrame.load(path)
+
+    def test_names_wrong_field_dtype(self, micro_frame, tmp_path):
+        arrays = self._arrays(micro_frame, tmp_path)
+        fields = [
+            (n, np.float32 if n == "time" else EVENT_DTYPE.fields[n][0])
+            for n in EVENT_DTYPE.names
+        ]
+        cast = np.zeros(len(arrays["events"]), dtype=np.dtype(fields))
+        for name, _ in fields:
+            cast[name] = arrays["events"][name]
+        arrays["events"] = cast
+        path = tmp_path / "cast.npz"
+        np.savez(path, **arrays)
+        with pytest.raises(TraceError, match=r"wrong dtype for\s+field\(s\) 'time'"):
+            TraceFrame.load(path)
+
+    def test_rejects_bad_header(self, micro_frame, tmp_path):
+        arrays = self._arrays(micro_frame, tmp_path)
+        arrays["header"] = np.array("{not json")
+        path = tmp_path / "badheader.npz"
+        np.savez(path, **arrays)
+        with pytest.raises(TraceError, match="invalid trace header"):
+            TraceFrame.load(path)
