@@ -11,9 +11,11 @@ buffering does its job).
 
 import time
 
-from conftest import show
+from conftest import emit_json, show
 
+from repro import obs
 from repro.cfs import ConcurrentFileSystem, InstrumentedCFS
+from repro.core import characterize
 from repro.trace.collector import Collector
 from repro.trace.records import OpenFlags, TraceHeader
 from repro.trace.writer import TraceWriter
@@ -66,3 +68,81 @@ def test_instrumentation_overhead(benchmark):
     # the buffered instrumentation must stay within a small constant
     # factor of the bare file system
     assert t_traced < 3.0 * t_bare
+
+
+def _time_characterize(frame, rounds: int = 3) -> float:
+    """Best-of-N characterization time with the current observer state."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        characterize(frame)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _null_call_cost_s(calls: int = 200_000) -> float:
+    """Per-call cost of the disabled observer, the way call sites use it:
+    one ``enabled()`` guard, one counter add, one span enter/exit."""
+    obs.disable()
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        if obs.enabled():
+            obs.add("never")
+        with obs.span("never"):
+            pass
+    return (time.perf_counter() - t0) / calls
+
+
+def test_obs_overhead(frame):
+    """The disabled ``repro.obs`` layer must cost (nearly) nothing.
+
+    The disabled-mode overhead of one characterization is bounded by
+    (number of instrumentation calls the run executes) × (cost of one
+    null-observer call), as a fraction of the run's own time — the
+    budget the CLI spends when ``--obs`` is off.  The enabled mode is
+    timed head-to-head as well; it may cost more (it is doing work) but
+    is reported so regressions are visible.
+    """
+    obs.disable()
+    characterize(frame)  # warm caches (trace index, of_kind views)
+    t_off = _time_characterize(frame)
+
+    observer = obs.enable()
+    t_on = _time_characterize(frame)
+    # every counter add and span entry the run performed, ×2 for the
+    # enabled() guards that precede grouped counter adds
+    n_calls = 2 * (
+        sum(1 for _ in observer.counters) + observer.root.n_entries()
+    )
+    n_observed = len(observer.counters) + observer.root.n_nodes()
+    obs.disable()
+
+    per_call = _null_call_cost_s()
+    disabled_overhead = (n_calls * per_call) / t_off
+    enabled_overhead = t_on / t_off - 1.0
+    show(
+        "repro.obs: observation overhead on characterize()",
+        f"obs disabled: {t_off * 1000:.1f} ms (null observer)\n"
+        f"obs enabled:  {t_on * 1000:.1f} ms "
+        f"({n_observed} spans+counters collected)\n"
+        f"null call cost: {per_call * 1e9:.0f} ns × ~{n_calls} calls -> "
+        f"disabled-mode overhead {disabled_overhead:.4%}\n"
+        f"enabled-mode overhead: {enabled_overhead:+.1%}",
+    )
+    emit_json(
+        "obs_overhead",
+        {
+            "t_disabled_s": t_off,
+            "t_enabled_s": t_on,
+            "null_call_cost_s": per_call,
+            "n_instrumentation_calls": n_calls,
+            "disabled_overhead": disabled_overhead,
+            "enabled_overhead": enabled_overhead,
+            "n_events": int(frame.n_events),
+            "n_observed_names": n_observed,
+        },
+    )
+    # the promise the CLI makes when --obs is off
+    assert disabled_overhead < 0.03
+    # enabled-mode collection stays within a small factor of the analysis
+    assert t_on < 2.0 * t_off

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.caching.blockspan import expand_spans
 from repro.caching.compute_node import read_only_file_ids
 from repro.caching.io_node import _build_caches, _resolve_stream, request_jobs
@@ -140,6 +141,10 @@ def simulate_combined(
                 io_sub_with += subs
                 io_hits_with += hits
 
+    if obs.enabled():
+        obs.add("caching.combined.simulations")
+        obs.add("caching.combined.requests_absorbed", absorbed)
+        obs.add("caching.combined.compute_requests", comp_reqs)
     return CombinedResult(
         io_hit_rate_without=io_hits_without / io_sub_without if io_sub_without else 0.0,
         io_hit_rate_with=io_hits_with / io_sub_with if io_sub_with else 0.0,

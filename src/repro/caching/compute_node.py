@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.caching.blockspan import expand_spans
 from repro.caching.policies import LRUPolicy
 from repro.errors import CacheConfigError
@@ -130,6 +131,10 @@ def simulate_compute_node_caches(
     job_ids = np.asarray(sorted(reqs_by_job), dtype=np.int64)
     counts = np.asarray([reqs_by_job[j] for j in job_ids.tolist()], dtype=np.int64)
     hits = np.asarray([hits_by_job.get(j, 0) for j in job_ids.tolist()], dtype=np.int64)
+    if obs.enabled():
+        obs.add("caching.compute_node.simulations")
+        obs.add("caching.compute_node.requests", int(counts.sum()))
+        obs.add("caching.compute_node.hits", int(hits.sum()))
     return ComputeNodeCacheResult(
         buffers=buffers,
         job_ids=job_ids,

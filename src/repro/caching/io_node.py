@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.caching.blockspan import expand_spans
 from repro.caching.policies import (
     OptimalPolicy,
@@ -219,6 +220,12 @@ def simulate_io_node_caches(
         if rd:
             read_subs += len(full_hit)
             read_hits += n_full
+    if obs.enabled():
+        obs.add("caching.replay.simulations")
+        obs.add("caching.replay.sub_requests", all_subs)
+        obs.add("caching.replay.hits", all_hits)
+        obs.add(f"caching.replay.{policy.lower()}.read_hits", read_hits)
+        obs.add(f"caching.replay.{policy.lower()}.read_sub_requests", read_subs)
     return IONodeCacheResult(
         policy=policy,
         n_io_nodes=n_io_nodes,
@@ -258,17 +265,19 @@ def sweep_buffer_counts(
         # imported lazily: stackdist builds on this module's stream/result types
         from repro.caching.stackdist import io_node_stack_profile
 
-        profile = io_node_stack_profile(
-            n_io_nodes=n_io_nodes, policy=policy, stream=stream
-        )
-        return profile.curve(buffer_counts)
+        with obs.span("caching/sweep/stackdist"):
+            profile = io_node_stack_profile(
+                n_io_nodes=n_io_nodes, policy=policy, stream=stream
+            )
+            return profile.curve(buffer_counts)
     rates = []
-    for count in buffer_counts:
-        result = simulate_io_node_caches(
-            None, count, n_io_nodes=n_io_nodes, policy=policy,
-            block_size=block_size, stream=stream,
-        )
-        rates.append(result.hit_rate)
+    with obs.span("caching/sweep/replay"):
+        for count in buffer_counts:
+            result = simulate_io_node_caches(
+                None, count, n_io_nodes=n_io_nodes, policy=policy,
+                block_size=block_size, stream=stream,
+            )
+            rates.append(result.hit_rate)
     return HitRateCurve(
         policy=policy,
         n_io_nodes=n_io_nodes,

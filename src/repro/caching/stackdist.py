@@ -37,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.caching.blockspan import expand_spans
 from repro.caching.compute_node import ComputeNodeCacheResult, read_only_file_ids
 from repro.caching.io_node import IONodeCacheResult, request_stream
@@ -384,20 +385,26 @@ def io_node_stack_profile(
     if n_io_nodes <= 0:
         raise CacheConfigError("need at least one I/O node")
     files, first, last, _nodes, is_read = stream
-    spans = expand_spans(files, first, last)
-    io = spans.io_nodes(n_io_nodes)
-    depths = _depths_for_policy(policy, io, _encode_pairs(spans.file, spans.block))
-    subs = spans.sub_requests(n_io_nodes)
-    # a sub-request becomes a full hit once every block it spans is
-    # resident: min sufficient capacity = max depth over its blocks
-    min_caps = subs.max_over_blocks(depths)
-    sub_read = np.asarray(is_read, dtype=bool)[subs.req]
-    read_depths = []
-    all_depths = []
-    for node in range(n_io_nodes):
-        on_node = subs.io_node == node
-        read_depths.append(np.sort(min_caps[on_node & sub_read]))
-        all_depths.append(np.sort(min_caps[on_node]))
+    with obs.span("caching/stackdist/io_node_profile"):
+        spans = expand_spans(files, first, last)
+        io = spans.io_nodes(n_io_nodes)
+        depths = _depths_for_policy(policy, io, _encode_pairs(spans.file, spans.block))
+        subs = spans.sub_requests(n_io_nodes)
+        # a sub-request becomes a full hit once every block it spans is
+        # resident: min sufficient capacity = max depth over its blocks
+        min_caps = subs.max_over_blocks(depths)
+        sub_read = np.asarray(is_read, dtype=bool)[subs.req]
+        read_depths = []
+        all_depths = []
+        for node in range(n_io_nodes):
+            on_node = subs.io_node == node
+            read_depths.append(np.sort(min_caps[on_node & sub_read]))
+            all_depths.append(np.sort(min_caps[on_node]))
+        if obs.enabled():
+            obs.add("caching.stackdist.passes")
+            obs.add("caching.stackdist.block_accesses", len(depths))
+            obs.add("caching.stackdist.cold_accesses", int((depths == COLD).sum()))
+            obs.add(f"caching.stackdist.{policy.lower()}.passes")
     return IONodeStackProfile(
         policy=policy.lower(),
         n_io_nodes=n_io_nodes,
@@ -451,6 +458,9 @@ def compute_node_stack_profile(
     reads = reads[np.isin(reads["file"], ro)]
     if len(reads) == 0:
         raise CacheConfigError("no read-only reads in trace")
+    if obs.enabled():
+        obs.add("caching.stackdist.passes")
+        obs.add("caching.stackdist.compute_node_reads", len(reads))
     files = reads["file"].astype(np.int64)
     offsets = reads["offset"].astype(np.int64)
     sizes = reads["size"].astype(np.int64)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.caching.io_node import _resolve_stream, sweep_buffer_counts
 from repro.caching.results import HitRateCurve
 from repro.errors import CacheConfigError
@@ -88,18 +89,20 @@ def sweep_lines(
         return []
     stream = _resolve_stream(frame, stream, block_size)
     counts = [int(c) for c in buffer_counts]
+    obs.add("caching.sweeps.lines", len(specs))
     if workers is None:
         workers = min(len(specs), os.cpu_count() or 1)
-    if workers <= 1 or len(specs) <= 1:
-        return [_run_line(stream, counts, line, block_size) for line in specs]
-    try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_line, stream, counts, line, block_size)
-                for line in specs
-            ]
-            return [f.result() for f in futures]
-    except (BrokenExecutor, OSError):
-        # the pool itself failed (fork refused, worker killed, ...);
-        # the lines are deterministic, so fall back to serial
-        return [_run_line(stream, counts, line, block_size) for line in specs]
+    with obs.span("caching/sweep_lines"):
+        if workers <= 1 or len(specs) <= 1:
+            return [_run_line(stream, counts, line, block_size) for line in specs]
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_run_line, stream, counts, line, block_size)
+                    for line in specs
+                ]
+                return [f.result() for f in futures]
+        except (BrokenExecutor, OSError):
+            # the pool itself failed (fork refused, worker killed, ...);
+            # the lines are deterministic, so fall back to serial
+            return [_run_line(stream, counts, line, block_size) for line in specs]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.cfs.cache import BlockCache, CacheStats
 from repro.cfs.file import CFSFile
 from repro.cfs.modes import IOMode
@@ -157,6 +158,9 @@ class ConcurrentFileSystem:
         self._handles[fd] = FileHandle(
             fd=fd, file=file, node=node, job=job, flags=flags, mode=mode
         )
+        obs.add("cfs.opens")
+        if created:
+            obs.add("cfs.creates")
         return fd
 
     def close(self, fd: int) -> None:
@@ -167,6 +171,7 @@ class ConcurrentFileSystem:
             file.drop_group_member(handle.job, handle.node)
         file.open_count -= 1
         del self._handles[fd]
+        obs.add("cfs.closes")
 
     def unlink(self, name: str, job: int) -> None:
         """Delete a file, releasing its disk blocks.
@@ -181,6 +186,7 @@ class ConcurrentFileSystem:
         file.deleted = True
         file.deleter_job = job
         del self._namespace[name]
+        obs.add("cfs.unlinks")
 
     def _release_blocks(self, file: CFSFile) -> None:
         for block_idx in list(file._blocks):
@@ -212,6 +218,9 @@ class ConcurrentFileSystem:
         if handle.mode is IOMode.INDEPENDENT:
             handle.pointer = offset + len(data)
         handle.bytes_read += len(data)
+        if obs.enabled():
+            obs.add("cfs.reads")
+            obs.add("cfs.bytes_read", len(data))
         return data
 
     def write(self, fd: int, data: bytes) -> int:
@@ -226,6 +235,9 @@ class ConcurrentFileSystem:
         if handle.mode is IOMode.INDEPENDENT:
             handle.pointer = offset + len(data)
         handle.bytes_written += len(data)
+        if obs.enabled():
+            obs.add("cfs.writes")
+            obs.add("cfs.bytes_written", len(data))
         return len(data)
 
     # -- strided transfers (§5's recommended interface) --------------------------
@@ -347,6 +359,32 @@ class ConcurrentFileSystem:
         used = sum(d.used for d in self.disks)
         cap = sum(d.capacity for d in self.disks)
         return used, cap
+
+    def publish_obs(self) -> None:
+        """Publish per-I/O-node cache and striping state to :mod:`repro.obs`.
+
+        Emits aggregate buffer-cache counters (hits/misses/evictions/
+        write-throughs), per-node hit/miss gauges, and the stripe
+        distribution (bytes resident per I/O-node disk) — the numbers
+        the live CFS accumulates but a trace alone cannot show.  No-op
+        when observation is disabled; call at the end of a run.
+        """
+        if not obs.enabled():
+            return
+        total = self.cache_stats()
+        obs.add("cfs.cache.hits", total.hits)
+        obs.add("cfs.cache.misses", total.misses)
+        obs.add("cfs.cache.evictions", total.evictions)
+        obs.add("cfs.cache.writes_through", total.writes_through)
+        obs.gauge("cfs.cache.hit_rate", total.hit_rate)
+        obs.gauge("cfs.files_live", len(self._namespace))
+        obs.gauge("cfs.fds_open", len(self._handles))
+        for i, (cache, disk) in enumerate(zip(self.caches, self.disks)):
+            obs.gauge(f"cfs.io{i}.cache_hits", cache.stats.hits)
+            obs.gauge(f"cfs.io{i}.cache_misses", cache.stats.misses)
+            obs.gauge(f"cfs.io{i}.cache_evictions", cache.stats.evictions)
+            obs.gauge(f"cfs.io{i}.cache_resident_blocks", len(cache))
+            obs.gauge(f"cfs.io{i}.stripe_bytes", disk.used)
 
     @property
     def open_fds(self) -> int:

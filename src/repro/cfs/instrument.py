@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from repro import obs
 from repro.cfs.filesystem import ConcurrentFileSystem
 from repro.cfs.modes import IOMode
 from repro.trace.records import EventKind, OpenFlags, Record
@@ -259,3 +260,7 @@ class InstrumentedCFS:
     def finish(self) -> None:
         """Flush all node buffers at the end of a tracing period."""
         self.writer.flush_all()
+        if obs.enabled():
+            obs.add("trace.calls_traced", self.calls_traced)
+            obs.add("trace.strided_calls", self.strided_calls)
+            obs.gauge("trace.message_savings", self.writer.message_savings)

@@ -12,13 +12,21 @@ terminal::
 
 Every analysis command also accepts ``--scale/--seed`` instead of a
 trace file, generating a workload on the fly.
+
+Global flags (before the subcommand) control observability and verbosity::
+
+    python -m repro --obs run_report.json characterize --scale 0.02
+    python -m repro obsreport run_report.json
+    python -m repro -v generate --scale 0.02 --out trace.npz
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
+from repro import obs
 from repro.caching import (
     SweepLine,
     simulate_combined,
@@ -38,18 +46,30 @@ from repro.workload import WorkloadGenerator, ames1993, tiny, validate_workload
 
 SCENARIOS = {"ames1993": ames1993, "tiny": lambda scale: tiny(1.5 * scale * 156.0 / 1.5)}
 
+logger = logging.getLogger("repro.cli")
+
 
 def _add_input_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("trace", nargs="?", help="a trace .npz written by 'generate'")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="generate on the fly: fraction of 156 hours")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--pipeline", choices=["direct", "full"], default="direct",
+                        help="pipeline for on-the-fly generation (the 'full' "
+                             "pipeline replays through the simulated machine "
+                             "and CFS)")
 
 
 def _load_frame(args) -> TraceFrame:
     if args.trace:
+        logger.info("loading trace from %s", args.trace)
         return TraceFrame.load(args.trace)
-    return WorkloadGenerator(ames1993(args.scale), seed=args.seed).run("direct").frame
+    pipeline = getattr(args, "pipeline", "direct")
+    logger.info(
+        "generating workload on the fly (scale=%s seed=%s pipeline=%s)",
+        args.scale, args.seed, pipeline,
+    )
+    return WorkloadGenerator(ames1993(args.scale), seed=args.seed).run(pipeline).frame
 
 
 def cmd_generate(args) -> int:
@@ -87,7 +107,7 @@ def cmd_figures(args) -> int:
             try:
                 svg = render_figure_svg(frame, figure)
             except AnalysisError as exc:
-                print(f"{figure}: skipped ({exc})")
+                logger.warning("%s: skipped (%s)", figure, exc)
                 continue
             path = out / f"{figure}.svg"
             path.write_text(svg)
@@ -227,7 +247,21 @@ def cmd_validate(args) -> int:
     frame = _load_frame(args)
     report = validate_workload(frame)
     print(report.render())
-    return 0 if report.passed >= len(report.checks) - 3 else 1
+    if report.passed < len(report.checks) - 3:
+        logger.warning(
+            "validation failed: only %d of %d checks passed",
+            report.passed, len(report.checks),
+        )
+        return 1
+    return 0
+
+
+def cmd_obsreport(args) -> int:
+    from repro.obs import RunReport
+
+    report = RunReport.load(args.report)
+    print(report.render())
+    return 0
 
 
 def cmd_dump(args) -> int:
@@ -241,6 +275,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CHARISMA reproduction: Kotz & Nieuwejaar, SC'94",
+    )
+    parser.add_argument(
+        "--obs", nargs="?", const="obs_report.json", default=None, metavar="PATH",
+        help="collect runtime spans and simulator metrics, writing a JSON "
+             "run report to PATH (default obs_report.json); inspect it "
+             "with 'obsreport'",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more log output (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="less log output (-q errors only)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -305,12 +353,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--file", type=int)
     p.set_defaults(func=cmd_dump)
 
+    p = sub.add_parser("obsreport", help="pretty-print an --obs run report")
+    p.add_argument("report", help="a JSON run report written by --obs")
+    p.set_defaults(func=cmd_obsreport)
+
     return parser
+
+
+def _configure_logging(verbose: int, quiet: int) -> None:
+    level = logging.WARNING + 10 * (quiet - verbose)
+    level = max(logging.DEBUG, min(logging.ERROR, level))
+    logging.basicConfig(
+        level=level, format="%(levelname)s %(name)s: %(message)s", stream=sys.stderr
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    _configure_logging(args.verbose, args.quiet)
+    if args.obs is None:
+        return args.func(args)
+    observer = obs.enable()
+    try:
+        with observer.span(f"cli/{args.command}"):
+            return args.func(args)
+    finally:
+        # write the report even when the command raises: a profile of the
+        # partial run is exactly what a post-mortem wants
+        command = list(argv) if argv is not None else sys.argv[1:]
+        report = observer.report(command=command)
+        obs.disable()
+        report.save(args.obs)
+        logger.info("wrote obs run report to %s", args.obs)
+        print(
+            f"[obs] {report.n_spans} spans, {report.n_counters} counters "
+            f"-> {args.obs}",
+            file=sys.stderr,
+        )
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

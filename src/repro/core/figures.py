@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.caching.stackdist import compute_node_stack_profile
 from repro.caching.sweeps import SweepLine, sweep_lines
 from repro.core.filestats import file_size_cdf
@@ -106,7 +107,10 @@ def render_figure(
     workers: int | None = None,
 ) -> str:
     """One figure as a captioned ASCII chart."""
-    series = figure_series(frame, figure, workers=workers)
+    with obs.span(f"core/figures/{figure}"):
+        series = figure_series(frame, figure, workers=workers)
+    if obs.enabled():
+        obs.add("core.figures.rendered")
     caption = f"{figure}: {FIGURES[figure]}"
     if figure in ("fig1", "fig2"):
         # categorical bars read better than a line for these

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import AnalysisError
 from repro.trace.frame import TraceFrame
 from repro.util.cdf import EmpiricalCDF
@@ -88,6 +89,9 @@ def population(frame: TraceFrame) -> FilePopulation:
     n_opens = len(opens)
     temp_opens = int(np.isin(opens["file"].astype(np.int64), list(temp_ids)).sum()) if temp_ids else 0
 
+    if obs.enabled():
+        obs.add("core.filestats.files", len(file_ids))
+        obs.add("core.filestats.opens", n_opens)
     return FilePopulation(
         n_files=len(file_ids),
         n_opens=n_opens,

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import AnalysisError
 from repro.trace.frame import TraceFrame
 from repro.util.histogram import bucket_counts
@@ -61,12 +62,18 @@ def per_file_distinct_request_sizes(frame: TraceFrame) -> dict[int, int]:
 def interval_size_table(frame: TraceFrame, cap: int = 4) -> dict[str, int]:
     """Table 2: files bucketed by distinct interval-size count
     (buckets "0", "1", ..., "<cap>+")."""
-    return bucket_counts(per_file_distinct_intervals(frame).values(), cap=cap)
+    table = bucket_counts(per_file_distinct_intervals(frame).values(), cap=cap)
+    if obs.enabled():
+        obs.add("core.intervals.files", sum(table.values()))
+    return table
 
 
 def request_size_table(frame: TraceFrame, cap: int = 4) -> dict[str, int]:
     """Table 3: files bucketed by distinct request-size count."""
-    return bucket_counts(per_file_distinct_request_sizes(frame).values(), cap=cap)
+    table = bucket_counts(per_file_distinct_request_sizes(frame).values(), cap=cap)
+    if obs.enabled():
+        obs.add("core.intervals.request_size_files", sum(table.values()))
+    return table
 
 
 def zero_interval_dominance(frame: TraceFrame) -> float:

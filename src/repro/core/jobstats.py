@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import AnalysisError
 from repro.trace.frame import TraceFrame
 from repro.trace.records import EventKind
@@ -83,6 +84,9 @@ def concurrency_profile(frame: TraceFrame) -> ConcurrencyProfile:
     out_levels = np.arange(max_level + 1, dtype=np.int64)
     seconds = np.zeros(max_level + 1, dtype=np.float64)
     np.add.at(seconds, levels, durations)
+    if obs.enabled():
+        obs.add("core.jobstats.jobs", len(jobs))
+        obs.add("core.jobstats.concurrency_levels", len(out_levels))
     return ConcurrencyProfile(
         levels=out_levels, seconds=seconds, total_seconds=float(seconds.sum())
     )

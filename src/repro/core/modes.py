@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import AnalysisError
 from repro.trace.frame import TraceFrame
 
@@ -63,4 +64,7 @@ def mode_usage(frame: TraceFrame) -> ModeUsage:
         int(m): int(c)
         for m, c in zip(file_mode_values.tolist(), file_mode_counts.tolist())
     }
+    if obs.enabled():
+        obs.add("core.modes.opens", len(opens))
+        obs.add("core.modes.files", int(file_mode_counts.sum()))
     return ModeUsage(files_per_mode=files_per_mode, opens_per_mode=opens_per_mode)

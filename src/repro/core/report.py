@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.filestats import FilePopulation, file_size_cdf, population
 from repro.core.intervals import interval_size_table, request_size_table
 from repro.core.jobstats import (
@@ -254,42 +255,47 @@ class WorkloadReport:
 
 
 def _part_basics(frame: TraceFrame) -> dict:
-    return {
-        "concurrency": concurrency_profile(frame),
-        "node_counts": node_count_distribution(frame),
-        "files_per_job": files_per_job_table(frame),
-        "files": population(frame),
-        "size_cdf": file_size_cdf(frame),
-        "reads": request_size_summary(frame, EventKind.READ),
-        "writes": request_size_summary(frame, EventKind.WRITE),
-        "modes": mode_usage(frame),
-    }
+    with obs.span("core/characterize/basics"):
+        return {
+            "concurrency": concurrency_profile(frame),
+            "node_counts": node_count_distribution(frame),
+            "files_per_job": files_per_job_table(frame),
+            "files": population(frame),
+            "size_cdf": file_size_cdf(frame),
+            "reads": request_size_summary(frame, EventKind.READ),
+            "writes": request_size_summary(frame, EventKind.WRITE),
+            "modes": mode_usage(frame),
+        }
 
 
 def _part_regularity(frame: TraceFrame):
-    try:
-        return per_file_regularity(frame), None
-    except AnalysisError as exc:
-        return None, f"sequentiality skipped: {exc}"
+    with obs.span("core/characterize/regularity"):
+        try:
+            return per_file_regularity(frame), None
+        except AnalysisError as exc:
+            return None, f"sequentiality skipped: {exc}"
 
 
 def _part_intervals(frame: TraceFrame):
-    return interval_size_table(frame), request_size_table(frame)
+    with obs.span("core/characterize/intervals"):
+        return interval_size_table(frame), request_size_table(frame)
 
 
 def _part_sharing(frame: TraceFrame):
-    try:
-        return sharing_per_file(frame), None
-    except AnalysisError as exc:
-        return None, f"sharing skipped: {exc}"
+    with obs.span("core/characterize/sharing"):
+        try:
+            return sharing_per_file(frame), None
+        except AnalysisError as exc:
+            return None, f"sharing skipped: {exc}"
 
 
 def _part_interjob(frame: TraceFrame) -> tuple[int, int]:
-    try:
-        shared, concurrent = interjob_shared_files(frame)
-        return len(shared), len(concurrent)
-    except AnalysisError:
-        return 0, 0
+    with obs.span("core/characterize/interjob"):
+        try:
+            shared, concurrent = interjob_shared_files(frame)
+            return len(shared), len(concurrent)
+        except AnalysisError:
+            return 0, 0
 
 
 #: independent analysis families; each is one process-pool task
@@ -312,7 +318,11 @@ def characterize(frame: TraceFrame, workers: int | None = None) -> WorkloadRepor
     """
     from repro.util.pool import map_tasks
 
-    results = map_tasks(_PARTS, frame, workers)
+    with obs.span("core/characterize"):
+        results = map_tasks(_PARTS, frame, workers)
+    if obs.enabled():
+        obs.add("core.characterizations")
+        obs.add("core.characterize.events", frame.n_events)
     basics = results["basics"]
     regularity, reg_note = results["regularity"]
     intervals, request_sizes = results["intervals"]

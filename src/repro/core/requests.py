@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import AnalysisError
 from repro.trace.frame import TraceFrame
 from repro.trace.records import EventKind
@@ -70,6 +71,8 @@ def request_size_summary(
     sizes = _transfer_sizes(frame, kind)
     total = float(sizes.sum())
     small = sizes < small_threshold
+    if obs.enabled():
+        obs.add(f"core.requests.{kind.name.lower()}s", len(sizes))
     return RequestSizeSummary(
         kind=kind.name.lower(),
         n_requests=len(sizes),

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.filestats import file_class_labels
 from repro.errors import AnalysisError
 from repro.trace.frame import TraceFrame
@@ -94,6 +95,9 @@ def per_file_regularity(frame: TraceFrame) -> FileRegularity:
         raise AnalysisError("no file has more than one request per node")
     labels_all = file_class_labels(frame)
     labels = [labels_all[int(f)] for f in uniq]
+    if obs.enabled():
+        obs.add("core.sequentiality.files", len(uniq))
+        obs.add("core.sequentiality.transitions", int(n_trans.sum()))
     return FileRegularity(
         file_ids=uniq,
         n_transitions=n_trans,

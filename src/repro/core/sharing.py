@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.filestats import file_class_labels
 from repro.errors import AnalysisError
 from repro.trace.frame import TraceFrame
@@ -172,6 +173,9 @@ def sharing_per_file(frame: TraceFrame, block_size: int = BLOCK_SIZE) -> Sharing
 
     if not file_ids:
         raise AnalysisError("no accessed multi-node files in trace")
+    if obs.enabled():
+        obs.add("core.sharing.candidate_files", len(candidates))
+        obs.add("core.sharing.files", len(file_ids))
     return SharingResult(
         file_ids=np.asarray(file_ids, dtype=np.int64),
         byte_shared=np.asarray(byte_fracs),

@@ -45,3 +45,17 @@ class AnalysisError(ReproError):
 
 class CacheConfigError(ReproError):
     """Cache simulation parameters are invalid."""
+
+
+class PoolTaskError(ReproError):
+    """A worker-pool task raised; carries the originating task context.
+
+    The wrapped worker exception is preserved as ``__cause__``;
+    ``task``/``index`` identify which of the submitted tasks failed.
+    """
+
+    def __init__(self, message: str, task: str | None = None,
+                 index: int | None = None) -> None:
+        super().__init__(message)
+        self.task = task
+        self.index = index

@@ -10,6 +10,7 @@ caching discussion (small requests are disastrous at the disk).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.errors import MachineError
 from repro.util.units import MB
 
@@ -52,6 +53,7 @@ class Disk:
                 f"disk full: {nbytes} bytes requested, {self.free} free"
             )
         self.used += nbytes
+        obs.add("machine.disk_bytes_allocated", nbytes)
 
     def release(self, nbytes: int) -> None:
         """Return space (on file deletion/truncation)."""
@@ -72,6 +74,9 @@ class Disk:
         positioning = 0.0 if sequential else self.avg_seek + self.rotation_time / 2.0
         t = positioning + nbytes / self.transfer_rate
         self.busy_time += t
+        if obs.enabled():
+            obs.add("machine.disk_ops")
+            obs.add("machine.disk_busy_s", t)
         return t
 
     def effective_bandwidth(self, nbytes: int, sequential: bool = False) -> float:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import MachineError
 from repro.machine.clock import ClockEnsemble, Timebase
 from repro.machine.message import Message, MessageModel
@@ -101,6 +102,19 @@ class IPSC860:
         self.messages = MessageModel(self.cube)
         self.allocator = SubcubeAllocator(self.cube)
         self._latency_rng = pool.rng("message-jitter")
+        if obs.enabled():
+            obs.add("machine.instances")
+            obs.gauge("machine.compute_nodes", self.config.n_compute_nodes)
+            obs.gauge("machine.io_nodes", self.config.n_io_nodes)
+            # boot-time offset spread and worst-case divergence after an
+            # hour of drift — the §2.5 numbers the postprocessor corrects
+            obs.gauge(
+                "machine.clock_offset_spread_s", self.clocks.max_divergence(0.0)
+            )
+            obs.gauge(
+                "machine.clock_drift_spread_1h_s",
+                self.clocks.max_divergence(3600.0),
+            )
 
     @property
     def n_compute_nodes(self) -> int:
@@ -134,6 +148,7 @@ class IPSC860:
             Message(src=block.node, dst=0, size=len(block.payload))
         )
         jitter = float(self._latency_rng.exponential(self.messages.startup))
+        obs.add("machine.collector_stamps")
         return float(self.clocks.service.local(true_send + latency + jitter))
 
     # -- capacity facts used by workload calibration -------------------------

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import MachineError
 from repro.machine.topology import Hypercube
 from repro.util.units import BLOCK_SIZE
@@ -81,8 +82,13 @@ class MessageModel:
         """
         hops = self.cube.distance(message.src, message.dst)
         total = 0.0
-        for frag in message.fragments(self.fragment_size):
+        fragments = message.fragments(self.fragment_size)
+        for frag in fragments:
             total += self.startup + hops * self.per_hop + frag / self.bandwidth
+        if obs.enabled():
+            obs.add("machine.messages_sent")
+            obs.add("machine.message_fragments", len(fragments))
+            obs.add("machine.message_bytes", message.size)
         return total
 
     def latency_bytes(self, src: int, dst: int, size: int) -> float:

@@ -1,0 +1,239 @@
+"""Span/counter collection for the self-tracing observability layer.
+
+The paper's own methodology (§2.5) insisted that the tracing system
+measure *itself* — buffered records, counted messages, benchmarked
+overhead.  :class:`Observer` applies the same discipline to this
+reproduction: hierarchical timed spans (wall + CPU clock per subtree),
+monotonic counters, last-write gauges, and a snapshot format cheap
+enough to ship across the fork-based worker pools so parallel runs lose
+nothing.
+
+:class:`NullObserver` is the disabled twin: every operation is a no-op
+method on a slotted singleton, so instrumented call sites cost one
+attribute lookup and one call when observation is off — the property
+``benchmarks/bench_instrumentation_overhead.py`` measures the same way
+the paper measured CHARISMA's overhead.
+"""
+
+from __future__ import annotations
+
+import time
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+import sys
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (0 if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; both are
+    normalized here.
+    """
+    if resource is None:  # pragma: no cover - Windows
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return int(peak)
+    return int(peak) * 1024
+
+
+class SpanNode:
+    """One node of the merged span tree.
+
+    Repeated entries of the same span name under the same parent fold
+    into one node (``count`` tracks how many times it was entered), so
+    per-job or per-figure spans stay bounded regardless of scale.
+    """
+
+    __slots__ = ("name", "count", "wall_s", "cpu_s", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.children: dict[str, SpanNode] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        """Get-or-create the named child node."""
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name)
+            self.children[name] = node
+        return node
+
+    def n_nodes(self) -> int:
+        """Distinct span nodes in this subtree (excluding self)."""
+        return sum(1 + c.n_nodes() for c in self.children.values())
+
+    def n_entries(self) -> int:
+        """Total span entries recorded in this subtree (excluding self)."""
+        return sum(c.count + c.n_entries() for c in self.children.values())
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form (recursively)."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "children": [c.to_dict() for c in self.children.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanNode":
+        """Rebuild a subtree from :meth:`to_dict` output."""
+        node = cls(str(payload["name"]))
+        node.count = int(payload.get("count", 0))
+        node.wall_s = float(payload.get("wall_s", 0.0))
+        node.cpu_s = float(payload.get("cpu_s", 0.0))
+        for child in payload.get("children", ()):
+            sub = cls.from_dict(child)
+            node.children[sub.name] = sub
+        return node
+
+    def merge_dict(self, payload: dict) -> None:
+        """Fold a :meth:`to_dict` subtree into this node's children."""
+        for child in payload.get("children", ()):
+            node = self.child(str(child["name"]))
+            node.count += int(child.get("count", 0))
+            node.wall_s += float(child.get("wall_s", 0.0))
+            node.cpu_s += float(child.get("cpu_s", 0.0))
+            node.merge_dict(child)
+
+
+class _SpanHandle:
+    """Context manager timing one entry of one span."""
+
+    __slots__ = ("_observer", "_name", "_node", "_w0", "_c0")
+
+    def __init__(self, observer: "Observer", name: str) -> None:
+        self._observer = observer
+        self._name = name
+
+    def __enter__(self) -> SpanNode:
+        stack = self._observer._stack
+        self._node = stack[-1].child(self._name)
+        stack.append(self._node)
+        self._w0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self._node
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._node.wall_s += time.perf_counter() - self._w0
+        self._node.cpu_s += time.process_time() - self._c0
+        self._node.count += 1
+        stack = self._observer._stack
+        if stack[-1] is self._node:
+            stack.pop()
+        elif self._node in stack:  # pragma: no cover - unbalanced exits
+            del stack[stack.index(self._node):]
+        return False
+
+
+class Observer:
+    """A live per-run collector of spans, counters and gauges."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.root = SpanNode("run")
+        self._stack: list[SpanNode] = [self.root]
+        self.counters: dict[str, int | float] = {}
+        self.gauges: dict[str, float] = {}
+        self.started_at = time.time()
+        self._w0 = time.perf_counter()
+        self._c0 = time.process_time()
+
+    def span(self, name: str) -> _SpanHandle:
+        """Open a timed span nested under the currently open span."""
+        return _SpanHandle(self, name)
+
+    def add(self, name: str, value: int | float = 1) -> None:
+        """Increment a monotonic counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge (last write wins)."""
+        self.gauges[name] = float(value)
+
+    # -- crossing process boundaries -----------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything recorded so far as plain JSON types.
+
+        Worker processes return this alongside their task result so the
+        parent can fold their observations into its own tree (see
+        :func:`repro.util.pool.map_tasks`).
+        """
+        return {
+            "spans": self.root.to_dict(),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    def merge_snapshot(self, payload: dict) -> None:
+        """Fold another observer's :meth:`snapshot` under the open span."""
+        self._stack[-1].merge_dict(payload.get("spans", {}))
+        for name, value in payload.get("counters", {}).items():
+            self.add(name, value)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name, value)
+
+    # -- finalization ---------------------------------------------------------
+
+    def report(self, command: list[str] | None = None):
+        """Freeze the run into a serializable :class:`~repro.obs.report.RunReport`."""
+        from repro.obs.report import RunReport
+
+        return RunReport(
+            command=list(command) if command else [],
+            started_at=self.started_at,
+            wall_s=time.perf_counter() - self._w0,
+            cpu_s=time.process_time() - self._c0,
+            peak_rss_bytes=peak_rss_bytes(),
+            spans=self.root.to_dict(),
+            counters={k: self.counters[k] for k in sorted(self.counters)},
+            gauges={k: self.gauges[k] for k in sorted(self.gauges)},
+        )
+
+
+class _NullSpan:
+    """Reusable do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullObserver:
+    """The disabled observer: every operation is a cheap no-op."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add(self, name: str, value: int | float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def merge_snapshot(self, payload: dict) -> None:
+        pass
+
+
+NULL_OBSERVER = NullObserver()

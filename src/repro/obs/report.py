@@ -1,0 +1,169 @@
+"""Structured run reports: serialization and the pretty-printer.
+
+A :class:`RunReport` is the frozen output of one observed run — the
+span tree, counter totals, gauges, and process-level totals (wall, CPU,
+peak RSS).  It round-trips through JSON (``python -m repro --obs=PATH``
+writes one; ``python -m repro obsreport PATH`` reads it back) and
+renders as an indented profile for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.collector import SpanNode
+
+#: current on-disk format version
+REPORT_VERSION = 1
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.1f}ms"
+
+
+def _fmt_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB"):
+        if value < 1024 or unit == "GB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GB"  # pragma: no cover - unreachable
+
+
+@dataclass
+class RunReport:
+    """One run's observations, serializable and renderable."""
+
+    command: list[str] = field(default_factory=list)
+    started_at: float = 0.0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    peak_rss_bytes: int = 0
+    #: :meth:`repro.obs.collector.SpanNode.to_dict` of the root span
+    spans: dict = field(default_factory=lambda: SpanNode("run").to_dict())
+    counters: dict[str, int | float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    version: int = REPORT_VERSION
+
+    # -- derived --------------------------------------------------------------
+
+    @property
+    def span_tree(self) -> SpanNode:
+        """The span tree rebuilt as :class:`SpanNode` objects."""
+        return SpanNode.from_dict(self.spans)
+
+    @property
+    def n_spans(self) -> int:
+        """Distinct span nodes recorded (root excluded)."""
+        return self.span_tree.n_nodes()
+
+    @property
+    def n_counters(self) -> int:
+        """Distinct counters recorded."""
+        return len(self.counters)
+
+    def span_names(self) -> list[str]:
+        """Every distinct span path, ``/``-joined from the root."""
+        names: list[str] = []
+
+        def walk(node: SpanNode, prefix: str) -> None:
+            for child in node.children.values():
+                path = f"{prefix}{child.name}" if not prefix else f"{prefix} > {child.name}"
+                names.append(child.name)
+                walk(child, path)
+
+        walk(self.span_tree, "")
+        return names
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "command": list(self.command),
+            "started_at": self.started_at,
+            "started_iso": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.localtime(self.started_at)
+            ),
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "spans": self.spans,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunReport":
+        return cls(
+            command=[str(c) for c in payload.get("command", [])],
+            started_at=float(payload.get("started_at", 0.0)),
+            wall_s=float(payload.get("wall_s", 0.0)),
+            cpu_s=float(payload.get("cpu_s", 0.0)),
+            peak_rss_bytes=int(payload.get("peak_rss_bytes", 0)),
+            spans=dict(payload.get("spans", SpanNode("run").to_dict())),
+            counters=dict(payload.get("counters", {})),
+            gauges=dict(payload.get("gauges", {})),
+            version=int(payload.get("version", REPORT_VERSION)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunReport":
+        return cls.from_json(Path(path).read_text())
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(self) -> str:
+        """Indented span profile plus counter/gauge tables."""
+        lines = []
+        cmd = " ".join(self.command) if self.command else "(unknown command)"
+        lines.append(f"obs run report — {cmd}")
+        started = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(self.started_at)
+        )
+        lines.append(
+            f"started {started}  wall {_fmt_seconds(self.wall_s)}  "
+            f"cpu {_fmt_seconds(self.cpu_s)}  "
+            f"peak RSS {_fmt_bytes(self.peak_rss_bytes)}"
+        )
+        tree = self.span_tree
+        lines.append(f"spans ({tree.n_nodes()} distinct, {tree.n_entries()} entered):")
+
+        def walk(node: SpanNode, depth: int) -> None:
+            for child in node.children.values():
+                label = "  " * depth + child.name
+                lines.append(
+                    f"  {label:<44} ×{child.count:<6} "
+                    f"wall {_fmt_seconds(child.wall_s):>9}  "
+                    f"cpu {_fmt_seconds(child.cpu_s):>9}"
+                )
+                walk(child, depth + 1)
+
+        walk(tree, 0)
+        lines.append(f"counters ({len(self.counters)}):")
+        for name in sorted(self.counters):
+            value = self.counters[name]
+            shown = f"{value:.3f}" if isinstance(value, float) else f"{value}"
+            lines.append(f"  {name:<52} {shown:>14}")
+        if self.gauges:
+            lines.append(f"gauges ({len(self.gauges)}):")
+            for name in sorted(self.gauges):
+                lines.append(f"  {name:<52} {self.gauges[name]:>14.6g}")
+        return "\n".join(lines)

@@ -12,6 +12,15 @@ workload.  The pool therefore uses the ``fork`` start method and parks
 the shared state in a module global before forking, so children inherit
 it copy-on-write and only task *names* cross the pipe.  On platforms
 without ``fork`` the tasks simply run serially.
+
+Failure and observability semantics: a task exception in a worker is
+re-raised in the parent as :class:`~repro.errors.PoolTaskError` naming
+the task and its submission index (chaining the original exception),
+rather than surfacing as a bare remote traceback.  When the
+:mod:`repro.obs` layer is enabled, each worker collects its own span
+and counter deltas and ships them back with its result, so a parallel
+run's report matches a serial run's; the pool also records its own
+fan-out counters (``pool.*``).
 """
 
 from __future__ import annotations
@@ -21,6 +30,9 @@ import os
 from collections.abc import Callable, Mapping
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Any
+
+from repro import obs
+from repro.errors import PoolTaskError
 
 #: state inherited by forked workers: (task mapping, shared object)
 _SHARED: tuple[Mapping[str, Callable[[Any], Any]], Any] | None = None
@@ -36,10 +48,21 @@ def default_workers(n_tasks: int) -> int:
     return min(n_tasks, os.cpu_count() or 1)
 
 
-def _call(name: str) -> tuple[str, Any]:
+def _call(name: str) -> tuple[str, Any, dict | None]:
     assert _SHARED is not None, "worker forked without shared state"
     tasks, obj = _SHARED
-    return name, tasks[name](obj)
+    if obs.enabled():
+        # start a fresh observer so only this task's deltas travel back
+        observer = obs.enable()
+        result = tasks[name](obj)
+        return name, result, observer.snapshot()
+    return name, tasks[name](obj), None
+
+
+def _run_serial(
+    tasks: Mapping[str, Callable[[Any], Any]], obj: Any, names: list[str]
+) -> dict[str, Any]:
+    return {name: tasks[name](obj) for name in names}
 
 
 def map_tasks(
@@ -53,27 +76,56 @@ def map_tasks(
     support, the tasks run serially in-process.  Otherwise they fan out
     across a forked process pool; a pool that fails to start or loses a
     worker falls back to the serial path, which produces identical
-    results because every task is deterministic.
+    results because every task is deterministic.  A task that *raises*
+    in a worker surfaces as :class:`~repro.errors.PoolTaskError` with
+    the task name and submission index, the worker exception chained.
     """
     names = list(tasks)
+    obs.add("pool.batches")
+    obs.add("pool.tasks", len(names))
     if (
         workers is None
         or workers <= 1
         or len(names) <= 1
         or not fork_available()
     ):
-        return {name: tasks[name](obj) for name in names}
+        obs.add("pool.serial_batches")
+        return _run_serial(tasks, obj, names)
 
     global _SHARED
     _SHARED = (tasks, obj)
+    n_workers = min(workers, len(names))
     try:
         ctx = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(names)), mp_context=ctx
-        ) as pool:
+        with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
             futures = [pool.submit(_call, name) for name in names]
-            return dict(f.result() for f in futures)
+            results: dict[str, Any] = {}
+            snapshots: dict[str, dict] = {}
+            for index, (name, future) in enumerate(zip(names, futures)):
+                try:
+                    rname, value, snapshot = future.result()
+                except (BrokenExecutor, OSError):
+                    raise
+                except Exception as exc:
+                    raise PoolTaskError(
+                        f"pool task {name!r} (#{index} of {len(names)}) "
+                        f"failed in a worker: {exc}",
+                        task=name,
+                        index=index,
+                    ) from exc
+                results[rname] = value
+                if snapshot is not None:
+                    snapshots[rname] = snapshot
+        obs.add("pool.forked_batches")
+        obs.add("pool.worker_processes", n_workers)
+        # fold worker observations in submission order (deterministic)
+        for name in names:
+            snapshot = snapshots.get(name)
+            if snapshot is not None:
+                obs.current().merge_snapshot(snapshot)
+        return results
     except (BrokenExecutor, OSError):
-        return {name: tasks[name](obj) for name in names}
+        obs.add("pool.serial_fallbacks")
+        return _run_serial(tasks, obj, names)
     finally:
         _SHARED = None

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.cfs.filesystem import ConcurrentFileSystem
 from repro.cfs.instrument import InstrumentedCFS
 from repro.cfs.modes import IOMode
@@ -212,24 +213,35 @@ class WorkloadGenerator:
 
         Returns the placed jobs and, per traced job id, its file uses.
         """
-        pool = SeedSequencePool(self.seed)
-        specs = self.scenario.job_mix().sample(
-            self.scenario.duration_s, pool.rng("jobmix")
-        )
-        placed = schedule_jobs(
-            specs,
-            n_compute_nodes=self.scenario.machine.n_compute_nodes,
-            max_concurrent=self.scenario.max_concurrent_jobs,
-        )
-        uses_by_job: dict[int, list[FileUse]] = {}
-        for p in placed:
-            if not p.spec.traced or p.spec.is_status:
-                continue
-            app = APP_REGISTRY[p.spec.app]
-            rng = pool.rng(f"job/{p.job}")
-            uses_by_job[p.job] = app.build(
-                p.job, p.spec.n_nodes, self.scenario.models, rng
+        with obs.span("workload/plan"):
+            pool = SeedSequencePool(self.seed)
+            specs = self.scenario.job_mix().sample(
+                self.scenario.duration_s, pool.rng("jobmix")
             )
+            placed = schedule_jobs(
+                specs,
+                n_compute_nodes=self.scenario.machine.n_compute_nodes,
+                max_concurrent=self.scenario.max_concurrent_jobs,
+            )
+            uses_by_job: dict[int, list[FileUse]] = {}
+            for p in placed:
+                if not p.spec.traced or p.spec.is_status:
+                    continue
+                app = APP_REGISTRY[p.spec.app]
+                rng = pool.rng(f"job/{p.job}")
+                uses_by_job[p.job] = app.build(
+                    p.job, p.spec.n_nodes, self.scenario.models, rng
+                )
+            if obs.enabled():
+                obs.add("workload.jobs", len(placed))
+                obs.add(
+                    "workload.traced_jobs",
+                    sum(1 for p in placed if p.spec.traced),
+                )
+                obs.add(
+                    "workload.file_uses",
+                    sum(len(u) for u in uses_by_job.values()),
+                )
         return placed, uses_by_job
 
     # -- direct pipeline ------------------------------------------------------------
@@ -281,43 +293,48 @@ class WorkloadGenerator:
         tasks = {
             str(p.job): partial(_emit_job_block, job=p.job) for p in emitting
         }
-        blocks = map_tasks(tasks, shared, workers)
+        with obs.span("workload/emit"):
+            blocks = map_tasks(tasks, shared, workers)
 
-        cols = _Columns()
-        file_rows: list[tuple[int, int, int, int]] = []
-        for p in placed:
-            # job markers for every job, traced or not
-            cols.add(
-                np.array([p.start]), np.array([p.base_node]), p.job, NO_VALUE,
-                int(EventKind.JOB_START), 0, p.spec.n_nodes,
-            )
-            cols.add(
-                np.array([p.end]), np.array([p.base_node]), p.job, NO_VALUE,
-                int(EventKind.JOB_END), 0, 0,
-            )
-            block = blocks.get(str(p.job))
-            if block is None:
-                continue
-            job_cols, job_rows = block
-            cols.merge(job_cols)
-            file_rows.extend(job_rows)
+        with obs.span("workload/assemble"):
+            cols = _Columns()
+            file_rows: list[tuple[int, int, int, int]] = []
+            for p in placed:
+                # job markers for every job, traced or not
+                cols.add(
+                    np.array([p.start]), np.array([p.base_node]), p.job, NO_VALUE,
+                    int(EventKind.JOB_START), 0, p.spec.n_nodes,
+                )
+                cols.add(
+                    np.array([p.end]), np.array([p.base_node]), p.job, NO_VALUE,
+                    int(EventKind.JOB_END), 0, 0,
+                )
+                block = blocks.get(str(p.job))
+                if block is None:
+                    continue
+                job_cols, job_rows = block
+                cols.merge(job_cols)
+                file_rows.extend(job_rows)
 
-        frame = TraceFrame.from_arrays(
-            time=np.concatenate(cols.time),
-            node=np.concatenate(cols.node),
-            job=np.concatenate(cols.job),
-            file=np.concatenate(cols.file),
-            kind=np.concatenate(cols.kind),
-            offset=np.concatenate(cols.offset),
-            size=np.concatenate(cols.size),
-            mode=np.concatenate(cols.mode),
-            flags=np.concatenate(cols.flags),
-            jobs=JobTable.from_rows(
-                (p.job, p.start, p.end, p.spec.n_nodes, p.spec.traced) for p in placed
-            ),
-            files=_file_table(file_rows),
-            header=self._header(),
-        )
+            frame = TraceFrame.from_arrays(
+                time=np.concatenate(cols.time),
+                node=np.concatenate(cols.node),
+                job=np.concatenate(cols.job),
+                file=np.concatenate(cols.file),
+                kind=np.concatenate(cols.kind),
+                offset=np.concatenate(cols.offset),
+                size=np.concatenate(cols.size),
+                mode=np.concatenate(cols.mode),
+                flags=np.concatenate(cols.flags),
+                jobs=JobTable.from_rows(
+                    (p.job, p.start, p.end, p.spec.n_nodes, p.spec.traced)
+                    for p in placed
+                ),
+                files=_file_table(file_rows),
+                header=self._header(),
+            )
+        if obs.enabled():
+            obs.add("workload.events", frame.n_events)
         return GeneratedWorkload(
             frame=frame, placed=placed, scenario=self.scenario, seed=self.seed
         )
@@ -342,20 +359,24 @@ class WorkloadGenerator:
         use_index: dict[int, FileUse] = actions.pop("_uses")  # type: ignore[assignment]
         replay = _Replayer(icfs, fs, machine, use_index)
         order = np.argsort(actions["time"], kind="stable")
-        for idx in order:
-            replay.step(
-                float(actions["time"][idx]),
-                int(actions["kind"][idx]),
-                int(actions["job"][idx]),
-                int(actions["node"][idx]),
-                int(actions["use"][idx]),
-                int(actions["rank"][idx]),
-                int(actions["offset"][idx]),
-                int(actions["size"][idx]),
-            )
-        icfs.finish()
-        raw = collector.finish()
-        frame = postprocess(raw)
+        with obs.span("workload/full/replay"):
+            for idx in order:
+                replay.step(
+                    float(actions["time"][idx]),
+                    int(actions["kind"][idx]),
+                    int(actions["job"][idx]),
+                    int(actions["node"][idx]),
+                    int(actions["use"][idx]),
+                    int(actions["rank"][idx]),
+                    int(actions["offset"][idx]),
+                    int(actions["size"][idx]),
+                )
+            icfs.finish()
+        if obs.enabled():
+            obs.add("workload.replay_actions", len(order))
+        with obs.span("workload/full/postprocess"):
+            raw = collector.finish()
+            frame = postprocess(raw)
         # attach the authoritative job table (placement metadata)
         frame = TraceFrame(
             frame.events,
@@ -364,6 +385,9 @@ class WorkloadGenerator:
             ),
             header=frame.header,
         )
+        fs.publish_obs()
+        if obs.enabled():
+            obs.add("workload.events", frame.n_events)
         return GeneratedWorkload(
             frame=frame, placed=placed, scenario=self.scenario, seed=self.seed,
             raw=raw, fs=fs,
@@ -505,7 +529,10 @@ def _emit_job_block(shared, *, job: int):
     rng = SeedSequencePool(seed).rng(f"timing/{job}")
     cols = _Columns()
     file_rows: list[tuple[int, int, int, int]] = []
-    _emit_job_direct(p, uses, cols, file_rows, fid_starts[job], rng)
+    with obs.span("workload/emit_job"):
+        _emit_job_direct(p, uses, cols, file_rows, fid_starts[job], rng)
+    if obs.enabled():
+        obs.add("workload.job_events", cols.n)
     return cols, file_rows
 
 

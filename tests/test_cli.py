@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+import logging
+
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
+from repro.obs import RunReport
 
 
 @pytest.fixture(scope="module")
@@ -97,3 +102,58 @@ class TestCommands:
         assert main(["dump", str(trace_path), "--limit", "5"]) == 0
         out = capsys.readouterr().out.splitlines()
         assert len(out) == 5
+
+
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def _reset_observer(self):
+        obs.disable()
+        yield
+        obs.disable()
+
+    def test_obs_writes_run_report(self, trace_path, tmp_path, capsys):
+        report_path = tmp_path / "run.json"
+        argv = ["--obs", str(report_path), "characterize", str(trace_path)]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "[obs]" in captured.err
+        report = RunReport.load(report_path)
+        assert report.command == argv
+        assert "cli/characterize" in report.span_names()
+        assert report.counters["core.characterizations"] == 1
+        assert report.n_spans >= 5
+
+    def test_obs_disabled_again_after_run(self, trace_path, tmp_path):
+        assert main(["--obs", str(tmp_path / "r.json"),
+                     "characterize", str(trace_path)]) == 0
+        assert not obs.enabled()
+
+    def test_obsreport_prints_report(self, trace_path, tmp_path, capsys):
+        report_path = tmp_path / "run.json"
+        main(["--obs", str(report_path), "characterize", str(trace_path)])
+        capsys.readouterr()
+        assert main(["obsreport", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "obs run report" in out
+        assert "cli/characterize" in out
+        assert "counters" in out
+
+    def test_obs_report_is_valid_json(self, trace_path, tmp_path):
+        report_path = tmp_path / "run.json"
+        main(["--obs", str(report_path), "strided", str(trace_path)])
+        payload = json.loads(report_path.read_text())
+        assert payload["version"] == 1
+        assert payload["spans"]["name"] == "run"
+
+    def test_without_obs_no_observer_installed(self, trace_path, capsys):
+        assert main(["strided", str(trace_path)]) == 0
+        assert not obs.enabled()
+        assert "[obs]" not in capsys.readouterr().err
+
+    def test_verbose_flag_logs_trace_loading(self, trace_path, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.cli"):
+            assert main(["-v", "strided", str(trace_path)]) == 0
+        assert any("loading trace" in r.message for r in caplog.records)
+
+    def test_quiet_flag_parses(self, trace_path, capsys):
+        assert main(["-q", "strided", str(trace_path)]) == 0

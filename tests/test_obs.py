@@ -1,0 +1,247 @@
+"""The self-tracing observability layer: spans, counters, reports.
+
+Three promises are pinned here: span trees nest and merge correctly;
+the disabled mode is a true no-op (characterization output is
+byte-identical with observation on or off); and a run report survives
+the JSON round trip the ``--obs``/``obsreport`` pair depends on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core import characterize
+from repro.errors import PoolTaskError
+from repro.obs import NULL_OBSERVER, Observer, RunReport, SpanNode
+from repro.util.pool import map_tasks
+
+
+@pytest.fixture(autouse=True)
+def _reset_observer():
+    """Every test starts and ends with observation disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        observer = obs.enable()
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+            with obs.span("inner"):
+                pass
+        outer = observer.root.children["outer"]
+        assert outer.count == 1
+        inner = outer.children["inner"]
+        assert inner.count == 2
+        assert observer.root.n_nodes() == 2
+        assert observer.root.n_entries() == 3
+
+    def test_repeated_spans_fold_into_one_node(self):
+        observer = obs.enable()
+        for _ in range(100):
+            with obs.span("loop"):
+                pass
+        assert observer.root.n_nodes() == 1
+        assert observer.root.children["loop"].count == 100
+
+    def test_span_times_accumulate(self):
+        observer = obs.enable()
+        with obs.span("work"):
+            sum(range(10000))
+        node = observer.root.children["work"]
+        assert node.wall_s > 0.0
+        assert node.cpu_s >= 0.0
+
+    def test_sibling_spans_stay_siblings(self):
+        observer = obs.enable()
+        with obs.span("a"):
+            pass
+        with obs.span("b"):
+            pass
+        assert set(observer.root.children) == {"a", "b"}
+
+    def test_exception_inside_span_still_pops_stack(self):
+        observer = obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("boom"):
+                raise ValueError("x")
+        assert observer._stack == [observer.root]
+        assert observer.root.children["boom"].count == 1
+
+
+class TestCounters:
+    def test_add_accumulates(self):
+        observer = obs.enable()
+        obs.add("c")
+        obs.add("c", 4)
+        obs.add("d", 2.5)
+        assert observer.counters == {"c": 5, "d": 2.5}
+
+    def test_gauge_last_write_wins(self):
+        observer = obs.enable()
+        obs.gauge("g", 1.0)
+        obs.gauge("g", 7.0)
+        assert observer.gauges == {"g": 7.0}
+
+    def test_merge_snapshot_folds_counters_and_spans(self):
+        worker = Observer()
+        with worker.span("task"):
+            worker.add("items", 3)
+        snap = worker.snapshot()
+
+        observer = obs.enable()
+        obs.add("items", 1)
+        with obs.span("parent"):
+            observer.merge_snapshot(snap)
+        assert observer.counters["items"] == 4
+        parent = observer.root.children["parent"]
+        assert parent.children["task"].count == 1
+
+
+class TestDisabledMode:
+    def test_default_observer_is_the_null_singleton(self):
+        assert obs.current() is NULL_OBSERVER
+        assert not obs.enabled()
+
+    def test_null_calls_are_noops(self):
+        obs.add("never", 10)
+        obs.gauge("never", 1.0)
+        with obs.span("never"):
+            pass
+        assert obs.current() is NULL_OBSERVER
+
+    def test_null_span_is_reused(self):
+        assert obs.span("a") is obs.span("b")
+
+    def test_characterize_output_identical_on_vs_off(self, small_frame):
+        obs.disable()
+        off = characterize(small_frame)
+        off_text, off_dict = off.render(), json.dumps(off.to_dict(), sort_keys=True)
+
+        obs.enable()
+        on = characterize(small_frame)
+        on_text, on_dict = on.render(), json.dumps(on.to_dict(), sort_keys=True)
+
+        assert off_text == on_text
+        assert off_dict == on_dict
+
+
+class TestPoolObservability:
+    def test_parallel_map_tasks_merges_worker_observations(self, small_frame):
+        obs.enable()
+        observer = obs.current()
+        characterize(small_frame, workers=4)
+        # the per-part counters must have crossed the process boundary
+        assert observer.counters["core.filestats.files"] > 0
+        assert observer.counters["pool.tasks"] == 5
+        assert observer.counters["pool.forked_batches"] == 1
+        span_names = set(RunReport(spans=observer.root.to_dict()).span_names())
+        assert "core/characterize/basics" in span_names
+
+    def test_worker_exception_carries_task_context(self):
+        def ok(shared):
+            return shared
+
+        def boom(shared):
+            raise ValueError("exploded")
+
+        with pytest.raises(PoolTaskError) as info:
+            map_tasks({"fine": ok, "bad": boom}, 1, workers=2)
+        assert info.value.task == "bad"
+        assert info.value.index == 1
+        assert "bad" in str(info.value)
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_serial_path_keeps_original_exception(self):
+        def boom(shared):
+            raise ValueError("plain")
+
+        with pytest.raises(ValueError):
+            map_tasks({"bad": boom}, 1, workers=None)
+
+
+class TestRunReport:
+    def _sample(self):
+        observer = Observer()
+        with observer.span("alpha"):
+            with observer.span("beta"):
+                observer.add("rows", 12)
+        observer.gauge("depth", 3.5)
+        return observer.report(command=["characterize", "--scale", "0.01"])
+
+    def test_json_round_trip(self):
+        report = self._sample()
+        clone = RunReport.from_json(report.to_json())
+        assert clone.to_dict() == report.to_dict()
+        assert clone.counters == {"rows": 12}
+        assert clone.gauges == {"depth": 3.5}
+        assert clone.n_spans == 2
+
+    def test_save_and_load(self, tmp_path):
+        report = self._sample()
+        path = report.save(tmp_path / "run.json")
+        loaded = RunReport.load(path)
+        assert loaded.to_dict() == report.to_dict()
+
+    def test_render_mentions_spans_and_counters(self):
+        text = self._sample().render()
+        assert "alpha" in text
+        assert "beta" in text
+        assert "rows" in text
+        assert "characterize --scale 0.01" in text
+
+    def test_span_node_round_trip(self):
+        root = SpanNode("run")
+        a = root.child("a")
+        a.count, a.wall_s = 2, 0.5
+        a.child("b").count = 1
+        clone = SpanNode.from_dict(root.to_dict())
+        assert clone.to_dict() == root.to_dict()
+
+    def test_totals_are_positive(self):
+        report = self._sample()
+        assert report.wall_s > 0.0
+        assert report.peak_rss_bytes > 0
+
+
+class TestAllLayers:
+    def test_full_pipeline_report_covers_every_layer(self, full_pipeline_workload):
+        from repro.caching.combined import simulate_combined
+        from repro.caching.compute_node import simulate_compute_node_caches
+        from repro.caching.io_node import sweep_buffer_counts
+
+        observer = obs.enable()
+        frame = full_pipeline_workload.frame
+        # regenerate through the full pipeline under observation, then
+        # run the analyzers and cache simulators over the result
+        from repro.workload import WorkloadGenerator, tiny
+
+        generated = WorkloadGenerator(tiny(1.0), seed=5).run("full")
+        characterize(generated.frame)
+        sweep_buffer_counts(generated.frame, [8, 32], policy="lru")
+        simulate_compute_node_caches(generated.frame)
+        simulate_combined(generated.frame)
+        report = observer.report(command=["test-all-layers"])
+
+        names = set(report.counters) | set(report.gauges)
+        layers = {
+            "machine": [n for n in names if n.startswith("machine.")],
+            "cfs": [n for n in names if n.startswith("cfs.")],
+            "caching": [n for n in names if n.startswith("caching.")],
+            "workload": [n for n in names if n.startswith("workload.")],
+            "core": [n for n in names if n.startswith("core.")],
+        }
+        for layer, found in layers.items():
+            assert found, f"no observations from the {layer} layer"
+        distinct = set(report.span_names()) | names
+        assert len(distinct) >= 20
+        # the report round-trips and the parser reads it back
+        clone = RunReport.from_json(report.to_json())
+        assert clone.counters == report.counters
+        assert frame.n_events == generated.frame.n_events
