@@ -88,15 +88,43 @@ def _nonzero_transfers(frame: TraceFrame) -> np.ndarray:
     return tr
 
 
+def _nonzero_transfer_chunks(source) -> np.ndarray:
+    """Out-of-core variant of :func:`_nonzero_transfers`: concatenate
+    only the (usually sparse) transfer rows of each chunk, never the
+    whole event table."""
+    parts = []
+    saw_transfer = False
+    for chunk in source.iter_chunks():
+        kind = chunk["kind"]
+        tmask = (kind == int(EventKind.READ)) | (kind == int(EventKind.WRITE))
+        if tmask.any():
+            saw_transfer = True
+            keep = chunk[tmask]
+            keep = keep[keep["size"].astype(np.int64) > 0]
+            if len(keep):
+                parts.append(keep)
+    if not saw_transfer:
+        raise CacheConfigError("no transfers in trace")
+    if not parts:
+        raise CacheConfigError("only zero-size transfers in trace")
+    return np.concatenate(parts)
+
+
 def request_stream(
-    frame: TraceFrame, block_size: int = BLOCK_SIZE
+    frame, block_size: int = BLOCK_SIZE
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """(file, first_block, last_block, node, is_read) per transfer, in
     time order.
 
+    ``frame`` may be a :class:`~repro.trace.frame.TraceFrame` or any
+    :class:`~repro.trace.store.TraceSource`; a source is streamed chunk
+    by chunk, so only the transfer columns ever occupy memory at once.
     Zero-size transfers are dropped (they touch no blocks).
     """
-    tr = _nonzero_transfers(frame)
+    if isinstance(frame, TraceFrame):
+        tr = _nonzero_transfers(frame)
+    else:
+        tr = _nonzero_transfer_chunks(frame)
     first = (tr["offset"] // block_size).astype(np.int64)
     last = ((tr["offset"] + tr["size"] - 1) // block_size).astype(np.int64)
     is_read = tr["kind"] == int(EventKind.READ)
@@ -109,13 +137,15 @@ def request_stream(
     )
 
 
-def request_jobs(frame: TraceFrame, block_size: int = BLOCK_SIZE) -> np.ndarray:
+def request_jobs(frame, block_size: int = BLOCK_SIZE) -> np.ndarray:
     """Job ids aligned with :func:`request_stream`'s transfer filtering."""
-    return _nonzero_transfers(frame)["job"].astype(np.int64)
+    if isinstance(frame, TraceFrame):
+        return _nonzero_transfers(frame)["job"].astype(np.int64)
+    return _nonzero_transfer_chunks(frame)["job"].astype(np.int64)
 
 
 def _resolve_stream(
-    frame: TraceFrame | None,
+    frame,
     stream: tuple[np.ndarray, ...] | None,
     block_size: int,
 ) -> tuple[np.ndarray, ...]:
@@ -158,7 +188,7 @@ def _prime_opt(
 
 
 def simulate_io_node_caches(
-    frame: TraceFrame | None,
+    frame,
     total_buffers: int,
     n_io_nodes: int = 10,
     policy: str = "lru",
@@ -238,7 +268,7 @@ def simulate_io_node_caches(
 
 
 def sweep_buffer_counts(
-    frame: TraceFrame | None,
+    frame,
     buffer_counts: Sequence[int],
     n_io_nodes: int = 10,
     policy: str = "lru",

@@ -366,7 +366,7 @@ class IONodeStackProfile:
 
 
 def io_node_stack_profile(
-    frame: TraceFrame | None = None,
+    frame=None,
     n_io_nodes: int = 10,
     policy: str = "lru",
     block_size: int = BLOCK_SIZE,

@@ -28,7 +28,6 @@ from repro import obs
 from repro.caching.io_node import _resolve_stream, sweep_buffer_counts
 from repro.caching.results import HitRateCurve
 from repro.errors import CacheConfigError
-from repro.trace.frame import TraceFrame
 from repro.util.units import BLOCK_SIZE
 
 
@@ -69,7 +68,7 @@ def _run_line(
 
 
 def sweep_lines(
-    frame: TraceFrame | None,
+    frame,
     buffer_counts: Sequence[int],
     lines: Sequence[SweepLine | str | tuple],
     block_size: int = BLOCK_SIZE,

@@ -60,10 +60,7 @@ def _add_input_args(parser: argparse.ArgumentParser) -> None:
                              "and CFS)")
 
 
-def _load_frame(args) -> TraceFrame:
-    if args.trace:
-        logger.info("loading trace from %s", args.trace)
-        return TraceFrame.load(args.trace)
+def _generate_frame(args) -> TraceFrame:
     pipeline = getattr(args, "pipeline", "direct")
     logger.info(
         "generating workload on the fly (scale=%s seed=%s pipeline=%s)",
@@ -72,14 +69,43 @@ def _load_frame(args) -> TraceFrame:
     return WorkloadGenerator(ames1993(args.scale), seed=args.seed).run(pipeline).frame
 
 
+def _load_frame(args) -> TraceFrame:
+    if args.trace:
+        from repro.trace.store import is_store_file, open_source
+
+        logger.info("loading trace from %s", args.trace)
+        if is_store_file(args.trace):
+            return open_source(args.trace).frame()
+        return TraceFrame.load(args.trace)
+    return _generate_frame(args)
+
+
+def _load_source(args):
+    """The input as a chunked TraceSource (the --store streaming path)."""
+    from repro.trace.store import DEFAULT_CHUNK_SIZE, FrameSource, open_source
+
+    chunk_size = getattr(args, "chunk_size", None)
+    if args.trace:
+        logger.info("opening trace source %s", args.trace)
+        return open_source(args.trace, chunk_size=chunk_size)
+    return FrameSource(_generate_frame(args), chunk_size or DEFAULT_CHUNK_SIZE)
+
+
 def cmd_generate(args) -> int:
     scenario = ames1993(args.scale)
-    workload = WorkloadGenerator(scenario, seed=args.seed).run(
-        args.pipeline, workers=args.workers
-    )
-    workload.frame.save(args.out)
+    generator = WorkloadGenerator(scenario, seed=args.seed)
+    if args.store:
+        workload = generator.run_to_store(
+            args.out, args.pipeline, workers=args.workers,
+            chunk_size=args.chunk_size,
+        )
+        kind = "chunked store"
+    else:
+        workload = generator.run(args.pipeline, workers=args.workers)
+        workload.frame.save(args.out)
+        kind = "frame"
     print(
-        f"wrote {args.out}: {workload.frame.n_events} events, "
+        f"wrote {args.out} ({kind}): {workload.frame.n_events} events, "
         f"{workload.n_jobs} jobs ({workload.n_traced_jobs} traced), "
         f"{len(workload.frame.files)} files"
     )
@@ -87,8 +113,43 @@ def cmd_generate(args) -> int:
 
 
 def cmd_characterize(args) -> int:
-    frame = _load_frame(args)
-    print(characterize(frame, workers=args.workers).render())
+    trace = _load_source(args) if args.store else _load_frame(args)
+    print(characterize(trace, workers=args.workers).render())
+    return 0
+
+
+def cmd_trace_info(args) -> int:
+    from repro.trace.store import TraceStore, is_store_file
+
+    if is_store_file(args.path):
+        with TraceStore(args.path) as st:
+            t0, t1 = st.time_span()
+            compressed = st.compressed_bytes
+            raw = st.uncompressed_bytes
+            ratio = compressed / raw if raw else 1.0
+            print(f"{args.path}: chunked columnar trace store")
+            print(f"  format version:  {st.format_version}")
+            print(f"  chunks:          {st.n_chunks} x {st.chunk_size} events")
+            print(f"  events:          {st.n_events}")
+            print(f"  jobs:            {len(st.jobs)} ({len(st.jobs.traced)} traced)")
+            print(f"  files:           {len(st.files)}")
+            print(f"  payload bytes:   {compressed} compressed, {raw} raw "
+                  f"({ratio:.2f}x)")
+            print(f"  time span:       {t0:.3f} .. {t1:.3f} s")
+            h = st.header
+            print(f"  header:          {h.machine} at {h.site} "
+                  f"({h.n_compute_nodes} compute / {h.n_io_nodes} I/O nodes)")
+        return 0
+    frame = TraceFrame.load(args.path)
+    t0, t1 = frame.time_span()
+    print(f"{args.path}: legacy single-file frame (.npz)")
+    print(f"  events:          {frame.n_events}")
+    print(f"  jobs:            {len(frame.jobs)} ({len(frame.jobs.traced)} traced)")
+    print(f"  files:           {len(frame.files)}")
+    print(f"  time span:       {t0:.3f} .. {t1:.3f} s")
+    h = frame.header
+    print(f"  header:          {h.machine} at {h.site} "
+          f"({h.n_compute_nodes} compute / {h.n_io_nodes} I/O nodes)")
     return 0
 
 
@@ -121,7 +182,17 @@ def cmd_figures(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    frame = _load_frame(args)
+    if args.store and args.experiment == "fig9":
+        # the fig9 sweeps run from a request stream, which a chunked
+        # source yields without materializing the event table
+        frame = _load_source(args)
+    else:
+        if args.store:
+            logger.info(
+                "--store streams only fig9; materializing the frame for %s",
+                args.experiment,
+            )
+        frame = _load_frame(args)
     if args.experiment == "fig8":
         rows = []
         for buffers in args.buffers or (1, 10, 50):
@@ -296,7 +367,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.05)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--pipeline", choices=["direct", "full"], default="direct")
-    p.add_argument("--out", required=True, help="output .npz path")
+    p.add_argument("--out", required=True, help="output path (.npz or store)")
+    p.add_argument("--store", action="store_true",
+                   help="write a chunked columnar trace store instead of a "
+                        "single .npz frame")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="events per store chunk (with --store)")
     p.add_argument("--workers", type=int, default=None,
                    help="processes to fan per-job event synthesis across "
                         "(direct pipeline; output is byte-identical)")
@@ -304,10 +380,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("characterize", help="run the full §4 characterization")
     _add_input_args(p)
+    p.add_argument("--store", action="store_true",
+                   help="stream the trace chunk by chunk (out-of-core) "
+                        "instead of loading it whole; the report is "
+                        "byte-identical")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="events per chunk when streaming a legacy .npz "
+                        "(stores keep their on-disk chunking)")
     p.add_argument("--workers", type=int, default=None,
                    help="processes to fan analysis families across "
                         "(report is byte-identical)")
     p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("trace", help="trace-file utilities")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    ti = tsub.add_parser("info", help="print a trace file's format and contents")
+    ti.add_argument("path", help="a chunked store or legacy .npz frame")
+    ti.set_defaults(func=cmd_trace_info)
 
     p = sub.add_parser("figures", help="render the paper's figures as ASCII charts")
     _add_input_args(p)
@@ -320,6 +409,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("cache", help="run the cache simulations")
     _add_input_args(p)
+    p.add_argument("--store", action="store_true",
+                   help="stream the trace out-of-core (fig9; other "
+                        "experiments materialize the frame)")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="events per chunk when streaming a legacy .npz")
     p.add_argument("--experiment",
                    choices=["fig8", "fig9", "combined", "prefetch", "disktime"],
                    default="fig9")

@@ -117,14 +117,26 @@ def file_size_cdf(frame: TraceFrame, include_untouched: bool = False) -> Empiric
     ft = frame.files.data
     if len(ft) == 0:
         raise AnalysisError("no files in trace")
-    sizes = ft["final_size"].astype(np.float64)
-    if not include_untouched:
-        # the file table and _file_classes enumerate the same ids in the
-        # same sorted order only if the table is sorted; align explicitly
-        file_ids, was_read, was_written, _ = _file_classes(frame)
-        touched_ids = file_ids[was_read | was_written]
-        keep = np.isin(ft["file"].astype(np.int64), touched_ids)
-        sizes = sizes[keep]
+    if include_untouched:
+        return EmpiricalCDF(ft["final_size"].astype(np.float64))
+    # the file table and _file_classes enumerate the same ids in the
+    # same sorted order only if the table is sorted; align explicitly
+    file_ids, was_read, was_written, _ = _file_classes(frame)
+    return size_cdf_from_table(ft, file_ids[was_read | was_written])
+
+
+def size_cdf_from_table(files: np.ndarray, touched_ids: np.ndarray) -> EmpiricalCDF:
+    """Figure 3's CDF from the file table plus the accessed-file ids.
+
+    The streaming characterization calls this directly: the side table
+    travels whole with any :class:`~repro.trace.store.TraceSource`, and
+    ``touched_ids`` falls out of the chunk accumulator.
+    """
+    if len(files) == 0:
+        raise AnalysisError("no files in trace")
+    sizes = files["final_size"].astype(np.float64)
+    keep = np.isin(files["file"].astype(np.int64), np.asarray(touched_ids))
+    sizes = sizes[keep]
     if len(sizes) == 0:
         raise AnalysisError("no accessed files in trace")
     return EmpiricalCDF(sizes)

@@ -64,7 +64,11 @@ def concurrency_profile(frame: TraceFrame) -> ConcurrencyProfile:
     Computed from the job table (every job, traced or not) over the span
     from the first job start to the last job end.
     """
-    jobs = frame.jobs.data
+    return concurrency_profile_from_jobs(frame.jobs.data)
+
+
+def concurrency_profile_from_jobs(jobs: np.ndarray) -> ConcurrencyProfile:
+    """Figure 1 from a bare job table (streaming sources pass it whole)."""
     if len(jobs) == 0:
         raise AnalysisError("no jobs in trace")
     t0, t1 = float(jobs["start"].min()), float(jobs["end"].max())
@@ -124,7 +128,11 @@ class NodeCountDistribution:
 
 def node_count_distribution(frame: TraceFrame) -> NodeCountDistribution:
     """Figure 2: distribution of compute nodes used per job."""
-    jobs = frame.jobs.data
+    return node_count_distribution_from_jobs(frame.jobs.data)
+
+
+def node_count_distribution_from_jobs(jobs: np.ndarray) -> NodeCountDistribution:
+    """Figure 2 from a bare job table (streaming sources pass it whole)."""
     if len(jobs) == 0:
         raise AnalysisError("no jobs in trace")
     # group jobs by width with one stable sort; per-group products are
@@ -160,7 +168,12 @@ def files_per_job_table(frame: TraceFrame, cap: int = 5) -> dict[str, int]:
         raise AnalysisError("no OPEN events in trace")
     pair_jobs, _ = frame.index.open_job_file_pairs
     _, counts = np.unique(pair_jobs, return_counts=True)
-    table = bucket_counts(counts.tolist(), cap=cap)
+    return files_per_job_from_counts(counts.tolist(), cap=cap)
+
+
+def files_per_job_from_counts(counts, cap: int = 5) -> dict[str, int]:
+    """Table 1 from per-job distinct-file counts (any iterable of ints)."""
+    table = bucket_counts(counts, cap=cap)
     table.pop("0", None)  # jobs with zero opens never appear here
     return table
 

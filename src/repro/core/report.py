@@ -308,8 +308,14 @@ _PARTS = {
 }
 
 
-def characterize(frame: TraceFrame, workers: int | None = None) -> WorkloadReport:
+def characterize(frame, workers: int | None = None) -> WorkloadReport:
     """Run the full §4 characterization over a trace.
+
+    ``frame`` may be an in-memory :class:`~repro.trace.frame.TraceFrame`
+    or any :class:`~repro.trace.store.TraceSource` (a chunked store or a
+    wrapped frame); sources route to the out-of-core streaming path,
+    which produces a byte-identical report without materializing the
+    full event table.
 
     ``workers`` fans the independent analysis families out across a
     process pool (see :mod:`repro.util.pool`); the default (``None``)
@@ -317,6 +323,12 @@ def characterize(frame: TraceFrame, workers: int | None = None) -> WorkloadRepor
     way — results are reassembled in a fixed order.
     """
     from repro.util.pool import map_tasks
+
+    if not isinstance(frame, TraceFrame):
+        # imported here: streaming pulls report pieces back in at import
+        from repro.core.streaming import characterize_streaming
+
+        return characterize_streaming(frame, workers=workers)
 
     with obs.span("core/characterize"):
         results = map_tasks(_PARTS, frame, workers)

@@ -1,0 +1,626 @@
+"""Out-of-core characterization: the full §4 report from chunk partials.
+
+:func:`characterize_streaming` reproduces :func:`repro.core.report.characterize`
+byte-for-byte without ever materializing the whole event table.  It makes
+one pass over the chunks of a :class:`~repro.trace.store.TraceSource`,
+folding each chunk into a mergeable :class:`ChunkAccumulator`, then
+finalizes every analysis family from the merged partials:
+
+- **jobstats** need only the job side table, which travels whole with any
+  source.
+- **filestats / requests / modes / intervals** reduce to per-file or
+  per-size counting.  All byte totals are integer sums (exact in float64
+  far beyond trace scale), medians fall out of size→count histograms,
+  and the distinct-pair tables are set unions — all order-independent.
+- **sequentiality** is chunk-mergeable because chunks are contiguous
+  slices of the time-sorted stream, so each (file, node) group's request
+  order is preserved across chunk boundaries.  The accumulator carries
+  each group's last request out of every chunk and resolves the boundary
+  transition when the group's next chunk (or the merge of two
+  accumulators) supplies the following request.
+- **sharing / interjob** compare open *spans* across nodes and jobs —
+  genuinely cross-chunk state with per-file interval arithmetic that does
+  not decompose into a running fold.  These fall back to *windowed
+  full-index analysis*: files are partitioned into contiguous id windows
+  sized by their event counts, the chunks are re-streamed once per pass
+  gathering each window's events into a small sub-frame (global job
+  table, window slice of the file table), and the existing index-based
+  analyzers run per window.  Per-file results only ever touch that one
+  file's rows, so concatenating windows in ascending id order reproduces
+  the full-frame output exactly while peak memory stays bounded by the
+  window budget.
+
+Both the chunk scan and the window pass fan out across
+:func:`repro.util.pool.map_tasks` workers; partials merge in a fixed
+order, so parallel and serial runs are byte-identical too.
+"""
+
+from __future__ import annotations
+
+import gc
+from functools import partial
+
+import numpy as np
+
+from repro import obs
+from repro.core.filestats import FilePopulation, size_cdf_from_table
+from repro.core.jobstats import (
+    concurrency_profile_from_jobs,
+    files_per_job_from_counts,
+    node_count_distribution_from_jobs,
+)
+from repro.core.modes import ModeUsage
+from repro.core.report import WorkloadReport
+from repro.core.requests import summary_from_size_counts
+from repro.core.sequentiality import FileRegularity
+from repro.core.sharing import SharingResult, sharing_per_file
+from repro.errors import AnalysisError
+from repro.trace.frame import EVENT_DTYPE, FileTable, TraceFrame
+from repro.trace.records import NO_VALUE, EventKind
+from repro.trace.store import TraceSource
+from repro.util.histogram import bucket_counts
+from repro.util.pool import map_tasks
+
+__all__ = ["ChunkAccumulator", "characterize_streaming"]
+
+_OPEN = int(EventKind.OPEN)
+_READ = int(EventKind.READ)
+_WRITE = int(EventKind.WRITE)
+
+
+def _pack_key(file_ids: np.ndarray, nodes: np.ndarray) -> np.ndarray:
+    """One int64 key per (file, node); both are non-negative int32s."""
+    return file_ids * np.int64(2**32) + nodes
+
+
+class ChunkAccumulator:
+    """Mergeable partial state of every chunk-decomposable analysis.
+
+    ``update`` folds in one chunk; ``merge`` combines two accumulators
+    covering *adjacent* chunk ranges (left before right).  Plain dicts,
+    sets and ints throughout, so instances pickle cheaply across the
+    worker pool.
+    """
+
+    def __init__(self) -> None:
+        self.n_events = 0
+        self.n_opens = 0
+        self.n_transfers = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        # histograms / per-entity counts
+        self.opens_per_mode: dict[int, int] = {}
+        self.opens_per_file: dict[int, int] = {}
+        self.file_event_counts: dict[int, int] = {}
+        self.read_size_counts: dict[int, int] = {}
+        self.write_size_counts: dict[int, int] = {}
+        self.first_mode: dict[int, int] = {}  # file -> mode of first OPEN
+        # file -> [transitions, sequential, consecutive]
+        self.trans: dict[int, list[int]] = {}
+        # membership sets
+        self.seen_files: set[int] = set()
+        self.read_files: set[int] = set()
+        self.written_files: set[int] = set()
+        self.open_pairs: set[tuple[int, int]] = set()      # (job, file)
+        self.size_pairs: set[tuple[int, int]] = set()      # (file, size)
+        self.interval_pairs: set[tuple[int, int]] = set()  # (file, interval)
+        # sequentiality boundary state, keyed by packed (file, node):
+        # carry = (last offset, last end) seen so far; boundary_first =
+        # (file, first offset) awaiting a *preceding* request at merge time
+        self.carry: dict[int, tuple[int, int]] = {}
+        self.boundary_first: dict[int, tuple[int, int]] = {}
+
+    # -- folding in one chunk ------------------------------------------------
+
+    def update(self, events: np.ndarray) -> None:
+        n = len(events)
+        if n == 0:
+            return
+        self.n_events += n
+        kind = events["kind"]
+        files64 = events["file"].astype(np.int64)
+
+        valid = files64 != NO_VALUE
+        if valid.any():
+            vf, vc = np.unique(files64[valid], return_counts=True)
+            self.seen_files.update(vf.tolist())
+            get = self.file_event_counts.get
+            for fid, c in zip(vf.tolist(), vc.tolist()):
+                self.file_event_counts[fid] = get(fid, 0) + c
+
+        self._update_opens(events[kind == _OPEN])
+        read_mask = kind == _READ
+        write_mask = kind == _WRITE
+        self._update_sizes(events, read_mask, self.read_size_counts,
+                           self.read_files, "bytes_read")
+        self._update_sizes(events, write_mask, self.write_size_counts,
+                           self.written_files, "bytes_written")
+        tmask = read_mask | write_mask
+        if tmask.any():
+            self._update_transfers(events[tmask])
+
+    def _update_opens(self, opens: np.ndarray) -> None:
+        if len(opens) == 0:
+            return
+        self.n_opens += len(opens)
+        modes, mode_counts = np.unique(opens["mode"].astype(np.int64),
+                                       return_counts=True)
+        for m, c in zip(modes.tolist(), mode_counts.tolist()):
+            self.opens_per_mode[m] = self.opens_per_mode.get(m, 0) + c
+        of = opens["file"].astype(np.int64)
+        uniq, counts = np.unique(of, return_counts=True)
+        for fid, c in zip(uniq.tolist(), counts.tolist()):
+            self.opens_per_file[fid] = self.opens_per_file.get(fid, 0) + c
+        self.open_pairs.update(
+            zip(opens["job"].astype(np.int64).tolist(), of.tolist())
+        )
+        order = np.argsort(of, kind="stable")
+        sorted_files = of[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_files[1:] != sorted_files[:-1]))
+        )
+        first_rows = order[starts]
+        for fid, mode in zip(
+            sorted_files[starts].tolist(),
+            opens["mode"][first_rows].astype(np.int64).tolist(),
+        ):
+            if fid not in self.first_mode:
+                self.first_mode[fid] = mode
+
+    def _update_sizes(self, events, mask, size_counts, file_set, bytes_attr):
+        if not mask.any():
+            return
+        sizes = events["size"][mask].astype(np.int64)
+        setattr(self, bytes_attr, getattr(self, bytes_attr) + int(sizes.sum()))
+        uniq, counts = np.unique(sizes, return_counts=True)
+        for v, c in zip(uniq.tolist(), counts.tolist()):
+            size_counts[v] = size_counts.get(v, 0) + c
+        file_set.update(np.unique(events["file"][mask]).astype(np.int64).tolist())
+
+    def _update_transfers(self, tr: np.ndarray) -> None:
+        files = tr["file"].astype(np.int64)
+        sizes = tr["size"].astype(np.int64)
+        self.n_transfers += len(tr)
+        self.size_pairs.update(zip(files.tolist(), sizes.tolist()))
+
+        # group by (file, node); the stable sort keeps time order within
+        # groups, matching the index's lexsort((node, file)) view
+        key = _pack_key(files, tr["node"].astype(np.int64))
+        order = np.argsort(key, kind="stable")
+        keys = key[order]
+        off = tr["offset"].astype(np.int64)[order]
+        end = off + sizes[order]
+        grp_files = files[order]
+        m = len(keys)
+        starts = np.flatnonzero(np.concatenate(([True], keys[1:] != keys[:-1])))
+        same = np.ones(m, dtype=bool)
+        same[starts] = False
+        prev_off = np.empty(m, dtype=np.int64)
+        prev_end = np.empty(m, dtype=np.int64)
+        prev_off[1:] = off[:-1]
+        prev_end[1:] = end[:-1]
+
+        # stitch each group's first request to the carry from earlier
+        # chunks (or queue it for merge-time stitching)
+        start_list = starts.tolist()
+        group_ends = start_list[1:] + [m]
+        for gstart, gend in zip(start_list, group_ends):
+            k = int(keys[gstart])
+            carried = self.carry.get(k)
+            if carried is not None:
+                prev_off[gstart], prev_end[gstart] = carried
+                same[gstart] = True
+            elif k not in self.boundary_first:
+                self.boundary_first[k] = (int(grp_files[gstart]), int(off[gstart]))
+            self.carry[k] = (int(off[gend - 1]), int(end[gend - 1]))
+
+        seq = same & (off > prev_off)
+        con = same & (off == prev_end)
+        if same.any():
+            self.interval_pairs.update(
+                zip(grp_files[same].tolist(), (off - prev_end)[same].tolist())
+            )
+        # per-file transition counts: keys are file-major, so file groups
+        # are contiguous in the same sorted view
+        fstarts = np.flatnonzero(
+            np.concatenate(([True], grp_files[1:] != grp_files[:-1]))
+        )
+        n_trans = np.add.reduceat(same.astype(np.int64), fstarts)
+        n_seq = np.add.reduceat(seq.astype(np.int64), fstarts)
+        n_con = np.add.reduceat(con.astype(np.int64), fstarts)
+        for fid, t, s, c in zip(
+            grp_files[fstarts].tolist(), n_trans.tolist(),
+            n_seq.tolist(), n_con.tolist(),
+        ):
+            row = self.trans.get(fid)
+            if row is None:
+                self.trans[fid] = [t, s, c]
+            else:
+                row[0] += t
+                row[1] += s
+                row[2] += c
+
+    # -- combining adjacent ranges -------------------------------------------
+
+    def merge(self, other: "ChunkAccumulator") -> None:
+        """Fold ``other`` (covering the chunks *after* ours) into self."""
+        self.n_events += other.n_events
+        self.n_opens += other.n_opens
+        self.n_transfers += other.n_transfers
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        for mine, theirs in (
+            (self.opens_per_mode, other.opens_per_mode),
+            (self.opens_per_file, other.opens_per_file),
+            (self.file_event_counts, other.file_event_counts),
+            (self.read_size_counts, other.read_size_counts),
+            (self.write_size_counts, other.write_size_counts),
+        ):
+            for k, v in theirs.items():
+                mine[k] = mine.get(k, 0) + v
+        self.seen_files |= other.seen_files
+        self.read_files |= other.read_files
+        self.written_files |= other.written_files
+        self.open_pairs |= other.open_pairs
+        self.size_pairs |= other.size_pairs
+        self.interval_pairs |= other.interval_pairs
+        for fid, mode in other.first_mode.items():
+            if fid not in self.first_mode:
+                self.first_mode[fid] = mode
+        # resolve the transitions that straddle the seam: other's first
+        # request of a group follows self's carried last request
+        for k, (fid, first_off) in other.boundary_first.items():
+            carried = self.carry.get(k)
+            if carried is not None:
+                last_off, last_end = carried
+                row = self.trans.get(fid)
+                if row is None:
+                    row = self.trans[fid] = [0, 0, 0]
+                row[0] += 1
+                if first_off > last_off:
+                    row[1] += 1
+                if first_off == last_end:
+                    row[2] += 1
+                self.interval_pairs.add((fid, first_off - last_end))
+            elif k not in self.boundary_first:
+                self.boundary_first[k] = (fid, first_off)
+        self.carry.update(other.carry)
+        for fid, (t, s, c) in other.trans.items():
+            row = self.trans.get(fid)
+            if row is None:
+                self.trans[fid] = [t, s, c]
+            else:
+                row[0] += t
+                row[1] += s
+                row[2] += c
+
+
+def _scan_chunks(source: TraceSource, lo: int, hi: int) -> ChunkAccumulator:
+    acc = ChunkAccumulator()
+    for i in range(lo, hi):
+        acc.update(source.chunk(i))
+    return acc
+
+
+# -- windowed fallback for the cross-chunk analyzers -------------------------
+
+
+def _file_windows(acc: ChunkAccumulator, window_events: int) -> list[tuple[int, int]]:
+    """Contiguous [lo, hi] file-id ranges, each covering roughly
+    ``window_events`` events, partitioning every file seen in the trace."""
+    windows: list[tuple[int, int]] = []
+    lo = None
+    hi = None
+    budget = 0
+    for fid in sorted(acc.file_event_counts):
+        count = acc.file_event_counts[fid]
+        if lo is not None and budget + count > window_events and budget > 0:
+            windows.append((lo, hi))
+            lo = None
+            budget = 0
+        if lo is None:
+            lo = fid
+        hi = fid
+        budget += count
+    if lo is not None:
+        windows.append((lo, hi))
+    return windows
+
+
+def _window_task(source: TraceSource, lo: int, hi: int) -> dict:
+    """Run the index-based sharing/interjob analyzers over one id window."""
+    parts = []
+    for chunk in source.iter_chunks():
+        mask = (chunk["file"] >= lo) & (chunk["file"] <= hi)
+        if mask.any():
+            parts.append(chunk[mask])
+    events = (
+        np.concatenate(parts) if parts else np.empty(0, dtype=EVENT_DTYPE)
+    )
+    table = source.files.data
+    in_window = (table["file"] >= lo) & (table["file"] <= hi)
+    sub = TraceFrame(
+        events,
+        jobs=source.jobs,
+        files=FileTable(table[in_window]),
+        header=source.header,
+    )
+    out = {
+        "candidates": 0,
+        "rows": None,
+        "interjob_shared": 0,
+        "interjob_concurrent": 0,
+    }
+    if len(sub.opens):
+        spans = sub.index.job_spans
+        out["interjob_shared"] = len(spans.multi_window_files())
+        out["interjob_concurrent"] = len(spans.concurrent_files())
+        candidates = sub.index.node_spans.concurrent_files()
+        out["candidates"] = len(candidates)
+        if len(candidates):
+            try:
+                res = sharing_per_file(sub)
+            except AnalysisError:
+                pass  # candidates exist but none were accessed in this window
+            else:
+                out["rows"] = (res.file_ids, res.byte_shared,
+                               res.block_shared, res.labels)
+    # the sub-frame and its TraceIndex reference each other, so the
+    # window's event arrays die with the *cyclic* collector — collect now
+    # or serial runs hold every previous window's garbage at once
+    del sub
+    gc.collect()
+    return out
+
+
+# -- finalization ------------------------------------------------------------
+
+
+def _finalize_basics(source: TraceSource, acc: ChunkAccumulator) -> dict:
+    jobs = source.jobs.data
+    concurrency = concurrency_profile_from_jobs(jobs)
+    node_counts = node_count_distribution_from_jobs(jobs)
+
+    if acc.n_opens == 0:
+        raise AnalysisError("no OPEN events in trace")
+    per_job: dict[int, int] = {}
+    for job, _fid in acc.open_pairs:
+        per_job[job] = per_job.get(job, 0) + 1
+    files_per_job = files_per_job_from_counts(per_job.values())
+
+    if not acc.seen_files:
+        raise AnalysisError("no file events in trace")
+    read_write = acc.read_files & acc.written_files
+    n_files = len(acc.seen_files)
+    read_only = len(acc.read_files) - len(read_write)
+    write_only = len(acc.written_files) - len(read_write)
+    untouched = n_files - read_only - write_only - len(read_write)
+
+    table = source.files.data
+    temp_ids = set(table["file"][source.files.temporary].tolist())
+    temp_opens = sum(acc.opens_per_file.get(fid, 0) for fid in temp_ids)
+    population = FilePopulation(
+        n_files=n_files,
+        n_opens=acc.n_opens,
+        read_only=read_only,
+        write_only=write_only,
+        read_write=len(read_write),
+        untouched=untouched,
+        temporary_files=len(temp_ids),
+        temporary_open_fraction=temp_opens / acc.n_opens if acc.n_opens else 0.0,
+        bytes_read_total=acc.bytes_read,
+        bytes_written_total=acc.bytes_written,
+    )
+    if obs.enabled():
+        obs.add("core.filestats.files", n_files)
+        obs.add("core.filestats.opens", acc.n_opens)
+
+    touched = np.asarray(sorted(acc.read_files | acc.written_files),
+                         dtype=np.int64)
+    size_cdf = size_cdf_from_table(table, touched)
+
+    reads = _size_summary(acc.read_size_counts, "read")
+    writes = _size_summary(acc.write_size_counts, "write")
+
+    first_modes, file_mode_counts = np.unique(
+        np.asarray(list(acc.first_mode.values()), dtype=np.int64),
+        return_counts=True,
+    )
+    modes = ModeUsage(
+        files_per_mode={
+            int(m): int(c)
+            for m, c in zip(first_modes.tolist(), file_mode_counts.tolist())
+        },
+        opens_per_mode={m: acc.opens_per_mode[m]
+                        for m in sorted(acc.opens_per_mode)},
+    )
+    if obs.enabled():
+        obs.add("core.modes.opens", acc.n_opens)
+        obs.add("core.modes.files", int(file_mode_counts.sum()))
+    return {
+        "concurrency": concurrency,
+        "node_counts": node_counts,
+        "files_per_job": files_per_job,
+        "files": population,
+        "size_cdf": size_cdf,
+        "reads": reads,
+        "writes": writes,
+        "modes": modes,
+    }
+
+
+def _size_summary(size_counts: dict[int, int], kind_name: str):
+    values = np.asarray(sorted(size_counts), dtype=np.int64)
+    counts = np.asarray([size_counts[v] for v in values.tolist()],
+                        dtype=np.int64)
+    if obs.enabled() and len(values):
+        obs.add(f"core.requests.{kind_name}s", int(counts.sum()))
+    return summary_from_size_counts(kind_name, values, counts)
+
+
+def _finalize_regularity(acc: ChunkAccumulator):
+    if acc.n_transfers == 0:
+        return None, "sequentiality skipped: no transfers in trace"
+    items = [
+        (fid, row[0], row[1], row[2])
+        for fid, row in sorted(acc.trans.items())
+        if row[0] > 0
+    ]
+    if not items:
+        return (
+            None,
+            "sequentiality skipped: no file has more than one request per node",
+        )
+    file_ids = np.asarray([it[0] for it in items], dtype=np.int64)
+    n_trans = np.asarray([it[1] for it in items], dtype=np.int64)
+    n_seq = np.asarray([it[2] for it in items], dtype=np.int64)
+    n_con = np.asarray([it[3] for it in items], dtype=np.int64)
+    labels = [_label(acc, int(fid)) for fid in file_ids.tolist()]
+    if obs.enabled():
+        obs.add("core.sequentiality.files", len(file_ids))
+        obs.add("core.sequentiality.transitions", int(n_trans.sum()))
+    return (
+        FileRegularity(
+            file_ids=file_ids,
+            n_transitions=n_trans,
+            sequential_fraction=n_seq / n_trans,
+            consecutive_fraction=n_con / n_trans,
+            labels=labels,
+        ),
+        None,
+    )
+
+
+def _label(acc: ChunkAccumulator, fid: int) -> str:
+    was_read = fid in acc.read_files
+    was_written = fid in acc.written_files
+    if was_read and was_written:
+        return "rw"
+    if was_read:
+        return "ro"
+    if was_written:
+        return "wo"
+    return "untouched"
+
+
+def _finalize_tables(acc: ChunkAccumulator) -> tuple[dict, dict]:
+    if not acc.seen_files:
+        raise AnalysisError("no file events in trace")
+
+    def table_from(pairs: set[tuple[int, int]]) -> dict[str, int]:
+        per_file = dict.fromkeys(acc.seen_files, 0)
+        for fid, _value in pairs:
+            per_file[fid] += 1
+        return bucket_counts(per_file.values(), cap=4)
+
+    intervals = table_from(acc.interval_pairs)
+    request_sizes = table_from(acc.size_pairs)
+    if obs.enabled():
+        obs.add("core.intervals.files", sum(intervals.values()))
+        obs.add("core.intervals.request_size_files", sum(request_sizes.values()))
+    return intervals, request_sizes
+
+
+def _finalize_sharing(acc: ChunkAccumulator, window_results: list[dict]):
+    if acc.n_opens == 0:
+        return None, "sharing skipped: no OPEN events in trace", 0, 0
+    interjob_shared = sum(w["interjob_shared"] for w in window_results)
+    interjob_concurrent = sum(w["interjob_concurrent"] for w in window_results)
+    total_candidates = sum(w["candidates"] for w in window_results)
+    if total_candidates == 0:
+        return (
+            None,
+            "sharing skipped: no concurrently multi-node-opened files in trace",
+            interjob_shared,
+            interjob_concurrent,
+        )
+    rows = [w["rows"] for w in window_results if w["rows"] is not None]
+    if not rows:
+        return (
+            None,
+            "sharing skipped: no accessed multi-node files in trace",
+            interjob_shared,
+            interjob_concurrent,
+        )
+    sharing = SharingResult(
+        file_ids=np.concatenate([r[0] for r in rows]),
+        byte_shared=np.concatenate([r[1] for r in rows]),
+        block_shared=np.concatenate([r[2] for r in rows]),
+        labels=[label for r in rows for label in r[3]],
+    )
+    return sharing, None, interjob_shared, interjob_concurrent
+
+
+# -- the entry point ---------------------------------------------------------
+
+
+def characterize_streaming(
+    source: TraceSource,
+    workers: int | None = None,
+    window_events: int | None = None,
+) -> WorkloadReport:
+    """The full §4 characterization from a chunked source, out-of-core.
+
+    Byte-identical to ``characterize(source.frame())`` — enforced by
+    ``tests/test_equivalence.py`` — while holding at most a few chunks
+    plus one file window in memory.  ``window_events`` bounds the size of
+    each sharing-analysis window (default: four chunks' worth).
+    """
+    if window_events is None:
+        window_events = max(4 * source.chunk_size, 1)
+
+    with obs.span("core/characterize_streaming"):
+        with obs.span("core/characterize_streaming/scan"):
+            n_chunks = source.n_chunks
+            n_ranges = max(1, min(n_chunks, workers or 1))
+            bounds = np.linspace(0, n_chunks, n_ranges + 1).astype(int)
+            tasks = {
+                f"scan/{i}": partial(_scan_chunks, lo=int(bounds[i]),
+                                     hi=int(bounds[i + 1]))
+                for i in range(n_ranges)
+            }
+            partials = map_tasks(tasks, source, workers)
+            acc = partials["scan/0"]
+            for i in range(1, n_ranges):
+                acc.merge(partials[f"scan/{i}"])
+
+        basics = _finalize_basics(source, acc)
+        regularity, reg_note = _finalize_regularity(acc)
+        intervals, request_sizes = _finalize_tables(acc)
+
+        with obs.span("core/characterize_streaming/windows"):
+            windows = _file_windows(acc, window_events)
+            window_tasks = {
+                f"window/{i}": partial(_window_task, lo=lo, hi=hi)
+                for i, (lo, hi) in enumerate(windows)
+            }
+            if windows:
+                done = map_tasks(window_tasks, source, workers)
+                window_results = [done[f"window/{i}"] for i in range(len(windows))]
+            else:
+                window_results = []
+        sharing, sharing_note, interjob_shared, interjob_concurrent = (
+            _finalize_sharing(acc, window_results)
+        )
+
+    if obs.enabled():
+        obs.add("core.characterizations")
+        obs.add("core.characterize.events", source.n_events)
+    notes = [n for n in (reg_note, sharing_note) if n is not None]
+    return WorkloadReport(
+        concurrency=basics["concurrency"],
+        node_counts=basics["node_counts"],
+        files_per_job=basics["files_per_job"],
+        files=basics["files"],
+        size_cdf=basics["size_cdf"],
+        reads=basics["reads"],
+        writes=basics["writes"],
+        regularity=regularity,
+        intervals=intervals,
+        request_sizes=request_sizes,
+        sharing=sharing,
+        modes=basics["modes"],
+        interjob_shared=interjob_shared,
+        interjob_concurrent=interjob_concurrent,
+        notes=notes,
+    )

@@ -18,11 +18,14 @@ This package reimplements that whole pipeline:
 - :mod:`repro.trace.frame` — the columnar, numpy-backed representation all
   analyses consume;
 - :mod:`repro.trace.merge` — combining multiple tracing periods into one
-  study (the paper spliced ~3 weeks of separate trace files).
+  study (the paper spliced ~3 weeks of separate trace files);
+- :mod:`repro.trace.store` — the chunked, compressed, columnar on-disk
+  store and the :class:`~repro.trace.store.TraceSource` abstraction that
+  lets every consumer stream a trace out-of-core.
 """
 
 from repro.trace.anonymize import anonymize
-from repro.trace.codec import RECORD_SIZE, decode_records, encode_record
+from repro.trace.codec import RECORD_SIZE, decode_records, decode_records_array, encode_record
 from repro.trace.collector import Collector, RawBlock, RawTrace
 from repro.trace.frame import FileTable, JobTable, TraceFrame
 from repro.trace.merge import concat_frames, merge_raw_traces
@@ -30,14 +33,26 @@ from repro.trace.postprocess import DriftModel, estimate_drift, postprocess
 from repro.trace.reader import read_raw_trace
 from repro.trace.records import EventKind, OpenFlags, Record, TraceHeader
 from repro.trace.stats import TraceOverhead, per_node_record_counts, trace_overhead
+from repro.trace.store import (
+    DEFAULT_CHUNK_SIZE,
+    FrameSource,
+    StoreWriter,
+    TraceSource,
+    TraceStore,
+    is_store_file,
+    open_source,
+    write_store,
+)
 from repro.trace.writer import NodeTraceBuffer, TraceWriter
 
 __all__ = [
     "Collector",
     "anonymize",
+    "DEFAULT_CHUNK_SIZE",
     "DriftModel",
     "EventKind",
     "FileTable",
+    "FrameSource",
     "JobTable",
     "NodeTraceBuffer",
     "OpenFlags",
@@ -45,17 +60,24 @@ __all__ = [
     "RawTrace",
     "RECORD_SIZE",
     "Record",
+    "StoreWriter",
     "TraceFrame",
     "TraceHeader",
+    "TraceSource",
+    "TraceStore",
     "TraceWriter",
     "concat_frames",
     "decode_records",
+    "decode_records_array",
     "encode_record",
     "estimate_drift",
+    "is_store_file",
     "merge_raw_traces",
+    "open_source",
     "postprocess",
     "read_raw_trace",
     "TraceOverhead",
     "per_node_record_counts",
     "trace_overhead",
+    "write_store",
 ]

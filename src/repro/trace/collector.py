@@ -21,6 +21,7 @@ from repro.trace.codec import (
     RECORD_SIZE,
     decode_block_header,
     decode_records,
+    decode_records_array,
     encode_block_header,
     encode_header,
 )
@@ -58,6 +59,14 @@ class RawBlock:
         """Decode the block's records."""
         return decode_records(self.payload)
 
+    def records_array(self):
+        """Decode the block straight into a columnar event array.
+
+        The vectorized fast path (:func:`~repro.trace.codec.decode_records_array`);
+        no per-record Python objects are created.
+        """
+        return decode_records_array(self.payload)
+
 
 class RawTrace:
     """A raw trace: header plus blocks in collector-arrival order."""
@@ -80,6 +89,20 @@ class RawTrace:
         for block in self.blocks:
             out.extend(block.records())
         return out
+
+    def events_array(self):
+        """All records as one columnar event array, in block-arrival order.
+
+        The vectorized equivalent of :meth:`records` used by the
+        postprocessor's hot path.
+        """
+        import numpy as np
+
+        from repro.trace.frame import EVENT_DTYPE
+
+        if not self.blocks:
+            return np.empty(0, dtype=EVENT_DTYPE)
+        return np.concatenate([b.records_array() for b in self.blocks])
 
     # -- persistence ---------------------------------------------------------
 

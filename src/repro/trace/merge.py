@@ -57,7 +57,13 @@ def concat_frames(frames: Sequence[TraceFrame], renumber: bool = True) -> TraceF
         file_parts.append(ft)
 
     events = np.concatenate(event_parts)
-    order = np.argsort(events["time"], kind="stable")
+    # explicit deterministic tie-break: equal timestamps order by node id,
+    # then by original record position (concatenation order), so a merge
+    # of the same periods always yields the same event stream regardless
+    # of how same-time records happened to interleave
+    order = np.lexsort(
+        (np.arange(len(events), dtype=np.int64), events["node"], events["time"])
+    )
     events = events[order]
     jobs = JobTable(np.concatenate(job_parts))
     files = FileTable(np.concatenate(file_parts))

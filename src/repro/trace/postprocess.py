@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.errors import TraceError
 from repro.trace.collector import RawTrace
-from repro.trace.frame import EVENT_DTYPE, TraceFrame
+from repro.trace.frame import TraceFrame
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,25 +76,12 @@ def postprocess(
     Steps (mirroring §3.2 of the paper): decode all blocks, correct each
     record's timestamp with its node's :class:`DriftModel`, and sort the
     whole event stream chronologically (a stable sort, so same-timestamp
-    records keep buffer order).
+    records keep buffer order).  Blocks decode straight into columns —
+    no intermediate per-record Python objects.
     """
-    records = raw.records()
-    if not records:
+    arr = raw.events_array()
+    if len(arr) == 0:
         raise TraceError("raw trace contains no records")
-
-    arr = np.zeros(len(records), dtype=EVENT_DTYPE)
-    for i, rec in enumerate(records):
-        arr[i] = (
-            rec.time,
-            rec.node,
-            rec.job,
-            rec.file,
-            int(rec.kind),
-            rec.mode,
-            rec.flags,
-            rec.offset,
-            rec.size,
-        )
 
     if correct_clocks:
         models = estimate_drift(raw)

@@ -147,3 +147,24 @@ class TraceHeader:
             raise ValueError("node counts must be positive")
         if self.block_size <= 0:
             raise ValueError("block size must be positive")
+
+    def to_dict(self) -> dict:
+        """The header as a plain JSON-serializable mapping."""
+        return {
+            "machine": self.machine,
+            "site": self.site,
+            "n_compute_nodes": self.n_compute_nodes,
+            "n_io_nodes": self.n_io_nodes,
+            "block_size": self.block_size,
+            "start_time": self.start_time,
+            "version": self.version,
+            "notes": self.notes,
+        }
+
+    @classmethod
+    def from_dict(cls, fields: dict) -> "TraceHeader":
+        """Rebuild a header from :meth:`to_dict` output.
+
+        Raises ``TypeError``/``ValueError`` on unknown or invalid fields.
+        """
+        return cls(**fields)

@@ -1,0 +1,630 @@
+"""Chunked columnar trace store: analysis at scales that outgrow RAM.
+
+The paper's characterization ran over roughly 5 GB of raw traces
+collected across three weeks (§2.5); this reproduction originally
+materialized every trace as one in-memory :class:`TraceFrame`, so peak
+RSS — not the hardware — capped the reachable scale.  A *store* removes
+that ceiling: events are laid out as fixed-size chunks of columns, each
+column compressed independently (zlib when it helps, raw bytes when it
+does not) and checksummed, with the job/file side tables and a JSON
+directory at the tail.  Readers memory-map the file and decode one chunk
+at a time, so a terabyte store and a megabyte store cost the same to
+open — and forked analysis workers share the mapping for free.
+
+Layout (all integers little-endian)::
+
+    offset 0   STORE_MAGIC            b"CTRACE01\\n"
+    offset 9   fixed header           <IIQQQQ: version, chunk_size,
+                                      n_events, n_chunks,
+                                      dir_offset, dir_bytes
+    offset 49  chunk payload          per chunk, per event field: one
+                                      blob, zlib- or raw-encoded
+    ...        jobs/files blobs       the side tables, same encoding
+    dir_offset directory              one JSON object (dir_bytes long)
+                                      describing every blob: encoding,
+                                      offset, stored/raw byte counts,
+                                      CRC-32, per-chunk event count and
+                                      time span
+
+The fixed header is written as zeros first and patched on close, so a
+truncated write is detected immediately (version 0 is never valid).
+
+:class:`TraceSource` is the consumption-side abstraction: anything that
+can enumerate EVENT_DTYPE chunks plus the side tables.  A
+:class:`TraceStore` streams from disk; a :class:`FrameSource` adapts an
+in-memory frame (or a legacy ``.npz`` file — the migration path for old
+single-file traces) to the same interface, so every out-of-core consumer
+also accepts the classic format unchanged via :func:`open_source`.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+import zlib
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro import obs
+from repro.errors import TraceFormatError
+from repro.trace.frame import (
+    EVENT_DTYPE,
+    FILE_DTYPE,
+    JOB_DTYPE,
+    FileTable,
+    JobTable,
+    TraceFrame,
+)
+from repro.trace.records import TraceHeader
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "FORMAT_VERSION",
+    "STORE_MAGIC",
+    "FrameSource",
+    "StoreWriter",
+    "TraceSource",
+    "TraceStore",
+    "is_store_file",
+    "open_source",
+    "write_store",
+]
+
+#: magic prefix of every chunked trace store file
+STORE_MAGIC = b"CTRACE01\n"
+
+#: current on-disk format version (the fixed header's first field)
+FORMAT_VERSION = 1
+
+#: events per chunk when the caller does not choose: ~10 MB of raw
+#: event rows, small enough to stream on a laptop, large enough that
+#: per-chunk overhead (compression dictionaries, numpy dispatch) is noise
+DEFAULT_CHUNK_SIZE = 1 << 18
+
+#: version, chunk_size, n_events, n_chunks, dir_offset, dir_bytes
+_FIXED_HEADER = struct.Struct("<IIQQQQ")
+
+_HEADER_SIZE = len(STORE_MAGIC) + _FIXED_HEADER.size
+
+
+def _encode_blob(raw: bytes, compression: str) -> tuple[str, bytes]:
+    """(encoding, stored bytes): zlib when it actually shrinks the blob."""
+    if compression == "zlib":
+        packed = zlib.compress(raw, 6)
+        if len(packed) < len(raw):
+            return "zlib", packed
+    return "raw", raw
+
+
+def _table_blob(arr: np.ndarray, compression: str) -> tuple[dict, bytes]:
+    enc, stored = _encode_blob(arr.tobytes(), compression)
+    meta = {
+        "enc": enc,
+        "nbytes": len(stored),
+        "raw": arr.nbytes,
+        "n": len(arr),
+        "crc32": zlib.crc32(stored),
+    }
+    return meta, stored
+
+
+class StoreWriter:
+    """Streaming writer: append event batches, get a finished store.
+
+    Batches must arrive in non-decreasing time order (the store, like a
+    frame, is a time-sorted event stream); they are re-chunked internally
+    to exactly ``chunk_size`` events per chunk (final chunk excepted).
+    Use as a context manager, or call :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        path,
+        header: TraceHeader,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        compression: str = "zlib",
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, not {chunk_size}")
+        if compression not in ("zlib", "raw"):
+            raise ValueError(f"unknown compression {compression!r}")
+        self.path = path
+        self.header = header
+        self.chunk_size = int(chunk_size)
+        self.compression = compression
+        self._jobs: JobTable | None = None
+        self._files: FileTable | None = None
+        self._pending: list[np.ndarray] = []
+        self._pending_events = 0
+        self._last_time = -np.inf
+        self._chunks: list[dict] = []
+        self._n_events = 0
+        self._closed = False
+        self._fh = open(path, "wb")
+        # zeroed fixed header now, real values patched in close(): a
+        # version field of 0 marks any interrupted write as invalid
+        self._fh.write(STORE_MAGIC)
+        self._fh.write(b"\0" * _FIXED_HEADER.size)
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, events: np.ndarray) -> None:
+        """Buffer one time-ordered batch of EVENT_DTYPE rows."""
+        if self._closed:
+            raise ValueError("store writer is closed")
+        if events.dtype != EVENT_DTYPE:
+            raise TraceFormatError(
+                f"events batch has dtype {events.dtype}, expected EVENT_DTYPE"
+            )
+        if len(events) == 0:
+            return
+        times = events["time"]
+        if times[0] < self._last_time or np.any(times[1:] < times[:-1]):
+            raise TraceFormatError(
+                "events must be appended in non-decreasing time order"
+            )
+        self._last_time = float(times[-1])
+        self._pending.append(np.ascontiguousarray(events))
+        self._pending_events += len(events)
+        while self._pending_events >= self.chunk_size:
+            self._write_chunk(self._take(self.chunk_size))
+
+    def set_tables(self, jobs: JobTable, files: FileTable) -> None:
+        """Attach the job/file side tables (required before close)."""
+        self._jobs = jobs
+        self._files = files
+
+    def _take(self, n: int) -> np.ndarray:
+        taken: list[np.ndarray] = []
+        need = n
+        while need > 0:
+            part = self._pending[0]
+            if len(part) <= need:
+                taken.append(self._pending.pop(0))
+                need -= len(part)
+            else:
+                taken.append(part[:need])
+                self._pending[0] = part[need:]
+                need = 0
+        self._pending_events -= n
+        return taken[0] if len(taken) == 1 else np.concatenate(taken)
+
+    def _write_chunk(self, chunk: np.ndarray) -> None:
+        fields: dict[str, dict] = {}
+        raw_total = 0
+        stored_total = 0
+        for name in EVENT_DTYPE.names:
+            col = np.ascontiguousarray(chunk[name])
+            enc, stored = _encode_blob(col.tobytes(), self.compression)
+            fields[name] = {
+                "enc": enc,
+                "off": self._fh.tell(),
+                "nbytes": len(stored),
+                "raw": col.nbytes,
+                "crc32": zlib.crc32(stored),
+            }
+            self._fh.write(stored)
+            raw_total += col.nbytes
+            stored_total += len(stored)
+        self._chunks.append(
+            {
+                "n": len(chunk),
+                "t_min": float(chunk["time"][0]),
+                "t_max": float(chunk["time"][-1]),
+                "fields": fields,
+            }
+        )
+        self._n_events += len(chunk)
+        if obs.enabled():
+            obs.add("trace.store.chunks_written")
+            obs.add("trace.store.events_written", len(chunk))
+            obs.add("trace.store.bytes_written", stored_total)
+            obs.add("trace.store.raw_bytes_written", raw_total)
+
+    # -- finishing -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush the partial tail chunk, write tables + directory, patch
+        the fixed header."""
+        if self._closed:
+            return
+        if self._jobs is None or self._files is None:
+            self._fh.close()
+            self._closed = True
+            raise TraceFormatError(
+                "store writer closed without job/file tables; call set_tables()"
+            )
+        if self._pending_events:
+            self._write_chunk(self._take(self._pending_events))
+
+        tables = {}
+        for key, arr in (("jobs", self._jobs.data), ("files", self._files.data)):
+            meta, stored = _table_blob(np.ascontiguousarray(arr), self.compression)
+            meta["off"] = self._fh.tell()
+            self._fh.write(stored)
+            tables[key] = meta
+
+        directory = {
+            "version": FORMAT_VERSION,
+            "chunk_size": self.chunk_size,
+            "n_events": self._n_events,
+            "header": self.header.to_dict(),
+            "dtype": {
+                "events": _dtype_descr(EVENT_DTYPE),
+                "jobs": _dtype_descr(JOB_DTYPE),
+                "files": _dtype_descr(FILE_DTYPE),
+            },
+            "chunks": self._chunks,
+            "tables": tables,
+        }
+        dir_offset = self._fh.tell()
+        dir_bytes = json.dumps(directory, separators=(",", ":")).encode("utf-8")
+        self._fh.write(dir_bytes)
+        self._fh.seek(len(STORE_MAGIC))
+        self._fh.write(
+            _FIXED_HEADER.pack(
+                FORMAT_VERSION,
+                self.chunk_size,
+                self._n_events,
+                len(self._chunks),
+                dir_offset,
+                len(dir_bytes),
+            )
+        )
+        self._fh.close()
+        self._closed = True
+
+    def __enter__(self) -> StoreWriter:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:  # leave the zeroed header: the partial file is self-invalidating
+            self._fh.close()
+            self._closed = True
+
+
+def _dtype_descr(dtype: np.dtype) -> list[list[str]]:
+    return [[name, dtype.fields[name][0].str] for name in dtype.names]
+
+
+def write_store(
+    frame: TraceFrame,
+    path,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    compression: str = "zlib",
+) -> None:
+    """Write an in-memory frame as a chunked store file."""
+    with StoreWriter(path, frame.header, chunk_size, compression) as writer:
+        writer.set_tables(frame.jobs, frame.files)
+        for lo in range(0, frame.n_events, chunk_size):
+            writer.append(frame.events[lo : lo + chunk_size])
+
+
+# -- reading -----------------------------------------------------------------
+
+
+class TraceSource:
+    """Anything that yields a trace as time-ordered EVENT_DTYPE chunks.
+
+    Concatenating ``chunk(0) .. chunk(n_chunks - 1)`` reproduces the
+    frame's event table exactly; the job/file side tables and the trace
+    header ride along whole (they are tiny).  Consumers written against
+    this interface run out-of-core on a :class:`TraceStore` and in-memory
+    on a :class:`FrameSource` with identical results.
+    """
+
+    header: TraceHeader
+
+    @property
+    def jobs(self) -> JobTable:
+        raise NotImplementedError
+
+    @property
+    def files(self) -> FileTable:
+        raise NotImplementedError
+
+    @property
+    def n_events(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def n_chunks(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def chunk_size(self) -> int:
+        raise NotImplementedError
+
+    def chunk(self, i: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def iter_chunks(self) -> Iterator[np.ndarray]:
+        for i in range(self.n_chunks):
+            yield self.chunk(i)
+
+    def chunk_frame(self, i: int) -> TraceFrame:
+        """One chunk wrapped as a frame sharing this source's side tables."""
+        return TraceFrame(
+            self.chunk(i), jobs=self.jobs, files=self.files, header=self.header
+        )
+
+    def frame(self) -> TraceFrame:
+        """Materialize the full in-memory frame (the compat escape hatch)."""
+        if self.n_chunks == 0:
+            events = np.empty(0, dtype=EVENT_DTYPE)
+        elif self.n_chunks == 1:
+            events = self.chunk(0)
+        else:
+            events = np.concatenate(list(self.iter_chunks()))
+        return TraceFrame(
+            events, jobs=self.jobs, files=self.files, header=self.header
+        )
+
+
+class FrameSource(TraceSource):
+    """An in-memory frame seen through the chunked interface."""
+
+    def __init__(self, frame: TraceFrame, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, not {chunk_size}")
+        self._frame = frame
+        self._chunk_size = int(chunk_size)
+        self.header = frame.header
+
+    @property
+    def jobs(self) -> JobTable:
+        return self._frame.jobs
+
+    @property
+    def files(self) -> FileTable:
+        return self._frame.files
+
+    @property
+    def n_events(self) -> int:
+        return self._frame.n_events
+
+    @property
+    def n_chunks(self) -> int:
+        return -(-self._frame.n_events // self._chunk_size)
+
+    @property
+    def chunk_size(self) -> int:
+        return self._chunk_size
+
+    def chunk(self, i: int) -> np.ndarray:
+        if not 0 <= i < self.n_chunks:
+            raise IndexError(f"chunk {i} out of range (have {self.n_chunks})")
+        lo = i * self._chunk_size
+        return self._frame.events[lo : lo + self._chunk_size]
+
+    def frame(self) -> TraceFrame:
+        return self._frame
+
+
+class TraceStore(TraceSource):
+    """Memory-mapped reader for one chunked store file.
+
+    The file is mapped read-only once at open; every :meth:`chunk` call
+    decodes just that chunk's column blobs (CRC-checked) into a fresh
+    EVENT_DTYPE array.  The mapping is inherited across ``fork``, so
+    :func:`repro.util.pool.map_tasks` workers share it at zero cost.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+        try:
+            with open(path, "rb") as fh:
+                self._map = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except OSError as exc:
+            raise TraceFormatError(f"{path} is not a readable trace store: {exc}")
+        buf = memoryview(self._map)
+        if len(buf) < _HEADER_SIZE or bytes(buf[: len(STORE_MAGIC)]) != STORE_MAGIC:
+            raise TraceFormatError(
+                f"{path} is not a chunked trace store (bad magic)"
+            )
+        (version, chunk_size, n_events, n_chunks, dir_offset, dir_nbytes) = (
+            _FIXED_HEADER.unpack_from(buf, len(STORE_MAGIC))
+        )
+        if version != FORMAT_VERSION:
+            raise TraceFormatError(
+                f"{path}: unsupported store format version {version} "
+                f"(this reader handles version {FORMAT_VERSION}; a version "
+                "of 0 means the writing process died before finishing)"
+            )
+        if dir_offset + dir_nbytes > len(buf):
+            raise TraceFormatError(f"{path}: directory extends past end of file")
+        try:
+            directory = json.loads(bytes(buf[dir_offset : dir_offset + dir_nbytes]))
+        except ValueError as exc:
+            raise TraceFormatError(f"{path}: corrupt store directory: {exc}")
+        self._directory = directory
+        self._chunk_size = int(chunk_size)
+        self._n_events = int(n_events)
+        self._chunk_meta = directory["chunks"]
+        if len(self._chunk_meta) != n_chunks:
+            raise TraceFormatError(
+                f"{path}: header says {n_chunks} chunks but directory "
+                f"lists {len(self._chunk_meta)}"
+            )
+        for part, want in (
+            ("events", EVENT_DTYPE),
+            ("jobs", JOB_DTYPE),
+            ("files", FILE_DTYPE),
+        ):
+            got = directory["dtype"][part]
+            for (name, code), (w_name, w_code) in zip(got, _dtype_descr(want)):
+                if (name, code) != (w_name, w_code):
+                    raise TraceFormatError(
+                        f"{path}: {part} field {name!r} has type {code}, "
+                        f"expected {w_name!r} as {w_code}"
+                    )
+        try:
+            self.header = TraceHeader.from_dict(directory["header"])
+        except (TypeError, ValueError) as exc:
+            raise TraceFormatError(f"{path}: invalid trace header: {exc}")
+        self._jobs: JobTable | None = None
+        self._files: FileTable | None = None
+
+    # -- blob decoding -------------------------------------------------------
+
+    def _read_blob(self, meta: dict, what: str, dtype: np.dtype) -> np.ndarray:
+        off, nbytes = int(meta["off"]), int(meta["nbytes"])
+        if off + nbytes > len(self._map):
+            raise TraceFormatError(
+                f"{self.path}: {what} is truncated "
+                f"(needs bytes {off}..{off + nbytes}, file has {len(self._map)})"
+            )
+        stored = self._map[off : off + nbytes]
+        if zlib.crc32(stored) != int(meta["crc32"]):
+            raise TraceFormatError(f"{self.path}: {what} failed its CRC-32 check")
+        if meta["enc"] == "zlib":
+            try:
+                raw = zlib.decompress(stored)
+            except zlib.error as exc:
+                raise TraceFormatError(
+                    f"{self.path}: {what} failed to decompress: {exc}"
+                )
+        elif meta["enc"] == "raw":
+            raw = stored
+        else:
+            raise TraceFormatError(
+                f"{self.path}: {what} has unknown encoding {meta['enc']!r}"
+            )
+        if len(raw) != int(meta["raw"]):
+            raise TraceFormatError(
+                f"{self.path}: {what} decoded to {len(raw)} bytes, "
+                f"expected {meta['raw']}"
+            )
+        return np.frombuffer(raw, dtype=dtype)
+
+    # -- TraceSource interface -----------------------------------------------
+
+    @property
+    def jobs(self) -> JobTable:
+        if self._jobs is None:
+            meta = self._directory["tables"]["jobs"]
+            self._jobs = JobTable(
+                self._read_blob(meta, "jobs table", JOB_DTYPE).copy()
+            )
+        return self._jobs
+
+    @property
+    def files(self) -> FileTable:
+        if self._files is None:
+            meta = self._directory["tables"]["files"]
+            self._files = FileTable(
+                self._read_blob(meta, "files table", FILE_DTYPE).copy()
+            )
+        return self._files
+
+    @property
+    def n_events(self) -> int:
+        return self._n_events
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._chunk_meta)
+
+    @property
+    def chunk_size(self) -> int:
+        return self._chunk_size
+
+    @property
+    def format_version(self) -> int:
+        """On-disk format version (load rejects any but the current one)."""
+        return FORMAT_VERSION
+
+    def chunk(self, i: int) -> np.ndarray:
+        if not 0 <= i < self.n_chunks:
+            raise IndexError(f"chunk {i} out of range (have {self.n_chunks})")
+        meta = self._chunk_meta[i]
+        n = int(meta["n"])
+        out = np.empty(n, dtype=EVENT_DTYPE)
+        stored_total = 0
+        for name in EVENT_DTYPE.names:
+            fmeta = meta["fields"][name]
+            col = self._read_blob(
+                fmeta, f"chunk {i} field {name!r}", EVENT_DTYPE[name]
+            )
+            if len(col) != n:
+                raise TraceFormatError(
+                    f"{self.path}: chunk {i} field {name!r} has {len(col)} "
+                    f"values, expected {n}"
+                )
+            out[name] = col
+            stored_total += int(fmeta["nbytes"])
+        if obs.enabled():
+            obs.add("trace.store.chunks_read")
+            obs.add("trace.store.events_read", n)
+            obs.add("trace.store.bytes_read", stored_total)
+        return out
+
+    # -- metadata (the `trace info` surface) ---------------------------------
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Stored payload bytes (chunks + side tables)."""
+        total = sum(
+            int(f["nbytes"])
+            for c in self._chunk_meta
+            for f in c["fields"].values()
+        )
+        return total + sum(
+            int(t["nbytes"]) for t in self._directory["tables"].values()
+        )
+
+    @property
+    def uncompressed_bytes(self) -> int:
+        """What the same payload would occupy with no compression."""
+        total = sum(
+            int(f["raw"]) for c in self._chunk_meta for f in c["fields"].values()
+        )
+        return total + sum(
+            int(t["raw"]) for t in self._directory["tables"].values()
+        )
+
+    def time_span(self) -> tuple[float, float]:
+        """(first, last) event time from chunk metadata alone."""
+        if not self._chunk_meta:
+            return (0.0, 0.0)
+        return (
+            float(self._chunk_meta[0]["t_min"]),
+            float(self._chunk_meta[-1]["t_max"]),
+        )
+
+    def close(self) -> None:
+        self._map.close()
+
+    def __enter__(self) -> "TraceStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def is_store_file(path) -> bool:
+    """True when ``path`` starts with the chunked-store magic."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(STORE_MAGIC)) == STORE_MAGIC
+    except OSError:
+        return False
+
+
+def open_source(path, chunk_size: int | None = None) -> TraceSource:
+    """Open any trace file as a :class:`TraceSource`.
+
+    Chunked stores stream from disk; legacy single-file ``.npz`` frames
+    load whole and are served through a :class:`FrameSource` — the
+    migration path that keeps pre-store traces working everywhere.
+    ``chunk_size`` re-chunks a legacy frame (stores keep their on-disk
+    chunking).
+    """
+    if is_store_file(path):
+        return TraceStore(path)
+    frame = TraceFrame.load(path)
+    return FrameSource(frame, chunk_size or DEFAULT_CHUNK_SIZE)

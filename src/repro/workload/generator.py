@@ -262,6 +262,34 @@ class WorkloadGenerator:
             return self._run_full()
         raise WorkloadError(f"unknown pipeline {pipeline!r} (use 'direct' or 'full')")
 
+    def run_to_store(
+        self,
+        path,
+        pipeline: str = "direct",
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        compression: str = "zlib",
+    ) -> GeneratedWorkload:
+        """Generate the workload and emit it as a chunked trace store.
+
+        The event stream flows through :class:`~repro.trace.store.StoreWriter`
+        chunk by chunk, so downstream consumers can characterize or sweep
+        the trace out-of-core with ``--chunk-size``-bounded memory.
+        Returns the workload (its in-memory frame is still attached for
+        callers that want both).
+        """
+        from repro.trace.store import DEFAULT_CHUNK_SIZE, write_store
+
+        workload = self.run(pipeline=pipeline, workers=workers)
+        with obs.span("workload/store"):
+            write_store(
+                workload.frame,
+                path,
+                chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+                compression=compression,
+            )
+        return workload
+
     def _header(self) -> TraceHeader:
         m = self.scenario.machine
         return TraceHeader(

@@ -47,6 +47,56 @@ class TestIndexEquivalence:
         assert new == old
 
 
+class TestStreamingEquivalence:
+    """The out-of-core chunked path reproduces the in-memory report
+    byte for byte — at both fixture seeds/scales, through a wrapped
+    frame and through a real on-disk store, serial and fanned out."""
+
+    def test_frame_source_report_identical(self, workload):
+        from repro.trace.store import FrameSource
+
+        frame = workload.frame
+        ref = characterize(frame)
+        for chunk_size in (777, 1 << 18):
+            rep = characterize(FrameSource(frame, chunk_size=chunk_size))
+            assert rep.render() == ref.render()
+            assert json.dumps(rep.to_dict(), sort_keys=True) == json.dumps(
+                ref.to_dict(), sort_keys=True
+            )
+
+    def test_store_report_identical(self, workload, tmp_path):
+        from repro.trace.store import TraceStore, write_store
+
+        frame = workload.frame
+        ref = characterize(frame)
+        path = tmp_path / "trace.store"
+        write_store(frame, path, chunk_size=512)
+        with TraceStore(path) as store:
+            serial = characterize(store)
+            fanned = characterize(store, workers=4)
+        assert serial.render() == ref.render()
+        assert fanned.render() == ref.render()
+        assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+            ref.to_dict(), sort_keys=True
+        )
+        assert json.dumps(fanned.to_dict(), sort_keys=True) == json.dumps(
+            ref.to_dict(), sort_keys=True
+        )
+
+    def test_store_request_stream_identical(self, workload, tmp_path):
+        from repro.caching.io_node import request_stream
+        from repro.trace.store import TraceStore, write_store
+
+        frame = workload.frame
+        path = tmp_path / "trace.store"
+        write_store(frame, path, chunk_size=999)
+        ref = request_stream(frame)
+        with TraceStore(path) as store:
+            got = request_stream(store)
+        for a, b in zip(ref, got):
+            assert np.array_equal(a, b)
+
+
 class TestParallelEquivalence:
     def test_characterize_parallel_matches_serial(self, workload):
         frame = workload.frame

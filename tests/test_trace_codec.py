@@ -9,10 +9,12 @@ from repro.trace.codec import (
     decode_block_header,
     decode_header,
     decode_records,
+    decode_records_array,
     encode_block_header,
     encode_header,
     encode_record,
 )
+from repro.trace.frame import EVENT_DTYPE
 from repro.trace.records import EventKind, Record, TraceHeader
 
 
@@ -72,6 +74,67 @@ class TestRecordCodec:
         raw[20] = 250  # kind byte
         with pytest.raises(TraceFormatError):
             decode_records(bytes(raw))
+
+
+class TestRecordArrayCodec:
+    """The vectorized ``np.frombuffer`` decoder is a drop-in twin of the
+    per-record loop: same values, same errors, no Record objects."""
+
+    @given(st.lists(_record_strategy(), max_size=30))
+    def test_matches_record_decoder(self, records):
+        payload = b"".join(encode_record(r) for r in records)
+        arr = decode_records_array(payload)
+        assert arr.dtype == EVENT_DTYPE
+        slow = decode_records(payload)
+        assert len(arr) == len(slow)
+        for i, r in enumerate(slow):
+            assert arr["time"][i] == r.time
+            assert arr["node"][i] == r.node
+            assert arr["job"][i] == r.job
+            assert arr["file"][i] == r.file
+            assert arr["kind"][i] == int(r.kind)
+            assert arr["mode"][i] == r.mode
+            assert arr["flags"][i] == r.flags
+            assert arr["offset"][i] == r.offset
+            assert arr["size"][i] == r.size
+
+    def test_empty_payload(self):
+        arr = decode_records_array(b"")
+        assert arr.dtype == EVENT_DTYPE
+        assert len(arr) == 0
+
+    def test_rejects_partial_record_same_message(self):
+        payload = b"\x00" * (RECORD_SIZE - 1)
+        with pytest.raises(TraceFormatError) as fast:
+            decode_records_array(payload)
+        with pytest.raises(TraceFormatError) as slow:
+            decode_records(payload)
+        assert str(fast.value) == str(slow.value)
+
+    def test_rejects_unknown_kind_same_message(self):
+        r = Record(time=0, node=0, job=0, kind=EventKind.CLOSE, file=1)
+        raw = bytearray(encode_record(r))
+        raw[20] = 250  # kind byte
+        with pytest.raises(TraceFormatError) as fast:
+            decode_records_array(bytes(raw))
+        with pytest.raises(TraceFormatError) as slow:
+            decode_records(bytes(raw))
+        assert str(fast.value) == str(slow.value)
+
+    def test_rejects_invalid_field_values_same_message(self):
+        # a valid kind byte but a negative transfer offset: the strict
+        # decoder's Record validation must be what surfaces, verbatim
+        good = Record(
+            time=0, node=0, job=0, kind=EventKind.READ, file=1, offset=0, size=8
+        )
+        raw = bytearray(encode_record(good))
+        raw[26:34] = (-5).to_bytes(8, "little", signed=True)  # offset field
+        with pytest.raises(TraceFormatError) as fast:
+            decode_records_array(bytes(raw))
+        with pytest.raises(TraceFormatError) as slow:
+            decode_records(bytes(raw))
+        assert str(fast.value) == str(slow.value)
+        assert "corrupt record" in str(fast.value)
 
 
 class TestHeaderCodec:

@@ -53,6 +53,49 @@ class TestConcatFrames:
             concat_frames([_period(0.0, job=0), _period(10.0, job=0)], renumber=False)
 
 
+class TestMergeTieBreak:
+    def _frame(self, writers, job, file):
+        """One period whose WRITE records all share timestamp 1.0."""
+        records = [
+            Record(time=0.0, node=0, job=job, kind=EventKind.JOB_START,
+                   size=1, offset=0),
+            Record(time=0.1, node=0, job=job, kind=EventKind.OPEN, file=file,
+                   mode=0, flags=int(OpenFlags.WRITE | OpenFlags.CREATE)),
+        ]
+        for node, size in writers:
+            records.append(
+                Record(time=1.0, node=node, job=job, kind=EventKind.WRITE,
+                       file=file, offset=0, size=size)
+            )
+        records.append(
+            Record(time=2.0, node=0, job=job, kind=EventKind.JOB_END,
+                   size=0, offset=0)
+        )
+        return TraceFrame.from_records(records)
+
+    def test_equal_timestamps_order_by_node_then_position(self):
+        # period A writes from nodes 3 then 1; period B twice from node 2
+        a = self._frame([(3, 11), (1, 12)], job=0, file=0)
+        b = self._frame([(2, 21), (2, 22)], job=0, file=0)
+        merged = concat_frames([a, b])
+        writes = merged.events[merged.events["kind"] == EventKind.WRITE]
+        # equal timestamps sort by node id...
+        assert writes["node"].tolist() == [1, 2, 2, 3]
+        # ...and equal (time, node) pairs keep their original record order
+        assert writes["size"].tolist() == [12, 21, 22, 11]
+
+    def test_merge_is_deterministic(self):
+        def build():
+            return concat_frames(
+                [
+                    self._frame([(3, 11), (1, 12)], job=0, file=0),
+                    self._frame([(2, 21), (2, 22)], job=0, file=0),
+                ]
+            )
+
+        assert build().events.tobytes() == build().events.tobytes()
+
+
 class TestMergeRawTraces:
     def test_blocks_concatenate(self):
         h = TraceHeader()

@@ -1,0 +1,312 @@
+"""Tests for repro.trace.store: the chunked columnar trace store.
+
+The contract under test is bit-exactness: any time-ordered event batch —
+empty frames, NO_VALUE fields, extreme offsets — survives the
+write→read round trip byte for byte, at any chunk size, with either
+encoding.  And every way a store file can lie (bad magic, interrupted
+write, flipped payload byte, truncation) must surface as a
+:class:`TraceFormatError` that names what is wrong.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceFormatError
+from repro.trace.frame import (
+    EVENT_DTYPE,
+    FILE_DTYPE,
+    JOB_DTYPE,
+    FileTable,
+    JobTable,
+    TraceFrame,
+)
+from repro.trace.records import NO_VALUE, EventKind, TraceHeader
+from repro.trace.store import (
+    DEFAULT_CHUNK_SIZE,
+    STORE_MAGIC,
+    FrameSource,
+    StoreWriter,
+    TraceStore,
+    is_store_file,
+    open_source,
+    write_store,
+)
+
+HEADER = TraceHeader(site="test-site", n_compute_nodes=8, n_io_nodes=2)
+
+
+def _events_array(rows):
+    arr = np.zeros(len(rows), dtype=EVENT_DTYPE)
+    for i, row in enumerate(rows):
+        arr[i] = row
+    return arr[np.argsort(arr["time"], kind="stable")]
+
+
+def _tables_for(events):
+    job_ids = sorted({int(j) for j in events["job"] if j != NO_VALUE})
+    jobs = JobTable.from_rows((j, 0.0, 10.0, 1, True) for j in job_ids)
+    file_ids = sorted({int(f) for f in events["file"] if f != NO_VALUE})
+    files = np.zeros(len(file_ids), dtype=FILE_DTYPE)
+    for i, fid in enumerate(file_ids):
+        files[i] = (fid, NO_VALUE, NO_VALUE, 0)
+    return jobs, FileTable(files)
+
+
+event_rows = st.tuples(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False),
+    st.integers(0, 2**31 - 1),                              # node
+    st.integers(0, 2**31 - 1),                              # job
+    st.one_of(st.just(NO_VALUE), st.integers(0, 2**31 - 1)),  # file
+    st.sampled_from([int(k) for k in EventKind]),
+    st.integers(-1, 3),                                     # mode
+    st.integers(0, 2**16 - 1),                              # flags
+    st.one_of(st.just(NO_VALUE), st.integers(0, 2**62)),    # offset
+    st.one_of(st.just(NO_VALUE), st.integers(0, 2**62)),    # size
+)
+
+
+class TestRoundTrip:
+    @given(
+        st.lists(event_rows, min_size=0, max_size=40),
+        st.integers(1, 9),
+        st.sampled_from(["zlib", "raw"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bit_for_bit(self, tmp_path_factory, rows, chunk_size, compression):
+        events = _events_array(rows)
+        jobs, files = _tables_for(events)
+        path = tmp_path_factory.mktemp("store") / "t.store"
+        with StoreWriter(path, HEADER, chunk_size, compression) as writer:
+            writer.set_tables(jobs, files)
+            writer.append(events)
+        with TraceStore(path) as store:
+            assert store.n_events == len(events)
+            back = (
+                np.concatenate(list(store.iter_chunks()))
+                if store.n_chunks
+                else np.empty(0, dtype=EVENT_DTYPE)
+            )
+            assert back.tobytes() == events.tobytes()
+            assert store.jobs.data.tobytes() == jobs.data.tobytes()
+            assert store.files.data.tobytes() == files.data.tobytes()
+            assert store.header == HEADER
+
+    def test_batched_appends_rechunk(self, tmp_path):
+        events = _events_array(
+            [(float(t), 0, 0, 0, int(EventKind.READ), -1, 0, t * 100, 10)
+             for t in range(25)]
+        )
+        jobs, files = _tables_for(events)
+        path = tmp_path / "t.store"
+        with StoreWriter(path, HEADER, chunk_size=7) as writer:
+            writer.set_tables(jobs, files)
+            for lo in range(0, 25, 4):  # batch size != chunk size
+                writer.append(events[lo : lo + 4])
+        with TraceStore(path) as store:
+            assert store.n_chunks == 4  # 7 + 7 + 7 + 4
+            assert [len(c) for c in store.iter_chunks()] == [7, 7, 7, 4]
+            back = np.concatenate(list(store.iter_chunks()))
+            assert back.tobytes() == events.tobytes()
+            t0, t1 = store.time_span()
+            assert (t0, t1) == (0.0, 24.0)
+
+    def test_compression_shrinks_redundant_payload(self, tmp_path):
+        events = _events_array(
+            [(float(t), 1, 1, 1, int(EventKind.READ), -1, 0, 4096, 4096)
+             for t in range(2000)]
+        )
+        jobs, files = _tables_for(events)
+        path = tmp_path / "t.store"
+        write_store(
+            TraceFrame(events, jobs=jobs, files=files, header=HEADER), path
+        )
+        with TraceStore(path) as store:
+            assert store.compressed_bytes < store.uncompressed_bytes / 4
+
+
+class TestSources:
+    def test_frame_source_chunks_cover_frame(self):
+        events = _events_array(
+            [(float(t), 0, 0, 0, int(EventKind.READ), -1, 0, 0, 1)
+             for t in range(10)]
+        )
+        jobs, files = _tables_for(events)
+        frame = TraceFrame(events, jobs=jobs, files=files, header=HEADER)
+        src = FrameSource(frame, chunk_size=3)
+        assert src.n_chunks == 4
+        back = np.concatenate(list(src.iter_chunks()))
+        assert back.tobytes() == events.tobytes()
+        assert src.frame() is frame
+        sub = src.chunk_frame(1)
+        assert sub.n_events == 3
+        assert sub.jobs is frame.jobs
+
+    def test_open_source_sniffs_store_and_npz(self, tmp_path):
+        events = _events_array(
+            [(float(t), 0, 0, 0, int(EventKind.READ), -1, 0, 0, 1)
+             for t in range(5)]
+        )
+        jobs, files = _tables_for(events)
+        frame = TraceFrame(events, jobs=jobs, files=files, header=HEADER)
+        store_path = tmp_path / "t.store"
+        npz_path = tmp_path / "t.npz"
+        write_store(frame, store_path, chunk_size=2)
+        frame.save(npz_path)
+        assert is_store_file(store_path)
+        assert not is_store_file(npz_path)
+        src = open_source(store_path)
+        assert isinstance(src, TraceStore)
+        legacy = open_source(npz_path, chunk_size=2)
+        assert isinstance(legacy, FrameSource)
+        assert legacy.chunk_size == 2
+        assert (
+            np.concatenate(list(src.iter_chunks())).tobytes()
+            == np.concatenate(list(legacy.iter_chunks())).tobytes()
+        )
+        src.close()
+
+    def test_open_source_default_chunking(self, tmp_path):
+        events = _events_array([(0.0, 0, 0, 0, int(EventKind.READ), -1, 0, 0, 1)])
+        jobs, files = _tables_for(events)
+        frame = TraceFrame(events, jobs=jobs, files=files, header=HEADER)
+        npz_path = tmp_path / "t.npz"
+        frame.save(npz_path)
+        assert open_source(npz_path).chunk_size == DEFAULT_CHUNK_SIZE
+
+
+class TestWriterValidation:
+    def test_rejects_wrong_dtype(self, tmp_path):
+        with StoreWriter(tmp_path / "t.store", HEADER) as writer:
+            writer.set_tables(*_tables_for(np.empty(0, dtype=EVENT_DTYPE)))
+            with pytest.raises(TraceFormatError, match="dtype"):
+                writer.append(np.zeros(3, dtype=np.int64))
+
+    def test_rejects_time_regression_within_batch(self, tmp_path):
+        events = _events_array(
+            [(1.0, 0, 0, 0, int(EventKind.READ), -1, 0, 0, 1)]
+        )
+        events["time"] = [1.0]
+        bad = np.concatenate([events, events])
+        bad["time"] = [2.0, 1.0]
+        with StoreWriter(tmp_path / "t.store", HEADER) as writer:
+            writer.set_tables(*_tables_for(bad))
+            with pytest.raises(TraceFormatError, match="non-decreasing time"):
+                writer.append(bad)
+
+    def test_rejects_time_regression_across_batches(self, tmp_path):
+        a = _events_array([(5.0, 0, 0, 0, int(EventKind.READ), -1, 0, 0, 1)])
+        b = _events_array([(4.0, 0, 0, 0, int(EventKind.READ), -1, 0, 0, 1)])
+        with StoreWriter(tmp_path / "t.store", HEADER) as writer:
+            writer.set_tables(*_tables_for(a))
+            writer.append(a)
+            with pytest.raises(TraceFormatError, match="non-decreasing time"):
+                writer.append(b)
+
+    def test_close_without_tables_raises(self, tmp_path):
+        writer = StoreWriter(tmp_path / "t.store", HEADER)
+        with pytest.raises(TraceFormatError, match="set_tables"):
+            writer.close()
+
+    def test_interrupted_write_is_invalid(self, tmp_path):
+        path = tmp_path / "t.store"
+        try:
+            with StoreWriter(path, HEADER) as writer:
+                writer.set_tables(*_tables_for(np.empty(0, dtype=EVENT_DTYPE)))
+                raise RuntimeError("simulated crash")
+        except RuntimeError:
+            pass
+        # the zeroed header marks the file as version 0 — never readable
+        with pytest.raises(TraceFormatError, match="version 0"):
+            TraceStore(path)
+
+
+class TestCorruption:
+    def _valid_store(self, tmp_path):
+        events = _events_array(
+            [(float(t), 0, 0, 0, int(EventKind.READ), -1, 0, t, 1)
+             for t in range(20)]
+        )
+        jobs, files = _tables_for(events)
+        path = tmp_path / "t.store"
+        write_store(
+            TraceFrame(events, jobs=jobs, files=files, header=HEADER),
+            path,
+            chunk_size=8,
+        )
+        return path
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.store"
+        path.write_bytes(b"NOTASTORE" + b"\0" * 64)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            TraceStore(path)
+
+    def test_npz_is_not_a_store(self, tmp_path):
+        # a legacy frame must fail the magic check, not decode as garbage
+        events = _events_array([(0.0, 0, 0, 0, int(EventKind.READ), -1, 0, 0, 1)])
+        jobs, files = _tables_for(events)
+        frame = TraceFrame(events, jobs=jobs, files=files, header=HEADER)
+        npz_path = tmp_path / "t.npz"
+        frame.save(npz_path)
+        with pytest.raises(TraceFormatError, match="bad magic"):
+            TraceStore(npz_path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = self._valid_store(tmp_path)
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<I", data, len(STORE_MAGIC), 99)
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="version 99"):
+            TraceStore(path)
+
+    def test_flipped_chunk_byte_names_chunk_and_field(self, tmp_path):
+        path = self._valid_store(tmp_path)
+        data = bytearray(path.read_bytes())
+        # the first chunk's first field blob starts right after the header
+        first_blob = len(STORE_MAGIC) + struct.calcsize("<IIQQQQ")
+        data[first_blob] ^= 0xFF
+        path.write_bytes(bytes(data))
+        store = TraceStore(path)
+        with pytest.raises(TraceFormatError, match="chunk 0 field 'time'"):
+            store.chunk(0)
+        # later chunks are untouched and still decode
+        assert len(store.chunk(1)) == 8
+        store.close()
+
+    def test_truncated_file(self, tmp_path):
+        path = self._valid_store(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceFormatError, match="past end of file"):
+            TraceStore(path)
+
+    def test_corrupt_directory_json(self, tmp_path):
+        path = self._valid_store(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0xFF  # inside the JSON directory at the tail
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="corrupt store directory"):
+            TraceStore(path)
+
+    def test_chunk_index_out_of_range(self, tmp_path):
+        path = self._valid_store(tmp_path)
+        with TraceStore(path) as store:
+            with pytest.raises(IndexError, match="out of range"):
+                store.chunk(99)
+
+    def test_unreadable_path(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="not a readable trace store"):
+            TraceStore(tmp_path / "does-not-exist.store")
+
+
+class TestHeaderDict:
+    def test_roundtrip(self):
+        h = TraceHeader(site="x", n_compute_nodes=4, n_io_nodes=1, notes="n")
+        assert TraceHeader.from_dict(h.to_dict()) == h
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(TypeError):
+            TraceHeader.from_dict({"not_a_field": 1})
