@@ -405,6 +405,9 @@ def io_node_stack_profile(
             obs.add("caching.stackdist.block_accesses", len(depths))
             obs.add("caching.stackdist.cold_accesses", int((depths == COLD).sum()))
             obs.add(f"caching.stackdist.{policy.lower()}.passes")
+            obs.hist_many(
+                "caching.stackdist.depth_blocks", depths[depths != COLD]
+            )
     return IONodeStackProfile(
         policy=policy.lower(),
         n_io_nodes=n_io_nodes,

@@ -18,6 +18,7 @@ the lines run serially in-process with identical results.
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Sequence
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
@@ -67,6 +68,22 @@ def _run_line(
     )
 
 
+def _run_lines_serial(
+    stream: tuple[np.ndarray, ...],
+    counts: Sequence[int],
+    specs: Sequence[SweepLine],
+    block_size: int,
+) -> list[HitRateCurve]:
+    if not obs.enabled():
+        return [_run_line(stream, counts, line, block_size) for line in specs]
+    curves: list[HitRateCurve] = []
+    for line in specs:
+        t0 = time.perf_counter()
+        curves.append(_run_line(stream, counts, line, block_size))
+        obs.hist("caching.sweep.line_seconds", time.perf_counter() - t0)
+    return curves
+
+
 def sweep_lines(
     frame,
     buffer_counts: Sequence[int],
@@ -93,7 +110,7 @@ def sweep_lines(
         workers = min(len(specs), os.cpu_count() or 1)
     with obs.span("caching/sweep_lines"):
         if workers <= 1 or len(specs) <= 1:
-            return [_run_line(stream, counts, line, block_size) for line in specs]
+            return _run_lines_serial(stream, counts, specs, block_size)
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = [
@@ -104,4 +121,4 @@ def sweep_lines(
         except (BrokenExecutor, OSError):
             # the pool itself failed (fork refused, worker killed, ...);
             # the lines are deterministic, so fall back to serial
-            return [_run_line(stream, counts, line, block_size) for line in specs]
+            return _run_lines_serial(stream, counts, specs, block_size)

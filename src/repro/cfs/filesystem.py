@@ -221,6 +221,7 @@ class ConcurrentFileSystem:
         if obs.enabled():
             obs.add("cfs.reads")
             obs.add("cfs.bytes_read", len(data))
+            obs.hist("cfs.read_request_bytes", float(len(data)))
         return data
 
     def write(self, fd: int, data: bytes) -> int:
@@ -238,6 +239,7 @@ class ConcurrentFileSystem:
         if obs.enabled():
             obs.add("cfs.writes")
             obs.add("cfs.bytes_written", len(data))
+            obs.hist("cfs.write_request_bytes", float(len(data)))
         return len(data)
 
     # -- strided transfers (§5's recommended interface) --------------------------

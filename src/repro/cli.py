@@ -328,10 +328,67 @@ def cmd_validate(args) -> int:
 
 
 def cmd_obsreport(args) -> int:
+    from repro.errors import ObsReportError
     from repro.obs import RunReport
 
-    report = RunReport.load(args.report)
+    try:
+        report = RunReport.load(args.report)
+    except ObsReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(report.render())
+    return 0
+
+
+def cmd_obs_export(args) -> int:
+    from repro.errors import ObsReportError
+    from repro.obs import RunReport
+    from repro.obs.export import to_jsonl, to_prometheus
+
+    try:
+        report = RunReport.load(args.report)
+    except ObsReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    text = to_prometheus(report) if args.format == "prom" else to_jsonl(report)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out} ({args.format}, {len(text.splitlines())} lines)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    from repro.errors import ObsReportError
+    from repro.obs.regress import compare_files, regressions
+
+    try:
+        deltas = compare_files(
+            args.base, args.new,
+            threshold=args.threshold, patterns=args.metric,
+        )
+    except ObsReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not deltas:
+        print(f"no comparable metrics between {args.base} and {args.new}")
+        return 0
+    shown = deltas if args.all else [
+        d for d in deltas if d.status in ("regression", "improvement")
+    ]
+    for delta in shown:
+        print(delta.describe())
+    bad = regressions(deltas)
+    n_directed = sum(1 for d in deltas if d.direction != "info")
+    print(
+        f"{len(deltas)} metrics compared ({n_directed} directional), "
+        f"{len(bad)} regressions at threshold {args.threshold:.0%}"
+    )
+    if bad:
+        return 1
     return 0
 
 
@@ -352,6 +409,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect runtime spans and simulator metrics, writing a JSON "
              "run report to PATH (default obs_report.json); inspect it "
              "with 'obsreport'",
+    )
+    parser.add_argument(
+        "--obs-sample", type=float, default=None, metavar="SECONDS",
+        help="with --obs: sample RSS/CPU/gauges/counter deltas every "
+             "SECONDS on a background thread into the report's time "
+             "series (implies --obs)",
     )
     parser.add_argument(
         "-v", "--verbose", action="count", default=0,
@@ -451,6 +514,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("report", help="a JSON run report written by --obs")
     p.set_defaults(func=cmd_obsreport)
 
+    p = sub.add_parser("obs", help="run-report utilities (export, diff)")
+    osub = p.add_subparsers(dest="obs_command", required=True)
+    oe = osub.add_parser("export", help="export a run report in a standard format")
+    oe.add_argument("report", help="a JSON run report written by --obs")
+    oe.add_argument("--format", choices=["prom", "jsonl"], default="prom",
+                    help="prom: Prometheus text exposition format; "
+                         "jsonl: one JSON event per line")
+    oe.add_argument("--out", metavar="PATH",
+                    help="write to PATH instead of stdout")
+    oe.set_defaults(func=cmd_obs_export)
+    od = osub.add_parser(
+        "diff",
+        help="compare two run reports or BENCH_*.json files; exit nonzero "
+             "on a perf regression",
+    )
+    od.add_argument("base", help="baseline record (run report or bench JSON)")
+    od.add_argument("new", help="candidate record of the same kind")
+    od.add_argument("--threshold", type=float, default=0.10,
+                    help="relative change that counts as a regression "
+                         "(default 0.10 = 10%%)")
+    od.add_argument("--metric", nargs="+", metavar="GLOB",
+                    help="restrict the comparison to metrics matching "
+                         "these fnmatch patterns")
+    od.add_argument("--all", action="store_true",
+                    help="print every compared metric, not just changes")
+    od.set_defaults(func=cmd_obs_diff)
+
     return parser
 
 
@@ -465,23 +555,47 @@ def _configure_logging(verbose: int, quiet: int) -> None:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _configure_logging(args.verbose, args.quiet)
+    if args.obs_sample is not None and args.obs_sample <= 0:
+        build_parser().error("--obs-sample period must be positive")
+    if args.obs is None and args.obs_sample is not None:
+        args.obs = "obs_report.json"  # sampling implies observation
     if args.obs is None:
         return args.func(args)
+
+    from repro.obs import FlightRecorder, Sampler
+
     observer = obs.enable()
+    observer.flight = FlightRecorder()
+    sampler = None
+    if args.obs_sample is not None:
+        sampler = Sampler(observer, period_s=args.obs_sample)
+        sampler.start()
     try:
         with observer.span(f"cli/{args.command}"):
             return args.func(args)
+    except Exception as exc:
+        # a failed multi-hour run must leave forensics: dump the flight
+        # recorder's ring of recent events next to the report
+        flight_path = f"{args.obs}.flight.json"
+        observer.flight.dump(flight_path, reason=f"{type(exc).__name__}: {exc}")
+        print(
+            f"[obs] crash: last {len(observer.flight.events())} events "
+            f"-> {flight_path}",
+            file=sys.stderr,
+        )
+        raise
     finally:
         # write the report even when the command raises: a profile of the
         # partial run is exactly what a post-mortem wants
+        timeseries = sampler.flush() if sampler is not None else None
         command = list(argv) if argv is not None else sys.argv[1:]
-        report = observer.report(command=command)
+        report = observer.report(command=command, timeseries=timeseries)
         obs.disable()
         report.save(args.obs)
         logger.info("wrote obs run report to %s", args.obs)
         print(
-            f"[obs] {report.n_spans} spans, {report.n_counters} counters "
-            f"-> {args.obs}",
+            f"[obs] {report.n_spans} spans, {report.n_counters} counters, "
+            f"{report.n_histograms} histograms -> {args.obs}",
             file=sys.stderr,
         )
 

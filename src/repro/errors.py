@@ -47,6 +47,15 @@ class CacheConfigError(ReproError):
     """Cache simulation parameters are invalid."""
 
 
+class ObsReportError(ReproError):
+    """A run report or benchmark record could not be read.
+
+    Raised with a one-line, human-oriented message for missing files,
+    truncated/non-JSON content, structurally invalid payloads, and
+    reports written by a newer schema version than this code reads.
+    """
+
+
 class PoolTaskError(ReproError):
     """A worker-pool task raised; carries the originating task context.
 

@@ -77,6 +77,7 @@ class Disk:
         if obs.enabled():
             obs.add("machine.disk_ops")
             obs.add("machine.disk_busy_s", t)
+            obs.hist("machine.disk_op_seconds", t)
         return t
 
     def effective_bandwidth(self, nbytes: int, sequential: bool = False) -> float:

@@ -89,6 +89,7 @@ class MessageModel:
             obs.add("machine.messages_sent")
             obs.add("machine.message_fragments", len(fragments))
             obs.add("machine.message_bytes", message.size)
+            obs.hist("machine.message_size_bytes", float(message.size))
         return total
 
     def latency_bytes(self, src: int, dst: int, size: int) -> float:

@@ -35,20 +35,30 @@ from repro.obs.collector import (
     SpanNode,
     peak_rss_bytes,
 )
+from repro.obs.flight import FlightRecorder
+from repro.obs.hist import Histogram
 from repro.obs.report import RunReport
+from repro.obs.sampler import Sampler
 
 __all__ = [
     "NULL_OBSERVER",
+    "FlightRecorder",
+    "Histogram",
     "NullObserver",
     "Observer",
     "RunReport",
+    "Sampler",
     "SpanNode",
     "add",
     "current",
     "disable",
     "enable",
     "enabled",
+    "event",
     "gauge",
+    "hist",
+    "hist_many",
+    "note",
     "peak_rss_bytes",
     "span",
 ]
@@ -93,3 +103,23 @@ def add(name: str, value: int | float = 1) -> None:
 def gauge(name: str, value: float) -> None:
     """Set a gauge on the installed observer."""
     _OBSERVER.gauge(name, value)
+
+
+def hist(name: str, value: float) -> None:
+    """Record one histogram sample on the installed observer."""
+    _OBSERVER.hist(name, value)
+
+
+def hist_many(name: str, values) -> None:
+    """Record a batch of histogram samples on the installed observer."""
+    _OBSERVER.hist_many(name, values)
+
+
+def note(name: str, text: str) -> None:
+    """Attach a string annotation on the installed observer."""
+    _OBSERVER.note(name, text)
+
+
+def event(kind: str, name: str, **fields) -> None:
+    """Record a flight-recorder event on the installed observer."""
+    _OBSERVER.event(kind, name, **fields)

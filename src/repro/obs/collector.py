@@ -18,6 +18,7 @@ the paper measured CHARISMA's overhead.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 try:  # pragma: no cover - absent only on non-POSIX platforms
     import resource
@@ -25,6 +26,11 @@ except ImportError:  # pragma: no cover
     resource = None  # type: ignore[assignment]
 
 import sys
+
+from repro.obs.hist import Histogram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.flight import FlightRecorder
 
 
 def peak_rss_bytes() -> int:
@@ -116,27 +122,43 @@ class _SpanHandle:
         self._name = name
 
     def __enter__(self) -> SpanNode:
-        stack = self._observer._stack
+        observer = self._observer
+        stack = observer._stack
         self._node = stack[-1].child(self._name)
         stack.append(self._node)
+        flight = observer.flight
+        if flight is not None:
+            flight.record("span_open", self._name)
         self._w0 = time.perf_counter()
         self._c0 = time.process_time()
         return self._node
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self._node.wall_s += time.perf_counter() - self._w0
+        wall = time.perf_counter() - self._w0
+        self._node.wall_s += wall
         self._node.cpu_s += time.process_time() - self._c0
         self._node.count += 1
-        stack = self._observer._stack
+        observer = self._observer
+        stack = observer._stack
         if stack[-1] is self._node:
             stack.pop()
         elif self._node in stack:  # pragma: no cover - unbalanced exits
             del stack[stack.index(self._node):]
+        observer.hist(f"span.{self._name}.seconds", wall)
+        flight = observer.flight
+        if flight is not None:
+            if exc_type is not None:
+                flight.record(
+                    "span_error", self._name,
+                    wall_s=round(wall, 6), error=exc_type.__name__,
+                )
+            else:
+                flight.record("span_close", self._name, wall_s=round(wall, 6))
         return False
 
 
 class Observer:
-    """A live per-run collector of spans, counters and gauges."""
+    """A live per-run collector of spans, counters, gauges and histograms."""
 
     enabled = True
 
@@ -145,6 +167,10 @@ class Observer:
         self._stack: list[SpanNode] = [self.root]
         self.counters: dict[str, int | float] = {}
         self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.notes: dict[str, str] = {}
+        #: optional crash-forensics ring (attached by the CLI's --obs path)
+        self.flight: FlightRecorder | None = None
         self.started_at = time.time()
         self._w0 = time.perf_counter()
         self._c0 = time.process_time()
@@ -156,10 +182,37 @@ class Observer:
     def add(self, name: str, value: int | float = 1) -> None:
         """Increment a monotonic counter."""
         self.counters[name] = self.counters.get(name, 0) + value
+        flight = self.flight
+        if flight is not None and value >= flight.counter_threshold:
+            flight.record("counter_bump", name, value=value)
 
     def gauge(self, name: str, value: float) -> None:
         """Set a point-in-time gauge (last write wins)."""
         self.gauges[name] = float(value)
+
+    def hist(self, name: str, value: float) -> None:
+        """Record one sample into the named histogram."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        h.add(value)
+
+    def hist_many(self, name: str, values) -> None:
+        """Record a batch of samples (vectorized for numpy arrays)."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        h.add_many(values)
+
+    def note(self, name: str, text: str) -> None:
+        """Attach a short string annotation (last write wins)."""
+        self.notes[name] = str(text)
+
+    def event(self, kind: str, name: str, **fields) -> None:
+        """Record a structured event into the flight recorder, if any."""
+        flight = self.flight
+        if flight is not None:
+            flight.record(kind, name, **fields)
 
     # -- crossing process boundaries -----------------------------------------
 
@@ -174,20 +227,39 @@ class Observer:
             "spans": self.root.to_dict(),
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+            "notes": dict(self.notes),
         }
 
     def merge_snapshot(self, payload: dict) -> None:
-        """Fold another observer's :meth:`snapshot` under the open span."""
+        """Fold another observer's :meth:`snapshot` under the open span.
+
+        Histogram merges are associative and commutative (fixed bucket
+        base), so folding worker snapshots in submission order yields
+        the same aggregate a serial run would record.
+        """
         self._stack[-1].merge_dict(payload.get("spans", {}))
         for name, value in payload.get("counters", {}).items():
             self.add(name, value)
         for name, value in payload.get("gauges", {}).items():
             self.gauge(name, value)
+        for name, hd in payload.get("histograms", {}).items():
+            h = self.histograms.get(name)
+            if h is None:
+                h = self.histograms[name] = Histogram()
+            h.merge_dict(hd)
+        for name, text in payload.get("notes", {}).items():
+            self.note(name, text)
 
     # -- finalization ---------------------------------------------------------
 
-    def report(self, command: list[str] | None = None):
-        """Freeze the run into a serializable :class:`~repro.obs.report.RunReport`."""
+    def report(self, command: list[str] | None = None,
+               timeseries: dict | None = None):
+        """Freeze the run into a serializable :class:`~repro.obs.report.RunReport`.
+
+        ``timeseries`` is a flushed :class:`~repro.obs.sampler.Sampler`
+        payload (empty when the run sampled nothing).
+        """
         from repro.obs.report import RunReport
 
         return RunReport(
@@ -199,6 +271,11 @@ class Observer:
             spans=self.root.to_dict(),
             counters={k: self.counters[k] for k in sorted(self.counters)},
             gauges={k: self.gauges[k] for k in sorted(self.gauges)},
+            histograms={
+                k: self.histograms[k].to_dict() for k in sorted(self.histograms)
+            },
+            notes={k: self.notes[k] for k in sorted(self.notes)},
+            timeseries=dict(timeseries) if timeseries else {},
         )
 
 
@@ -222,6 +299,7 @@ class NullObserver:
 
     __slots__ = ()
     enabled = False
+    flight = None
 
     def span(self, name: str) -> _NullSpan:
         return _NULL_SPAN
@@ -230,6 +308,18 @@ class NullObserver:
         pass
 
     def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def hist(self, name: str, value: float) -> None:
+        pass
+
+    def hist_many(self, name: str, values) -> None:
+        pass
+
+    def note(self, name: str, text: str) -> None:
+        pass
+
+    def event(self, kind: str, name: str, **fields) -> None:
         pass
 
     def merge_snapshot(self, payload: dict) -> None:

@@ -1,0 +1,194 @@
+"""Standard-format exporters for run reports.
+
+A :class:`~repro.obs.report.RunReport` is this project's native record,
+but production telemetry stacks speak a small number of lingua francas.
+Two are supported:
+
+- **Prometheus text exposition format** (:func:`to_prometheus`):
+  counters become ``*_total`` counter families, gauges become gauges,
+  span totals become three counter families labelled by span path, and
+  every :class:`~repro.obs.hist.Histogram` becomes a classic Prometheus
+  histogram — cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+  ``_count`` — so quantiles keep working downstream via
+  ``histogram_quantile()``.
+- **JSONL event log** (:func:`to_jsonl`): one self-describing JSON
+  object per line (``{"type": "counter", ...}``), the shape log
+  shippers and ad-hoc ``jq`` pipelines want.
+
+Both are pure functions of the report; the CLI front-end is
+``python -m repro obs export REPORT --format {prom,jsonl}``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.hist import Histogram
+from repro.obs.report import RunReport
+
+#: every exported metric family carries this prefix
+PREFIX = "repro_"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str) -> str:
+    """A dotted/slashed internal name as a valid Prometheus metric name."""
+    cleaned = _INVALID.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return PREFIX + cleaned
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return f"{float(value):.10g}"
+
+
+def to_prometheus(report: RunReport) -> str:
+    """Render a run report in the Prometheus text exposition format."""
+    lines: list[str] = []
+
+    def family(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    # -- process-level totals
+    family(f"{PREFIX}run_wall_seconds", "gauge", "Wall-clock time of the observed run.")
+    lines.append(f"{PREFIX}run_wall_seconds {_fmt(report.wall_s)}")
+    family(f"{PREFIX}run_cpu_seconds", "gauge", "CPU time of the observed run.")
+    lines.append(f"{PREFIX}run_cpu_seconds {_fmt(report.cpu_s)}")
+    family(f"{PREFIX}run_peak_rss_bytes", "gauge", "Peak resident set size.")
+    lines.append(f"{PREFIX}run_peak_rss_bytes {_fmt(report.peak_rss_bytes)}")
+    family(f"{PREFIX}run_info", "gauge", "Report metadata carried as labels.")
+    command = _escape_label(" ".join(report.command))
+    lines.append(
+        f'{PREFIX}run_info{{version="{report.version}",command="{command}"}} 1'
+    )
+
+    # -- counters
+    for name in sorted(report.counters):
+        fam = metric_name(name)
+        if not fam.endswith("_total"):
+            fam += "_total"
+        family(fam, "counter", f"Counter {name} from the run report.")
+        lines.append(f"{fam} {_fmt(report.counters[name])}")
+
+    # -- gauges
+    for name in sorted(report.gauges):
+        fam = metric_name(name)
+        family(fam, "gauge", f"Gauge {name} from the run report.")
+        lines.append(f"{fam} {_fmt(report.gauges[name])}")
+
+    # -- span totals, labelled by path
+    spans: list[tuple[str, int, float, float]] = []
+
+    def walk(node, prefix: str) -> None:
+        for child in node.children.values():
+            path = f"{prefix}/{child.name}" if prefix else child.name
+            spans.append((path, child.count, child.wall_s, child.cpu_s))
+            walk(child, path)
+
+    walk(report.span_tree, "")
+    if spans:
+        family(f"{PREFIX}span_entries_total", "counter", "Entries per span path.")
+        for path, count, _, _ in spans:
+            lines.append(
+                f'{PREFIX}span_entries_total{{path="{_escape_label(path)}"}} {count}'
+            )
+        family(f"{PREFIX}span_wall_seconds_total", "counter",
+               "Wall-clock seconds per span path.")
+        for path, _, wall, _ in spans:
+            lines.append(
+                f'{PREFIX}span_wall_seconds_total{{path="{_escape_label(path)}"}} '
+                f"{_fmt(wall)}"
+            )
+        family(f"{PREFIX}span_cpu_seconds_total", "counter",
+               "CPU seconds per span path.")
+        for path, _, _, cpu in spans:
+            lines.append(
+                f'{PREFIX}span_cpu_seconds_total{{path="{_escape_label(path)}"}} '
+                f"{_fmt(cpu)}"
+            )
+
+    # -- histograms (classic cumulative-bucket form)
+    for name in sorted(report.histograms):
+        h = Histogram.from_dict(report.histograms[name])
+        fam = metric_name(name)
+        family(fam, "histogram", f"Distribution {name} from the run report.")
+        for upper, cum in h.cumulative_buckets():
+            lines.append(f'{fam}_bucket{{le="{_fmt(upper)}"}} {cum}')
+        lines.append(f'{fam}_bucket{{le="+Inf"}} {h.count}')
+        lines.append(f"{fam}_sum {_fmt(h.sum)}")
+        lines.append(f"{fam}_count {h.count}")
+
+    return "\n".join(lines) + "\n"
+
+
+def to_jsonl(report: RunReport) -> str:
+    """Render a run report as a JSONL event log (one object per line)."""
+    records: list[dict] = [
+        {
+            "type": "run",
+            "version": report.version,
+            "command": report.command,
+            "started_at": report.started_at,
+            "wall_s": report.wall_s,
+            "cpu_s": report.cpu_s,
+            "peak_rss_bytes": report.peak_rss_bytes,
+        }
+    ]
+    for name in sorted(report.counters):
+        records.append(
+            {"type": "counter", "name": name, "value": report.counters[name]}
+        )
+    for name in sorted(report.gauges):
+        records.append(
+            {"type": "gauge", "name": name, "value": report.gauges[name]}
+        )
+
+    def walk(node, prefix: str) -> None:
+        for child in node.children.values():
+            path = f"{prefix}/{child.name}" if prefix else child.name
+            records.append({
+                "type": "span",
+                "path": path,
+                "count": child.count,
+                "wall_s": child.wall_s,
+                "cpu_s": child.cpu_s,
+            })
+            walk(child, path)
+
+    walk(report.span_tree, "")
+    for name in sorted(report.histograms):
+        h = Histogram.from_dict(report.histograms[name])
+        rec = {
+            "type": "histogram",
+            "name": name,
+            "count": h.count,
+            "sum": h.sum,
+        }
+        if h.count:
+            rec.update({
+                "min": h.min,
+                "max": h.max,
+                "p50": h.quantile(0.5),
+                "p90": h.quantile(0.9),
+                "p99": h.quantile(0.99),
+            })
+        records.append(rec)
+    for name in sorted(report.notes):
+        records.append({"type": "note", "name": name, "text": report.notes[name]})
+    for sample in report.timeseries.get("samples", []):
+        records.append({"type": "sample", **sample})
+    return "\n".join(json.dumps(r, sort_keys=True) for r in records) + "\n"

@@ -1,0 +1,94 @@
+"""Flight recorder: a fixed-size ring of recent structured events.
+
+The paper's tracing system kept *buffered* per-node records precisely so
+a long production run did not pay for its own forensics (§2.5).  The
+flight recorder applies the idea to crash analysis: while an observed
+run executes, the last N structured events — span opens and closes,
+large counter bumps, pool task dispatches — sit in a bounded ring.  In
+the happy path the ring is simply dropped; when the CLI dies with an
+unhandled exception the ring is dumped next to the run report, so a
+failed multi-hour streaming run leaves a record of what it was doing in
+its final moments.
+
+Recording is append-to-a-``deque`` cheap and only ever happens when an
+:class:`~repro.obs.collector.Observer` with an attached recorder is
+installed — the disabled path keeps its byte-identical no-op property.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+
+#: default ring capacity (events)
+DEFAULT_CAPACITY = 256
+
+#: counter increments at or above this value get a flight event
+DEFAULT_COUNTER_THRESHOLD = 100_000.0
+
+
+class FlightRecorder:
+    """A bounded ring buffer of recent observability events."""
+
+    __slots__ = ("capacity", "counter_threshold", "_ring", "_seq", "_t0")
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        counter_threshold: float = DEFAULT_COUNTER_THRESHOLD,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        self.capacity = capacity
+        self.counter_threshold = counter_threshold
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+        self._t0 = time.perf_counter()
+
+    def record(self, kind: str, name: str, **fields) -> None:
+        """Append one event, evicting the oldest when full."""
+        self._seq += 1
+        event = {
+            "seq": self._seq,
+            "t_s": round(time.perf_counter() - self._t0, 6),
+            "kind": kind,
+            "name": name,
+        }
+        if fields:
+            event.update(fields)
+        self._ring.append(event)
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def n_recorded(self) -> int:
+        """Events recorded over the recorder's lifetime."""
+        return self._seq
+
+    @property
+    def n_dropped(self) -> int:
+        """Events evicted from the ring."""
+        return self._seq - len(self._ring)
+
+    def events(self) -> list[dict]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    # -- dumping --------------------------------------------------------------
+
+    def to_dict(self, reason: str | None = None) -> dict:
+        return {
+            "capacity": self.capacity,
+            "n_recorded": self.n_recorded,
+            "n_dropped": self.n_dropped,
+            "reason": reason,
+            "events": self.events(),
+        }
+
+    def dump(self, path: str | Path, reason: str | None = None) -> Path:
+        """Write the ring to ``path`` as JSON (the CLI crash path)."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(reason=reason), indent=2) + "\n")
+        return path

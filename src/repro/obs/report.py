@@ -1,10 +1,21 @@
 """Structured run reports: serialization and the pretty-printer.
 
 A :class:`RunReport` is the frozen output of one observed run — the
-span tree, counter totals, gauges, and process-level totals (wall, CPU,
-peak RSS).  It round-trips through JSON (``python -m repro --obs=PATH``
-writes one; ``python -m repro obsreport PATH`` reads it back) and
-renders as an indented profile for terminals.
+span tree, counter totals, gauges, histograms, optional time series,
+string notes, and process-level totals (wall, CPU, peak RSS).  It
+round-trips through JSON (``python -m repro --obs=PATH`` writes one;
+``python -m repro obsreport PATH`` reads it back) and renders as an
+indented profile for terminals.
+
+Schema history:
+
+- **v1** (PR 3): spans, counters, gauges, process totals.
+- **v2**: adds ``histograms`` (mergeable log-bucketed distributions,
+  :mod:`repro.obs.hist`), ``timeseries`` (flushed sampler ring,
+  :mod:`repro.obs.sampler`), and ``notes`` (string annotations such as
+  the slowest pool task).  v1 files load with those fields empty;
+  files from a *future* version raise
+  :class:`~repro.errors.ObsReportError` instead of being misread.
 """
 
 from __future__ import annotations
@@ -14,10 +25,12 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.errors import ObsReportError
 from repro.obs.collector import SpanNode
+from repro.obs.hist import Histogram
 
 #: current on-disk format version
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -48,6 +61,12 @@ class RunReport:
     spans: dict = field(default_factory=lambda: SpanNode("run").to_dict())
     counters: dict[str, int | float] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
+    #: name -> :meth:`repro.obs.hist.Histogram.to_dict`
+    histograms: dict[str, dict] = field(default_factory=dict)
+    #: flushed :meth:`repro.obs.sampler.Sampler.flush` payload ({} if unsampled)
+    timeseries: dict = field(default_factory=dict)
+    #: string annotations (e.g. ``pool.slowest_task``)
+    notes: dict[str, str] = field(default_factory=dict)
     version: int = REPORT_VERSION
 
     # -- derived --------------------------------------------------------------
@@ -66,6 +85,15 @@ class RunReport:
     def n_counters(self) -> int:
         """Distinct counters recorded."""
         return len(self.counters)
+
+    @property
+    def n_histograms(self) -> int:
+        """Distinct histogram families recorded."""
+        return len(self.histograms)
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram rebuilt as a :class:`Histogram`."""
+        return Histogram.from_dict(self.histograms[name])
 
     def span_names(self) -> list[str]:
         """Every distinct span path, ``/``-joined from the root."""
@@ -96,28 +124,58 @@ class RunReport:
             "spans": self.spans,
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+            "timeseries": dict(self.timeseries),
+            "notes": dict(self.notes),
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RunReport":
-        return cls(
-            command=[str(c) for c in payload.get("command", [])],
-            started_at=float(payload.get("started_at", 0.0)),
-            wall_s=float(payload.get("wall_s", 0.0)),
-            cpu_s=float(payload.get("cpu_s", 0.0)),
-            peak_rss_bytes=int(payload.get("peak_rss_bytes", 0)),
-            spans=dict(payload.get("spans", SpanNode("run").to_dict())),
-            counters=dict(payload.get("counters", {})),
-            gauges=dict(payload.get("gauges", {})),
-            version=int(payload.get("version", REPORT_VERSION)),
-        )
+        """Rebuild a report; v1 payloads load with the v2 fields empty.
+
+        Raises :class:`~repro.errors.ObsReportError` for payloads that
+        are not report-shaped or were written by a future version.
+        """
+        if not isinstance(payload, dict):
+            raise ObsReportError(
+                f"run report must be a JSON object, got {type(payload).__name__}"
+            )
+        version = int(payload.get("version", REPORT_VERSION))
+        if version > REPORT_VERSION:
+            raise ObsReportError(
+                f"run report has schema version {version}, but this build "
+                f"reads at most version {REPORT_VERSION} — upgrade to read it"
+            )
+        try:
+            return cls(
+                command=[str(c) for c in payload.get("command", [])],
+                started_at=float(payload.get("started_at", 0.0)),
+                wall_s=float(payload.get("wall_s", 0.0)),
+                cpu_s=float(payload.get("cpu_s", 0.0)),
+                peak_rss_bytes=int(payload.get("peak_rss_bytes", 0)),
+                spans=dict(payload.get("spans", SpanNode("run").to_dict())),
+                counters=dict(payload.get("counters", {})),
+                gauges=dict(payload.get("gauges", {})),
+                histograms=dict(payload.get("histograms", {})),
+                timeseries=dict(payload.get("timeseries", {})),
+                notes=dict(payload.get("notes", {})),
+                version=version,
+            )
+        except (TypeError, ValueError) as exc:
+            raise ObsReportError(f"run report is malformed: {exc}") from exc
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "RunReport":
-        return cls.from_dict(json.loads(text))
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ObsReportError(
+                f"not a run report (truncated or invalid JSON: {exc})"
+            ) from exc
+        return cls.from_dict(payload)
 
     def save(self, path: str | Path) -> Path:
         path = Path(path)
@@ -126,7 +184,18 @@ class RunReport:
 
     @classmethod
     def load(cls, path: str | Path) -> "RunReport":
-        return cls.from_json(Path(path).read_text())
+        """Load a report; failures raise a one-line ObsReportError."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ObsReportError(
+                f"cannot read run report {path}: {exc.strerror or exc}"
+            ) from exc
+        try:
+            return cls.from_json(text)
+        except ObsReportError as exc:
+            raise ObsReportError(f"{path}: {exc}") from exc
 
     # -- rendering ------------------------------------------------------------
 
@@ -166,4 +235,39 @@ class RunReport:
             lines.append(f"gauges ({len(self.gauges)}):")
             for name in sorted(self.gauges):
                 lines.append(f"  {name:<52} {self.gauges[name]:>14.6g}")
+        if self.histograms:
+            lines.append(f"histograms ({len(self.histograms)}):")
+            for name in sorted(self.histograms):
+                h = self.histogram(name)
+                if h.count == 0:
+                    lines.append(f"  {name:<44} (empty)")
+                    continue
+                lines.append(
+                    f"  {name:<44} n={h.count:<8} "
+                    f"min={h.min:<10.4g} p50={h.quantile(0.5):<10.4g} "
+                    f"p90={h.quantile(0.9):<10.4g} max={h.max:<10.4g} "
+                    f"sum={h.sum:.6g}"
+                )
+        slowest = self.notes.get("pool.slowest_task")
+        if slowest is not None:
+            slowest_s = self.gauges.get("pool.slowest_task_s", 0.0)
+            lines.append(
+                f"slowest pool task: {slowest} ({_fmt_seconds(slowest_s)})"
+            )
+        other_notes = {
+            k: v for k, v in self.notes.items() if k != "pool.slowest_task"
+        }
+        if other_notes:
+            lines.append(f"notes ({len(other_notes)}):")
+            for name in sorted(other_notes):
+                lines.append(f"  {name:<52} {other_notes[name]}")
+        if self.timeseries.get("samples"):
+            samples = self.timeseries["samples"]
+            rss = [s.get("rss_bytes", 0) for s in samples]
+            lines.append(
+                f"timeseries: {self.timeseries.get('n_samples', len(samples))} "
+                f"samples @ {self.timeseries.get('period_s', 0)}s "
+                f"({self.timeseries.get('n_dropped', 0)} dropped), "
+                f"rss {_fmt_bytes(min(rss))} -> {_fmt_bytes(max(rss))}"
+            )
         return "\n".join(lines)

@@ -42,6 +42,7 @@ from __future__ import annotations
 import json
 import mmap
 import struct
+import time
 import zlib
 from collections.abc import Iterator
 
@@ -541,6 +542,7 @@ class TraceStore(TraceSource):
     def chunk(self, i: int) -> np.ndarray:
         if not 0 <= i < self.n_chunks:
             raise IndexError(f"chunk {i} out of range (have {self.n_chunks})")
+        t0 = time.perf_counter() if obs.enabled() else 0.0
         meta = self._chunk_meta[i]
         n = int(meta["n"])
         out = np.empty(n, dtype=EVENT_DTYPE)
@@ -561,6 +563,9 @@ class TraceStore(TraceSource):
             obs.add("trace.store.chunks_read")
             obs.add("trace.store.events_read", n)
             obs.add("trace.store.bytes_read", stored_total)
+            obs.hist(
+                "trace.store.chunk_decode_seconds", time.perf_counter() - t0
+            )
         return out
 
     # -- metadata (the `trace info` surface) ---------------------------------

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from collections.abc import Callable, Mapping
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Any
@@ -48,21 +49,39 @@ def default_workers(n_tasks: int) -> int:
     return min(n_tasks, os.cpu_count() or 1)
 
 
-def _call(name: str) -> tuple[str, Any, dict | None]:
+def _call(name: str) -> tuple[str, Any, dict | None, float]:
     assert _SHARED is not None, "worker forked without shared state"
     tasks, obj = _SHARED
     if obs.enabled():
         # start a fresh observer so only this task's deltas travel back
         observer = obs.enable()
+        t0 = time.perf_counter()
         result = tasks[name](obj)
-        return name, result, observer.snapshot()
-    return name, tasks[name](obj), None
+        return name, result, observer.snapshot(), time.perf_counter() - t0
+    return name, tasks[name](obj), None, 0.0
+
+
+def _record_task(name: str, duration_s: float) -> None:
+    """Fold one task's duration into the pool's own observations."""
+    obs.hist("pool.task_seconds", duration_s)
+    observer = obs.current()
+    if duration_s > observer.gauges.get("pool.slowest_task_s", -1.0):
+        observer.gauge("pool.slowest_task_s", duration_s)
+        observer.note("pool.slowest_task", name)
 
 
 def _run_serial(
     tasks: Mapping[str, Callable[[Any], Any]], obj: Any, names: list[str]
 ) -> dict[str, Any]:
-    return {name: tasks[name](obj) for name in names}
+    if not obs.enabled():
+        return {name: tasks[name](obj) for name in names}
+    results: dict[str, Any] = {}
+    for index, name in enumerate(names):
+        obs.event("pool_dispatch", name, index=index, mode="serial")
+        t0 = time.perf_counter()
+        results[name] = tasks[name](obj)
+        _record_task(name, time.perf_counter() - t0)
+    return results
 
 
 def map_tasks(
@@ -98,12 +117,17 @@ def map_tasks(
     try:
         ctx = multiprocessing.get_context("fork")
         with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
-            futures = [pool.submit(_call, name) for name in names]
+            futures = []
+            for index, name in enumerate(names):
+                if obs.enabled():
+                    obs.event("pool_dispatch", name, index=index, mode="fork")
+                futures.append(pool.submit(_call, name))
             results: dict[str, Any] = {}
             snapshots: dict[str, dict] = {}
+            durations: dict[str, float] = {}
             for index, (name, future) in enumerate(zip(names, futures)):
                 try:
-                    rname, value, snapshot = future.result()
+                    rname, value, snapshot, dur = future.result()
                 except (BrokenExecutor, OSError):
                     raise
                 except Exception as exc:
@@ -116,6 +140,7 @@ def map_tasks(
                 results[rname] = value
                 if snapshot is not None:
                     snapshots[rname] = snapshot
+                    durations[rname] = dur
         obs.add("pool.forked_batches")
         obs.add("pool.worker_processes", n_workers)
         # fold worker observations in submission order (deterministic)
@@ -123,6 +148,7 @@ def map_tasks(
             snapshot = snapshots.get(name)
             if snapshot is not None:
                 obs.current().merge_snapshot(snapshot)
+                _record_task(name, durations[name])
         return results
     except (BrokenExecutor, OSError):
         obs.add("pool.serial_fallbacks")

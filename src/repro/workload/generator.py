@@ -561,6 +561,7 @@ def _emit_job_block(shared, *, job: int):
         _emit_job_direct(p, uses, cols, file_rows, fid_starts[job], rng)
     if obs.enabled():
         obs.add("workload.job_events", cols.n)
+        obs.hist("workload.events_per_job", float(cols.n))
     return cols, file_rows
 
 

@@ -142,8 +142,9 @@ class TestObservability:
         report_path = tmp_path / "run.json"
         main(["--obs", str(report_path), "strided", str(trace_path)])
         payload = json.loads(report_path.read_text())
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["spans"]["name"] == "run"
+        assert "histograms" in payload and "timeseries" in payload
 
     def test_without_obs_no_observer_installed(self, trace_path, capsys):
         assert main(["strided", str(trace_path)]) == 0

@@ -1,0 +1,436 @@
+"""The metrics pipeline: histograms, sampler, exporters, flight
+recorder, and the perf-regression gate.
+
+Five promises are pinned here.  Histogram merge is associative and
+commutative on everything exact (counts, buckets, min/max) so the
+fork-snapshot fold order cannot change a report.  Quantile estimates
+bracket the true sample quantile.  The Prometheus export is valid text
+exposition format with monotone cumulative buckets.  ``obs diff``
+detects a synthetic slowdown and exits nonzero.  And an unhandled CLI
+crash leaves a flight-recorder dump behind.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.cli import main
+from repro.errors import ObsReportError
+from repro.obs import FlightRecorder, Histogram, Observer, RunReport, Sampler
+from repro.obs.export import to_jsonl, to_prometheus
+from repro.obs.hist import BASE, bucket_index
+from repro.obs.regress import compare, compare_files, direction_of, load_metrics
+
+
+@pytest.fixture(autouse=True)
+def _reset_observer():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def hist_of(values) -> Histogram:
+    h = Histogram()
+    for v in values:
+        h.add(v)
+    return h
+
+
+finite_values = st.floats(
+    min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(finite_values, max_size=40)
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        with pytest.raises(ValueError, match="empty histogram"):
+            h.quantile(0.5)
+
+    def test_exact_aggregates(self):
+        h = hist_of([1.0, 2.0, 3.0, 0.0])
+        assert h.count == 4
+        assert h.sum == 6.0
+        assert h.min == 0.0
+        assert h.max == 3.0
+        assert h.zero == 1
+
+    def test_bucket_index_is_monotone(self):
+        values = [10.0 ** e for e in range(-6, 7)]
+        indices = [bucket_index(v) for v in values]
+        assert indices == sorted(indices)
+
+    def test_add_many_matches_add(self):
+        import numpy as np
+
+        values = [0.0, 0.5, 1.0, 7.0, 7.1, 1e6]
+        a = hist_of(values)
+        b = Histogram()
+        b.add_many(np.array(values))
+        assert a.to_dict() == b.to_dict()
+
+    def test_dict_round_trip(self):
+        h = hist_of([0.1, 2.0, 300.0])
+        clone = Histogram.from_dict(h.to_dict())
+        assert clone.to_dict() == h.to_dict()
+
+    def test_cumulative_buckets_are_monotone_and_end_at_count(self):
+        h = hist_of([0.0, 0.2, 0.2, 5.0, 800.0])
+        cum = [c for _, c in h.cumulative_buckets()]
+        assert cum == sorted(cum)
+        assert cum[-1] == h.count
+
+    @given(value_lists, value_lists)
+    @settings(max_examples=80)
+    def test_merge_commutes(self, xs, ys):
+        ab = hist_of(xs).merge(hist_of(ys))
+        ba = hist_of(ys).merge(hist_of(xs))
+        assert ab.count == ba.count
+        assert ab.buckets == ba.buckets
+        assert ab.zero == ba.zero
+        assert ab.min == ba.min and ab.max == ba.max
+        assert ab.sum == pytest.approx(ba.sum, rel=1e-9, abs=1e-9)
+
+    @given(value_lists, value_lists, value_lists)
+    @settings(max_examples=80)
+    def test_merge_is_associative(self, xs, ys, zs):
+        a, b, c = hist_of(xs), hist_of(ys), hist_of(zs)
+        left = hist_of([]).merge(a).merge(b).merge(c)
+        right = a.merge(b.merge(c))
+        assert left.count == right.count
+        assert left.buckets == right.buckets
+        assert left.min == right.min and left.max == right.max
+        assert left.sum == pytest.approx(right.sum, rel=1e-9, abs=1e-9)
+
+    @given(st.lists(finite_values, min_size=1, max_size=40),
+           st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=120)
+    def test_quantile_bounds_bracket_true_quantile(self, xs, q):
+        h = hist_of(xs)
+        rank = max(1, math.ceil(q * len(xs)))
+        true_q = sorted(xs)[rank - 1]
+        lo, hi = h.quantile_bounds(q)
+        assert lo <= true_q <= hi
+        # the reported estimate is the bucket's upper edge
+        assert h.quantile(q) == hi
+        # and the bucket is tight: one log-step wide or pinned by min/max
+        if true_q > 0:
+            assert hi <= max(true_q * BASE, h.max)
+
+
+class TestFlightRecorder:
+    def test_records_in_order(self):
+        fr = FlightRecorder(capacity=8)
+        fr.record("span_open", "a")
+        fr.record("counter_bump", "b", value=5)
+        events = fr.events()
+        assert [e["kind"] for e in events] == ["span_open", "counter_bump"]
+        assert events[0]["seq"] == 1 and events[1]["seq"] == 2
+        assert events[1]["value"] == 5
+
+    def test_ring_drops_oldest(self):
+        fr = FlightRecorder(capacity=4)
+        for i in range(10):
+            fr.record("tick", str(i))
+        events = fr.events()
+        assert len(events) == 4
+        assert [e["name"] for e in events] == ["6", "7", "8", "9"]
+        assert fr.n_recorded == 10
+        assert fr.n_dropped == 6
+
+    def test_dump_writes_json(self, tmp_path):
+        fr = FlightRecorder(capacity=4)
+        fr.record("span_open", "x")
+        path = fr.dump(tmp_path / "flight.json", reason="test crash")
+        payload = json.loads(path.read_text())
+        assert payload["reason"] == "test crash"
+        assert payload["events"][0]["name"] == "x"
+
+    def test_cli_crash_leaves_a_flight_dump(self, tmp_path, capsys):
+        report = tmp_path / "run.json"
+        with pytest.raises(Exception):
+            main(["--obs", str(report), "characterize",
+                  str(tmp_path / "missing.npz")])
+        flight_path = tmp_path / "run.json.flight.json"
+        assert flight_path.exists()
+        payload = json.loads(flight_path.read_text())
+        assert "FileNotFoundError" in payload["reason"]
+        kinds = {e["kind"] for e in payload["events"]}
+        assert "span_open" in kinds and "span_error" in kinds
+        assert "crash:" in capsys.readouterr().err
+
+    def test_span_events_reach_an_attached_recorder(self):
+        observer = obs.enable()
+        observer.flight = FlightRecorder(capacity=16)
+        with obs.span("work"):
+            pass
+        kinds = [e["kind"] for e in observer.flight.events()]
+        assert kinds == ["span_open", "span_close"]
+
+
+class TestSampler:
+    def test_sample_once_contents(self):
+        observer = obs.enable()
+        obs.add("ticks", 3)
+        obs.gauge("depth", 2.0)
+        sampler = Sampler(observer, period_s=9.0)
+        s = sampler.sample_once()
+        assert s["rss_bytes"] > 0
+        assert s["cpu_s"] >= 0.0
+        assert s["counter_deltas"] == {"ticks": 3.0}
+        assert s["gauges"] == {"depth": 2.0}
+        # deltas reset between samples
+        assert sampler.sample_once()["counter_deltas"] == {}
+
+    def test_flush_reports_schema_and_samples(self):
+        observer = obs.enable()
+        sampler = Sampler(observer, period_s=0.01, capacity=64)
+        sampler.start()
+        deadline_samples = 2
+        import time as _time
+
+        for _ in range(200):
+            if len(sampler._ring) >= deadline_samples:
+                break
+            _time.sleep(0.01)
+        ts = sampler.flush()
+        assert ts["version"] == 1
+        assert ts["period_s"] == 0.01
+        assert ts["n_samples"] == len(ts["samples"]) >= deadline_samples
+        assert ts["n_dropped"] == 0
+
+    def test_report_carries_timeseries(self):
+        observer = obs.enable()
+        sampler = Sampler(observer, period_s=5.0)
+        sampler.start()
+        report = observer.report(command=["t"], timeseries=sampler.flush())
+        assert report.timeseries["n_samples"] >= 1
+        clone = RunReport.from_json(report.to_json())
+        assert clone.timeseries == report.timeseries
+        assert "timeseries:" in clone.render()
+
+
+# -- a tiny validator for the Prometheus text exposition format -------------
+
+_SAMPLE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+-]+|[+-]Inf)$'
+)
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse text-format exposition into ``{family: {type, samples}}``,
+    asserting the structural rules a real scraper enforces."""
+    families: dict[str, dict] = {}
+    declared = None
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            declared = line.split()[2]
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(None, 3)
+            assert name == declared, f"TYPE {name} without preceding HELP"
+            assert kind in {"counter", "gauge", "histogram"}
+            families[name] = {"type": kind, "samples": []}
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line}"
+        m = _SAMPLE.match(line)
+        assert m, f"malformed sample line: {line!r}"
+        name, labels, value = m.groups()
+        base = re.sub(r"_(bucket|sum|count|total)$", "", name)
+        family = name if name in families else base
+        assert family in families, f"sample {name} has no TYPE"
+        families[family]["samples"].append(
+            (name, labels or "", float(value.replace("Inf", "inf")))
+        )
+    for name, fam in families.items():
+        assert fam["samples"], f"family {name} declared but empty"
+        if fam["type"] == "histogram":
+            buckets = [
+                (labels, v) for n, labels, v in fam["samples"]
+                if n.endswith("_bucket")
+            ]
+            cum = [v for _, v in buckets]
+            assert cum == sorted(cum), f"{name} buckets not cumulative"
+            assert 'le="+Inf"' in buckets[-1][0] or any(
+                'le="+Inf"' in lbl for lbl, _ in buckets
+            ), f"{name} lacks a +Inf bucket"
+            count = [v for n, _, v in fam["samples"] if n.endswith("_count")]
+            assert count and cum[-1] == count[0]
+    return families
+
+
+class TestExporters:
+    def _report(self) -> RunReport:
+        observer = Observer()
+        with observer.span("alpha"):
+            observer.add("rows", 3)
+        observer.gauge("depth", 1.5)
+        observer.hist("alpha.seconds", 0.25)
+        observer.hist("alpha.seconds", 0.5)
+        observer.note("note.name", "value")
+        return observer.report(command=["x"])
+
+    def test_prometheus_parses_and_has_all_kinds(self):
+        fams = parse_prometheus(to_prometheus(self._report()))
+        kinds = {f["type"] for f in fams.values()}
+        assert kinds == {"counter", "gauge", "histogram"}
+        assert "repro_run_wall_seconds" in fams
+        assert "repro_rows_total" in fams
+        assert "repro_alpha_seconds" in fams
+        span_fam = fams["repro_span_wall_seconds_total"]
+        assert any('path="alpha"' in lbl for _, lbl, _ in span_fam["samples"])
+
+    def test_jsonl_lines_parse_and_cover_types(self):
+        lines = to_jsonl(self._report()).strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        types = {r["type"] for r in records}
+        assert {"run", "counter", "gauge", "span", "histogram", "note"} <= types
+        hist = next(r for r in records if r["type"] == "histogram")
+        assert hist["count"] == 2 and hist["p50"] > 0
+
+
+class TestRegressionGate:
+    def test_direction_heuristics(self):
+        assert direction_of("bench.indexed_seconds") == "lower"
+        assert direction_of("peak_rss_bytes") == "lower"
+        assert direction_of("speedup_best") == "higher"
+        assert direction_of("cache.hit_rate") == "higher"
+        assert direction_of("events") == "info"
+
+    def test_compare_statuses(self):
+        base = {"wall_s": 1.0, "speedup": 4.0, "events": 100.0}
+        new = {"wall_s": 1.5, "speedup": 3.0, "events": 150.0}
+        by_name = {d.metric: d for d in compare(base, new, threshold=0.1)}
+        assert by_name["wall_s"].status == "regression"
+        assert by_name["speedup"].status == "regression"
+        assert by_name["events"].status == "info"
+        improved = compare({"wall_s": 2.0}, {"wall_s": 1.0}, threshold=0.1)
+        assert improved[0].status == "improvement"
+
+    def test_zero_baseline_is_infinite_change(self):
+        (d,) = compare({"wall_s": 0.0}, {"wall_s": 1.0}, threshold=0.1)
+        assert math.isinf(d.rel_change)
+        assert d.status == "regression"
+
+    def test_kind_mismatch_is_an_error(self, tmp_path):
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps(
+            {"schema": 1, "metrics": {"wall_s": 1.0}}
+        ))
+        report = tmp_path / "report.json"
+        Observer().report(command=["x"]).save(report)
+        with pytest.raises(ObsReportError, match="cannot compare"):
+            compare_files(bench, report)
+
+    def test_load_metrics_reads_all_three_kinds(self, tmp_path):
+        report = tmp_path / "r.json"
+        Observer().report(command=["x"]).save(report)
+        assert load_metrics(report)[0] == "run-report"
+        bench = tmp_path / "b.json"
+        bench.write_text(json.dumps({"schema": 1, "metrics": {"a_s": 1.0}}))
+        assert load_metrics(bench) == ("bench", {"a_s": 1.0})
+        legacy = tmp_path / "l.json"
+        legacy.write_text(json.dumps({"nested": {"t_s": 2.0}}))
+        assert load_metrics(legacy) == ("legacy-bench", {"nested.t_s": 2.0})
+
+    def test_cli_diff_gates_synthetic_slowdown(self, tmp_path, capsys):
+        base = {"schema": 1, "metrics": {"indexed_seconds": 1.0, "events": 5.0}}
+        new = {"schema": 1, "metrics": {"indexed_seconds": 1.12, "events": 5.0}}
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(base))
+        b.write_text(json.dumps(new))
+        assert main(["obs", "diff", str(a), str(b), "--threshold", "0.1"]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out and "indexed_seconds" in out
+        # under a looser threshold the same pair passes
+        assert main(["obs", "diff", str(a), str(b), "--threshold", "0.2"]) == 0
+
+    def test_cli_diff_metric_filter(self, tmp_path, capsys):
+        base = {"schema": 1, "metrics": {"x_seconds": 1.0, "y_seconds": 1.0}}
+        new = {"schema": 1, "metrics": {"x_seconds": 2.0, "y_seconds": 1.0}}
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(base))
+        b.write_text(json.dumps(new))
+        assert main(["obs", "diff", str(a), str(b), "--metric", "y_*"]) == 0
+        assert main(["obs", "diff", str(a), str(b), "--metric", "x_*"]) == 1
+
+
+class TestCLIErrorPaths:
+    def test_obsreport_missing_file(self, tmp_path, capsys):
+        assert main(["obsreport", str(tmp_path / "nope.json")]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "nope.json" in err
+
+    def test_obsreport_truncated_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 2, "spans": {')
+        assert main(["obsreport", str(bad)]) == 1
+        assert "truncated or invalid JSON" in capsys.readouterr().err
+
+    def test_obsreport_future_schema_version(self, tmp_path, capsys):
+        observer = Observer()
+        payload = observer.report(command=["x"]).to_dict()
+        payload["version"] = 99
+        future = tmp_path / "future.json"
+        future.write_text(json.dumps(payload))
+        assert main(["obsreport", str(future)]) == 1
+        assert "version 99" in capsys.readouterr().err
+
+    def test_v1_reports_still_load(self):
+        observer = Observer()
+        payload = observer.report(command=["x"]).to_dict()
+        payload["version"] = 1
+        for key in ("histograms", "timeseries", "notes"):
+            payload.pop(key)
+        report = RunReport.from_dict(payload)
+        assert report.version == 1
+        assert report.n_histograms == 0
+
+    def test_obs_diff_unreadable_input(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        a.write_text(json.dumps({"schema": 1, "metrics": {"x_s": 1.0}}))
+        assert main(["obs", "diff", str(a), str(tmp_path / "gone.json")]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_obs_sample_rejects_nonpositive_period(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--obs-sample", "0", "characterize", "--scale", "0.01"])
+        assert "positive" in capsys.readouterr().err
+
+
+class TestAcceptance:
+    def test_export_covers_five_layers_of_histograms(self, tmp_path):
+        """An observed end-to-end run exports >= 5 histogram families
+        spanning the machine, CFS, caching, and pool layers."""
+        from repro.caching.io_node import sweep_buffer_counts
+        from repro.core import characterize
+        from repro.workload import WorkloadGenerator, tiny
+
+        observer = obs.enable()
+        generated = WorkloadGenerator(tiny(1.0), seed=5).run("full")
+        characterize(generated.frame, workers=None)
+        sweep_buffer_counts(generated.frame, [8, 32], policy="lru")
+        report = observer.report(command=["acceptance"])
+
+        fams = parse_prometheus(to_prometheus(report))
+        hist_fams = {n for n, f in fams.items() if f["type"] == "histogram"}
+        assert len(hist_fams) >= 5
+        for prefix in ("repro_machine_", "repro_cfs_", "repro_caching_",
+                       "repro_pool_"):
+            assert any(n.startswith(prefix) for n in hist_fams), (
+                f"no histogram family for {prefix}: {sorted(hist_fams)}"
+            )
+        # pool slowest-task note surfaces in the rendered report
+        assert report.notes.get("pool.slowest_task")
+        assert "slowest pool task" in report.render()
