@@ -50,7 +50,7 @@ from repro.trace.records import EventKind
 from repro.util.units import BLOCK_SIZE
 
 #: engines accepted by :func:`sweep_buffer_counts`
-ENGINES = ("auto", "replay", "stackdist")
+ENGINES = ("auto", "replay", "stackdist", "replay-python")
 
 
 @dataclass(frozen=True)
@@ -280,7 +280,12 @@ def sweep_buffer_counts(
 
     ``engine`` selects how the curve is computed:
 
-    - ``"replay"`` — brute-force: one full trace replay per buffer count;
+    - ``"replay"`` — one replay per buffer count, vectorized: LRU/OPT
+      score every capacity from one numpy depth pass
+      (:mod:`repro.caching.replayvec`, bit-identical to the oracle);
+      non-stack policies (FIFO, interprocess) fall through to the
+      oracle loop;
+    - ``"replay-python"`` — the per-block dictionary oracle, always;
     - ``"stackdist"`` — the single-pass stack-distance engine (LRU/OPT
       only; exactly equal to replay at every capacity);
     - ``"auto"`` (default) — stackdist where supported, replay otherwise.
@@ -300,6 +305,13 @@ def sweep_buffer_counts(
                 n_io_nodes=n_io_nodes, policy=policy, stream=stream
             )
             return profile.curve(buffer_counts)
+    if engine == "replay" and policy.lower() in ("lru", "opt"):
+        from repro.caching.replayvec import batch_replay_curve
+
+        with obs.span("caching/sweep/replayvec"):
+            return batch_replay_curve(
+                stream, buffer_counts, n_io_nodes=n_io_nodes, policy=policy
+            )
     rates = []
     with obs.span("caching/sweep/replay"):
         for count in buffer_counts:

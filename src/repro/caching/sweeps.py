@@ -8,11 +8,12 @@ replays, multi-``n_io_nodes`` grids, benchmark matrices) is
 embarrassingly parallel across lines, so this module fans the lines out
 over a :class:`~concurrent.futures.ProcessPoolExecutor`.
 
-Workers receive the precomputed stream (a tuple of numpy arrays, cheap
-to pickle and shared page-for-page under fork), never a
-:class:`~repro.trace.frame.TraceFrame`.  When the pool cannot help —
-one line, one worker, or an executor the platform refuses to start —
-the lines run serially in-process with identical results.
+The precomputed request stream (a tuple of numpy arrays) is built once
+and *shared* with the workers through :func:`repro.util.pool.map_tasks`
+— inherited copy-on-write under fork, attached as shared-memory
+segments under spawn — never pickled per line.  When the pool cannot
+help — one line, one worker, or an executor the platform refuses to
+start — the lines run serially in-process with identical results.
 """
 
 from __future__ import annotations
@@ -20,8 +21,8 @@ from __future__ import annotations
 import os
 import time
 from collections.abc import Sequence
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -29,6 +30,7 @@ from repro import obs
 from repro.caching.io_node import _resolve_stream, sweep_buffer_counts
 from repro.caching.results import HitRateCurve
 from repro.errors import CacheConfigError
+from repro.util.pool import map_tasks
 from repro.util.units import BLOCK_SIZE
 
 
@@ -57,7 +59,8 @@ def _run_line(
     line: SweepLine,
     block_size: int,
 ) -> HitRateCurve:
-    return sweep_buffer_counts(
+    t0 = time.perf_counter()
+    curve = sweep_buffer_counts(
         None,
         buffer_counts,
         n_io_nodes=line.n_io_nodes,
@@ -66,22 +69,9 @@ def _run_line(
         engine=line.engine,
         stream=stream,
     )
-
-
-def _run_lines_serial(
-    stream: tuple[np.ndarray, ...],
-    counts: Sequence[int],
-    specs: Sequence[SweepLine],
-    block_size: int,
-) -> list[HitRateCurve]:
-    if not obs.enabled():
-        return [_run_line(stream, counts, line, block_size) for line in specs]
-    curves: list[HitRateCurve] = []
-    for line in specs:
-        t0 = time.perf_counter()
-        curves.append(_run_line(stream, counts, line, block_size))
+    if obs.enabled():
         obs.hist("caching.sweep.line_seconds", time.perf_counter() - t0)
-    return curves
+    return curve
 
 
 def sweep_lines(
@@ -108,17 +98,19 @@ def sweep_lines(
     obs.add("caching.sweeps.lines", len(specs))
     if workers is None:
         workers = min(len(specs), os.cpu_count() or 1)
+    # the stream is the shared object: forked workers inherit it
+    # copy-on-write, spawned workers attach to it in shared memory —
+    # either way it is built once and never pickled per line
+    names = [
+        f"line{i}/{line.policy}/io{line.n_io_nodes}"
+        for i, line in enumerate(specs)
+    ]
+    tasks = {
+        name: partial(
+            _run_line, buffer_counts=counts, line=line, block_size=block_size
+        )
+        for name, line in zip(names, specs)
+    }
     with obs.span("caching/sweep_lines"):
-        if workers <= 1 or len(specs) <= 1:
-            return _run_lines_serial(stream, counts, specs, block_size)
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_run_line, stream, counts, line, block_size)
-                    for line in specs
-                ]
-                return [f.result() for f in futures]
-        except (BrokenExecutor, OSError):
-            # the pool itself failed (fork refused, worker killed, ...);
-            # the lines are deterministic, so fall back to serial
-            return _run_lines_serial(stream, counts, specs, block_size)
+        done = map_tasks(tasks, stream, workers)
+        return [done[name] for name in names]

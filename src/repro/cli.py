@@ -114,7 +114,7 @@ def cmd_generate(args) -> int:
 
 def cmd_characterize(args) -> int:
     trace = _load_source(args) if args.store else _load_frame(args)
-    print(characterize(trace, workers=args.workers).render())
+    print(characterize(trace, workers=args.workers, engine=args.engine).render())
     return 0
 
 
@@ -451,8 +451,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="events per chunk when streaming a legacy .npz "
                         "(stores keep their on-disk chunking)")
     p.add_argument("--workers", type=int, default=None,
-                   help="processes to fan analysis families across "
+                   help="processes to fan the analysis across "
                         "(report is byte-identical)")
+    p.add_argument("--engine", choices=["fused", "indexed"], default="fused",
+                   help="fused one-pass engine (default) or the "
+                        "per-family indexed analyzers; the report is "
+                        "byte-identical either way")
     p.set_defaults(func=cmd_characterize)
 
     p = sub.add_parser("trace", help="trace-file utilities")

@@ -308,7 +308,13 @@ _PARTS = {
 }
 
 
-def characterize(frame, workers: int | None = None) -> WorkloadReport:
+#: engines accepted by :func:`characterize`
+CHARACTERIZE_ENGINES = ("fused", "indexed")
+
+
+def characterize(
+    frame, workers: int | None = None, engine: str = "fused"
+) -> WorkloadReport:
     """Run the full §4 characterization over a trace.
 
     ``frame`` may be an in-memory :class:`~repro.trace.frame.TraceFrame`
@@ -317,18 +323,51 @@ def characterize(frame, workers: int | None = None) -> WorkloadReport:
     which produces a byte-identical report without materializing the
     full event table.
 
-    ``workers`` fans the independent analysis families out across a
-    process pool (see :mod:`repro.util.pool`); the default (``None``)
-    runs them serially in-process.  The report is byte-identical either
-    way — results are reassembled in a fixed order.
+    ``engine`` selects the implementation — the report is byte-identical
+    either way (enforced by ``tests/test_equivalence.py``):
+
+    - ``"fused"`` (default): the one-pass engine in
+      :mod:`repro.core.streaming` — every analysis family folds into a
+      single walk over the events, so each event is touched exactly
+      once.  In-memory frames are wrapped in a
+      :class:`~repro.trace.store.FrameSource` partitioned into one chunk
+      range per worker.
+    - ``"indexed"``: the per-family analyzers over the shared
+      :class:`~repro.trace.index.TraceIndex` (frames), or the windowed
+      streaming fallback (sources) — the escape hatch when the fused
+      state would not fit in memory.
+
+    ``workers`` fans the work out across a process pool (see
+    :mod:`repro.util.pool`); the default (``None``) runs serially
+    in-process.  Results merge in a fixed order, so parallel and serial
+    runs are byte-identical too.
     """
     from repro.util.pool import map_tasks
 
+    if engine not in CHARACTERIZE_ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {CHARACTERIZE_ENGINES}"
+        )
     if not isinstance(frame, TraceFrame):
         # imported here: streaming pulls report pieces back in at import
         from repro.core.streaming import characterize_streaming
 
-        return characterize_streaming(frame, workers=workers)
+        return characterize_streaming(
+            frame,
+            workers=workers,
+            engine="fused" if engine == "fused" else "windowed",
+        )
+    if engine == "fused":
+        from repro.core.streaming import characterize_streaming
+        from repro.trace.store import FrameSource
+
+        n = frame.n_events
+        # one chunk range per worker: workers scan disjoint slices of the
+        # frame's event array (zero-copy under fork / shared memory)
+        chunk = -(-n // int(workers)) if workers and workers > 1 and n else max(n, 1)
+        return characterize_streaming(
+            FrameSource(frame, chunk_size=chunk), workers=workers
+        )
 
     with obs.span("core/characterize"):
         results = map_tasks(_PARTS, frame, workers)

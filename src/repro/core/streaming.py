@@ -4,40 +4,59 @@
 byte-for-byte without ever materializing the whole event table.  It makes
 one pass over the chunks of a :class:`~repro.trace.store.TraceSource`,
 folding each chunk into a mergeable :class:`ChunkAccumulator`, then
-finalizes every analysis family from the merged partials:
+finalizes every analysis family from the merged partials.
 
-- **jobstats** need only the job side table, which travels whole with any
-  source.
-- **filestats / requests / modes / intervals** reduce to per-file or
-  per-size counting.  All byte totals are integer sums (exact in float64
-  far beyond trace scale), medians fall out of size→count histograms,
-  and the distinct-pair tables are set unions — all order-independent.
-- **sequentiality** is chunk-mergeable because chunks are contiguous
-  slices of the time-sorted stream, so each (file, node) group's request
-  order is preserved across chunk boundaries.  The accumulator carries
-  each group's last request out of every chunk and resolves the boundary
-  transition when the group's next chunk (or the merge of two
-  accumulators) supplies the following request.
-- **sharing / interjob** compare open *spans* across nodes and jobs —
-  genuinely cross-chunk state with per-file interval arithmetic that does
-  not decompose into a running fold.  These fall back to *windowed
-  full-index analysis*: files are partitioned into contiguous id windows
-  sized by their event counts, the chunks are re-streamed once per pass
-  gathering each window's events into a small sub-frame (global job
-  table, window slice of the file table), and the existing index-based
-  analyzers run per window.  Per-file results only ever touch that one
-  file's rows, so concatenating windows in ascending id order reproduces
-  the full-frame output exactly while peak memory stays bounded by the
-  window budget.
+Two engines share the chunk scan:
 
-Both the chunk scan and the window pass fan out across
-:func:`repro.util.pool.map_tasks` workers; partials merge in a fixed
-order, so parallel and serial runs are byte-identical too.
+- **fused** (the default): *every* family — jobstats, filestats,
+  requests, modes, intervals, sequentiality, **and** sharing/interjob —
+  folds into the one chunk walk, so each event is touched exactly once.
+  The per-family modules reduce to finalizers over the fused state:
+
+  - jobstats need only the job side table, which travels whole with any
+    source;
+  - filestats / requests / modes / intervals reduce to per-file or
+    per-size counting.  All byte totals are integer sums (exact in
+    float64 far beyond trace scale), medians fall out of size→count
+    histograms, and the distinct-pair tables are sorted-array unions —
+    all order-independent;
+  - sequentiality is chunk-mergeable because chunks are contiguous
+    slices of the time-sorted stream, so each (file, node) group's
+    request order is preserved across chunk boundaries.  The accumulator
+    carries each group's last request out of every chunk and resolves
+    the boundary transition when the group's next chunk (or the merge of
+    two accumulators) supplies the following request;
+  - sharing / interjob fold as (a) per-(file, node) and per-(file, job)
+    open/close window extrema (min open time, max close time — exactly
+    the rows of :meth:`repro.trace.index.TraceIndex._span_table`) and
+    (b) canonical per-(file, node) byte- and block-interval unions.
+    Interval union is associative and the union of maximal runs is
+    unique, so incremental per-chunk unions merged at finalize time are
+    bit-identical to the full-frame union; the finalizer then runs the
+    *same* :func:`repro.core.sharing._overlap_fraction` sweep the index
+    path runs, on identical inputs.
+
+- **windowed** (the escape hatch): the pre-fused behavior, where
+  sharing/interjob fall back to *windowed full-index analysis* — files
+  are partitioned into contiguous id windows sized by their event
+  counts, the chunks are re-streamed once gathering each window's events
+  into a small sub-frame, and the existing index-based analyzers run per
+  window.  Memory stays bounded by the window budget even when the
+  fused interval-union state would not fit (adversarially fragmented
+  access patterns).
+
+The accumulator itself is vectorized: each chunk contributes small
+canonical numpy arrays (deduplicated pairs, per-key counts, unioned
+runs) that are concatenated and re-aggregated lazily, so no per-event or
+per-group Python loop runs during the scan.  Partials merge in a fixed
+left-to-right order over :func:`repro.util.pool.map_tasks` workers, so
+parallel and serial runs are byte-identical too.
 """
 
 from __future__ import annotations
 
 import gc
+import time
 from functools import partial
 
 import numpy as np
@@ -53,62 +72,292 @@ from repro.core.modes import ModeUsage
 from repro.core.report import WorkloadReport
 from repro.core.requests import summary_from_size_counts
 from repro.core.sequentiality import FileRegularity
-from repro.core.sharing import SharingResult, sharing_per_file
+from repro.core.sharing import SharingResult, _overlap_fraction, sharing_per_file
 from repro.errors import AnalysisError
 from repro.trace.frame import EVENT_DTYPE, FileTable, TraceFrame
 from repro.trace.records import NO_VALUE, EventKind
 from repro.trace.store import TraceSource
-from repro.util.histogram import bucket_counts
 from repro.util.pool import map_tasks
+from repro.util.units import BLOCK_SIZE
 
 __all__ = ["ChunkAccumulator", "characterize_streaming"]
 
 _OPEN = int(EventKind.OPEN)
+_CLOSE = int(EventKind.CLOSE)
 _READ = int(EventKind.READ)
 _WRITE = int(EventKind.WRITE)
+
+_SHIFT = np.int64(2**32)
+_HALF = np.int64(2**31)
+_LOW = np.int64(0xFFFFFFFF)
+
+#: engines accepted by :func:`characterize_streaming`
+STREAM_ENGINES = ("fused", "windowed")
 
 
 def _pack_key(file_ids: np.ndarray, nodes: np.ndarray) -> np.ndarray:
     """One int64 key per (file, node); both are non-negative int32s."""
-    return file_ids * np.int64(2**32) + nodes
+    return file_ids * _SHIFT + nodes
+
+
+def _pack_pair(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """The index's pair packing: lexicographic (a, b) order, b may be
+    negative (``key >> 32`` recovers ``a``, ``(key & LOW) - HALF`` is
+    ``b``)."""
+    return a * _SHIFT + (b + _HALF)
+
+
+def _group_starts(sorted_keys: np.ndarray) -> np.ndarray:
+    """Start indices of the contiguous equal-key runs in a sorted array."""
+    if len(sorted_keys) == 0:
+        return np.empty(0, dtype=np.int64)
+    new = np.ones(len(sorted_keys), dtype=bool)
+    new[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    return np.flatnonzero(new)
+
+
+def _dedupe_pairs(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unique (a, b) rows in lexicographic order."""
+    order = np.lexsort((b, a))
+    a, b = a[order], b[order]
+    if len(a) == 0:
+        return a, b
+    keep = np.ones(len(a), dtype=bool)
+    keep[1:] = (a[1:] != a[:-1]) | (b[1:] != b[:-1])
+    return a[keep], b[keep]
+
+
+def _in_sorted(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
+    """Membership of ``needles`` in the sorted unique ``haystack``."""
+    if len(haystack) == 0:
+        return np.zeros(len(needles), dtype=bool)
+    pos = np.searchsorted(haystack, needles)
+    found = pos < len(haystack)
+    found &= haystack[np.minimum(pos, len(haystack) - 1)] == needles
+    return found
+
+
+def _union_runs(
+    keys: np.ndarray, starts: np.ndarray, ends: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Canonical per-key interval union: maximal runs, grouped by key
+    ascending and start-sorted within a key.
+
+    Uses the same merge rule as :func:`repro.core.sharing._merge_per_node`
+    (touching intervals coalesce), with the per-group offset trick for an
+    exact segmented running max.  The union of maximal runs is unique, so
+    this is idempotent and associative — incremental per-chunk unions
+    merged later equal the one-shot union bit for bit.
+    """
+    if len(keys) == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy(), e.copy()
+    order = np.lexsort((starts, keys))
+    k, s, e = keys[order], starts[order], ends[order]
+    new_key = np.ones(len(k), dtype=bool)
+    new_key[1:] = k[1:] != k[:-1]
+    group = np.cumsum(new_key) - 1
+    span = np.int64(int(e.max()) + 1)
+    if int(span) * int(group[-1] + 1) >= 2**62:  # pragma: no cover - pathological
+        return _union_runs_slow(k, s, e, new_key)
+    off = group * span
+    running_max = np.maximum.accumulate(e + off) - off
+    is_new = new_key.copy()
+    if len(s) > 1:
+        is_new[1:] |= s[1:] > running_max[:-1]
+    run_starts = np.flatnonzero(is_new)
+    return k[run_starts], s[run_starts], np.maximum.reduceat(e, run_starts)
+
+
+def _union_runs_slow(k, s, e, new_key):  # pragma: no cover - pathological
+    out_k: list[int] = []
+    out_s: list[int] = []
+    out_e: list[int] = []
+    for key, a, b, fresh in zip(k.tolist(), s.tolist(), e.tolist(), new_key.tolist()):
+        if not fresh and out_s and a <= out_e[-1]:
+            out_e[-1] = max(out_e[-1], b)
+        else:
+            out_k.append(key)
+            out_s.append(a)
+            out_e.append(b)
+    return (
+        np.asarray(out_k, dtype=np.int64),
+        np.asarray(out_s, dtype=np.int64),
+        np.asarray(out_e, dtype=np.int64),
+    )
+
+
+# -- part aggregators ---------------------------------------------------------
+#
+# The accumulator defers everything order-independent: each chunk appends
+# raw per-chunk arrays to per-part lists, and these aggregators collapse a
+# list to one canonical entry.  All are idempotent and associative, so a
+# part may hold any mix of raw chunk contributions and earlier collapses —
+# the scan itself never sorts what the aggregator will sort again.
+
+#: collapse a part back to its canonical aggregate once this many raw
+#: chunk contributions pile up — bounds accumulator memory on long scans
+#: while keeping the common few-chunk case down to a single sort per part
+_COLLAPSE_EVERY = 64
+
+
+def _cat(arrays: list[np.ndarray]) -> np.ndarray:
+    return arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+
+
+def _agg_counts(parts: list, ncols: int = 1) -> tuple:
+    if not parts:
+        e = np.empty(0, dtype=np.int64)
+        return (e,) + tuple(e.copy() for _ in range(ncols))
+    keys = _cat([p[0] for p in parts])
+    order = np.argsort(keys, kind="stable")
+    ks = keys[order]
+    starts = _group_starts(ks)
+    out = tuple(
+        np.add.reduceat(_cat([p[i + 1] for p in parts])[order], starts)
+        for i in range(ncols)
+    )
+    return (ks[starts],) + out
+
+
+def _agg_counts3(parts: list) -> tuple:
+    return _agg_counts(parts, ncols=3)
+
+
+def _agg_reduce(parts: list, ufunc) -> tuple:
+    if not parts:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+    keys = _cat([p[0] for p in parts])
+    vals = _cat([p[1] for p in parts])
+    order = np.argsort(keys, kind="stable")
+    ks = keys[order]
+    starts = _group_starts(ks)
+    return ks[starts], ufunc.reduceat(vals[order], starts)
+
+
+def _agg_min(parts: list) -> tuple:
+    return _agg_reduce(parts, np.minimum)
+
+
+def _agg_max(parts: list) -> tuple:
+    return _agg_reduce(parts, np.maximum)
+
+
+def _agg_first(parts: list) -> tuple:
+    """Per key, the value from its earliest appearance (parts are kept in
+    chunk order, so concatenation order is stream order)."""
+    if not parts:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy()
+    keys = _cat([p[0] for p in parts])
+    vals = _cat([p[1] for p in parts])
+    uk, idx = np.unique(keys, return_index=True)
+    return uk, vals[idx]
+
+
+def _agg_unique(parts: list) -> np.ndarray:
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(_cat(parts))
+
+
+def _agg_pairs(parts: list) -> tuple:
+    if not parts:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy()
+    return _dedupe_pairs(_cat([p[0] for p in parts]), _cat([p[1] for p in parts]))
+
+
+def _agg_runs(parts: list) -> tuple:
+    if not parts:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy(), e.copy()
+    return _union_runs(
+        _cat([p[0] for p in parts]),
+        _cat([p[1] for p in parts]),
+        _cat([p[2] for p in parts]),
+    )
+
+
+_PART_AGGS = {
+    "events": _agg_counts,          # (file, event count)
+    "opens": _agg_counts,           # (file, open count)
+    "mode_counts": _agg_counts,     # (mode, open count)
+    "first_mode": _agg_first,       # (file, mode of first OPEN)
+    "open_pairs": _agg_unique,      # packed (job, file)
+    "read_sizes": _agg_counts,      # (size, count)
+    "write_sizes": _agg_counts,
+    "read_files": _agg_unique,
+    "written_files": _agg_unique,
+    "size_pairs": _agg_pairs,       # (file, request size)
+    "interval_pairs": _agg_pairs,   # (file, interval)
+    "trans": _agg_counts3,          # (file, transitions, sequential, consecutive)
+    "node_open": _agg_min,          # (packed (file, node), first open time)
+    "node_close": _agg_max,         # (packed (file, node), last close time)
+    "job_open": _agg_min,
+    "job_close": _agg_max,
+    "byte_runs": _agg_runs,         # (packed (file, node), start, end)
+    "block_runs": _agg_runs,
+}
 
 
 class ChunkAccumulator:
-    """Mergeable partial state of every chunk-decomposable analysis.
+    """Mergeable partial state of *every* characterization family.
 
     ``update`` folds in one chunk; ``merge`` combines two accumulators
-    covering *adjacent* chunk ranges (left before right).  Plain dicts,
-    sets and ints throughout, so instances pickle cheaply across the
-    worker pool.
+    covering *adjacent* chunk ranges (left before right).  State is
+    numpy arrays throughout — per-chunk contributions are appended to
+    part lists and collapsed lazily (:meth:`part`), so the scan runs no
+    per-group Python loops and instances pickle compactly across the
+    worker pool after :meth:`compact`.
+
+    ``collect_spans`` gates the sharing/interjob state (open/close span
+    extrema and byte/block interval unions); the windowed engine turns
+    it off because it recomputes sharing from sub-frames.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, collect_spans: bool = True) -> None:
+        self.collect_spans = collect_spans
         self.n_events = 0
         self.n_opens = 0
         self.n_transfers = 0
         self.bytes_read = 0
         self.bytes_written = 0
-        # histograms / per-entity counts
-        self.opens_per_mode: dict[int, int] = {}
-        self.opens_per_file: dict[int, int] = {}
-        self.file_event_counts: dict[int, int] = {}
-        self.read_size_counts: dict[int, int] = {}
-        self.write_size_counts: dict[int, int] = {}
-        self.first_mode: dict[int, int] = {}  # file -> mode of first OPEN
-        # file -> [transitions, sequential, consecutive]
-        self.trans: dict[int, list[int]] = {}
-        # membership sets
-        self.seen_files: set[int] = set()
-        self.read_files: set[int] = set()
-        self.written_files: set[int] = set()
-        self.open_pairs: set[tuple[int, int]] = set()      # (job, file)
-        self.size_pairs: set[tuple[int, int]] = set()      # (file, size)
-        self.interval_pairs: set[tuple[int, int]] = set()  # (file, interval)
+        self._parts: dict[str, list] = {name: [] for name in _PART_AGGS}
+        # id of a part's entry when the list is exactly its own collapsed
+        # aggregate — lets part() skip redundant re-aggregation
+        self._agg_ids: dict[str, int] = {}
         # sequentiality boundary state, keyed by packed (file, node):
-        # carry = (last offset, last end) seen so far; boundary_first =
+        # carry = (last offset, last end) seen so far; boundary-first =
         # (file, first offset) awaiting a *preceding* request at merge time
-        self.carry: dict[int, tuple[int, int]] = {}
-        self.boundary_first: dict[int, tuple[int, int]] = {}
+        e = np.empty(0, dtype=np.int64)
+        self._carry_keys, self._carry_off, self._carry_end = e, e.copy(), e.copy()
+        self._bf_keys, self._bf_file, self._bf_off = e.copy(), e.copy(), e.copy()
+
+    # -- aggregated views ----------------------------------------------------
+
+    def part(self, name: str):
+        """The canonical aggregate of one deferred part (cached)."""
+        parts = self._parts[name]
+        if len(parts) == 1 and self._agg_ids.get(name) == id(parts[0]):
+            return parts[0]
+        agg = _PART_AGGS[name](parts)
+        self._parts[name] = [agg]
+        self._agg_ids[name] = id(agg)
+        return agg
+
+    def compact(self, runs: bool = True) -> "ChunkAccumulator":
+        """Collapse every part to its canonical aggregate (bounds the
+        pickle size shipped back from pool workers).  ``runs=False``
+        leaves the byte/block run parts raw — the serial path skips
+        their union entirely because the sharing finalizer re-unions
+        only the candidate files' rows.  Returns self."""
+        for name in _PART_AGGS:
+            if not runs and name in ("byte_runs", "block_runs"):
+                continue
+            if self._parts[name]:
+                self.part(name)
+        return self
 
     # -- folding in one chunk ------------------------------------------------
 
@@ -122,66 +371,55 @@ class ChunkAccumulator:
 
         valid = files64 != NO_VALUE
         if valid.any():
-            vf, vc = np.unique(files64[valid], return_counts=True)
-            self.seen_files.update(vf.tolist())
-            get = self.file_event_counts.get
-            for fid, c in zip(vf.tolist(), vc.tolist()):
-                self.file_event_counts[fid] = get(fid, 0) + c
+            vf = files64[valid]
+            self._parts["events"].append((vf, np.ones(len(vf), dtype=np.int64)))
 
-        self._update_opens(events[kind == _OPEN])
+        opens = events[kind == _OPEN]
+        if len(opens):
+            self._update_opens(opens)
         read_mask = kind == _READ
         write_mask = kind == _WRITE
-        self._update_sizes(events, read_mask, self.read_size_counts,
-                           self.read_files, "bytes_read")
-        self._update_sizes(events, write_mask, self.write_size_counts,
-                           self.written_files, "bytes_written")
+        self._update_sizes(events, read_mask, "read_sizes", "read_files",
+                           "bytes_read")
+        self._update_sizes(events, write_mask, "write_sizes", "written_files",
+                           "bytes_written")
         tmask = read_mask | write_mask
         if tmask.any():
             self._update_transfers(events[tmask])
+        if self.collect_spans:
+            self._update_spans(opens, events[kind == _CLOSE])
+        for name, parts in self._parts.items():
+            if len(parts) >= _COLLAPSE_EVERY:
+                self.part(name)
 
     def _update_opens(self, opens: np.ndarray) -> None:
-        if len(opens) == 0:
-            return
         self.n_opens += len(opens)
-        modes, mode_counts = np.unique(opens["mode"].astype(np.int64),
-                                       return_counts=True)
-        for m, c in zip(modes.tolist(), mode_counts.tolist()):
-            self.opens_per_mode[m] = self.opens_per_mode.get(m, 0) + c
         of = opens["file"].astype(np.int64)
-        uniq, counts = np.unique(of, return_counts=True)
-        for fid, c in zip(uniq.tolist(), counts.tolist()):
-            self.opens_per_file[fid] = self.opens_per_file.get(fid, 0) + c
-        self.open_pairs.update(
-            zip(opens["job"].astype(np.int64).tolist(), of.tolist())
+        modes = opens["mode"].astype(np.int64)
+        ones = np.ones(len(of), dtype=np.int64)
+        self._parts["mode_counts"].append((modes, ones))
+        self._parts["opens"].append((of, ones))
+        # raw chunk order *is* stream order, which _agg_first relies on
+        self._parts["first_mode"].append((of, modes))
+        self._parts["open_pairs"].append(
+            _pack_pair(opens["job"].astype(np.int64), of)
         )
-        order = np.argsort(of, kind="stable")
-        sorted_files = of[order]
-        starts = np.flatnonzero(
-            np.concatenate(([True], sorted_files[1:] != sorted_files[:-1]))
-        )
-        first_rows = order[starts]
-        for fid, mode in zip(
-            sorted_files[starts].tolist(),
-            opens["mode"][first_rows].astype(np.int64).tolist(),
-        ):
-            if fid not in self.first_mode:
-                self.first_mode[fid] = mode
 
-    def _update_sizes(self, events, mask, size_counts, file_set, bytes_attr):
+    def _update_sizes(self, events, mask, size_part, file_part, bytes_attr):
         if not mask.any():
             return
         sizes = events["size"][mask].astype(np.int64)
         setattr(self, bytes_attr, getattr(self, bytes_attr) + int(sizes.sum()))
-        uniq, counts = np.unique(sizes, return_counts=True)
-        for v, c in zip(uniq.tolist(), counts.tolist()):
-            size_counts[v] = size_counts.get(v, 0) + c
-        file_set.update(np.unique(events["file"][mask]).astype(np.int64).tolist())
+        self._parts[size_part].append(
+            (sizes, np.ones(len(sizes), dtype=np.int64))
+        )
+        self._parts[file_part].append(events["file"][mask].astype(np.int64))
 
     def _update_transfers(self, tr: np.ndarray) -> None:
         files = tr["file"].astype(np.int64)
         sizes = tr["size"].astype(np.int64)
         self.n_transfers += len(tr)
-        self.size_pairs.update(zip(files.tolist(), sizes.tolist()))
+        self._parts["size_pairs"].append((files, sizes))
 
         # group by (file, node); the stable sort keeps time order within
         # groups, matching the index's lexsort((node, file)) view
@@ -192,7 +430,8 @@ class ChunkAccumulator:
         end = off + sizes[order]
         grp_files = files[order]
         m = len(keys)
-        starts = np.flatnonzero(np.concatenate(([True], keys[1:] != keys[:-1])))
+        starts = _group_starts(keys)
+        gend = np.append(starts[1:], m)
         same = np.ones(m, dtype=bool)
         same[starts] = False
         prev_off = np.empty(m, dtype=np.int64)
@@ -202,43 +441,88 @@ class ChunkAccumulator:
 
         # stitch each group's first request to the carry from earlier
         # chunks (or queue it for merge-time stitching)
-        start_list = starts.tolist()
-        group_ends = start_list[1:] + [m]
-        for gstart, gend in zip(start_list, group_ends):
-            k = int(keys[gstart])
-            carried = self.carry.get(k)
-            if carried is not None:
-                prev_off[gstart], prev_end[gstart] = carried
-                same[gstart] = True
-            elif k not in self.boundary_first:
-                self.boundary_first[k] = (int(grp_files[gstart]), int(off[gstart]))
-            self.carry[k] = (int(off[gend - 1]), int(end[gend - 1]))
+        gkeys = keys[starts]
+        found = _in_sorted(self._carry_keys, gkeys)
+        if found.any():
+            pos = np.searchsorted(self._carry_keys, gkeys[found])
+            hit_rows = starts[found]
+            prev_off[hit_rows] = self._carry_off[pos]
+            prev_end[hit_rows] = self._carry_end[pos]
+            same[hit_rows] = True
+        fresh = ~found
+        if fresh.any():
+            cand = gkeys[fresh]
+            new = ~_in_sorted(self._bf_keys, cand)
+            if new.any():
+                rows = starts[fresh][new]
+                self._insert_boundary_first(cand[new], grp_files[rows], off[rows])
+        lasts = gend - 1
+        self._set_carry(gkeys, off[lasts], end[lasts])
 
         seq = same & (off > prev_off)
         con = same & (off == prev_end)
         if same.any():
-            self.interval_pairs.update(
-                zip(grp_files[same].tolist(), (off - prev_end)[same].tolist())
+            self._parts["interval_pairs"].append(
+                (grp_files[same], (off - prev_end)[same])
             )
         # per-file transition counts: keys are file-major, so file groups
         # are contiguous in the same sorted view
-        fstarts = np.flatnonzero(
-            np.concatenate(([True], grp_files[1:] != grp_files[:-1]))
-        )
-        n_trans = np.add.reduceat(same.astype(np.int64), fstarts)
-        n_seq = np.add.reduceat(seq.astype(np.int64), fstarts)
-        n_con = np.add.reduceat(con.astype(np.int64), fstarts)
-        for fid, t, s, c in zip(
-            grp_files[fstarts].tolist(), n_trans.tolist(),
-            n_seq.tolist(), n_con.tolist(),
+        fstarts = _group_starts(grp_files)
+        self._parts["trans"].append((
+            grp_files[fstarts],
+            np.add.reduceat(same.astype(np.int64), fstarts),
+            np.add.reduceat(seq.astype(np.int64), fstarts),
+            np.add.reduceat(con.astype(np.int64), fstarts),
+        ))
+
+        if self.collect_spans:
+            keep = end > off  # zero-size transfers touch no bytes
+            if keep.any():
+                nodes = tr["node"].astype(np.int64)[order][keep]
+                rk = _pack_pair(grp_files[keep], nodes)
+                s, e = off[keep], end[keep]
+                self._parts["byte_runs"].append((rk, s, e))
+                blk_s = (s // BLOCK_SIZE) * BLOCK_SIZE
+                blk_e = -(-e // BLOCK_SIZE) * BLOCK_SIZE
+                self._parts["block_runs"].append((rk, blk_s, blk_e))
+
+    def _update_spans(self, opens: np.ndarray, closes: np.ndarray) -> None:
+        for ev, key_field, part in (
+            (opens, "node", "node_open"),
+            (opens, "job", "job_open"),
+            (closes, "node", "node_close"),
+            (closes, "job", "job_close"),
         ):
-            row = self.trans.get(fid)
-            if row is None:
-                self.trans[fid] = [t, s, c]
-            else:
-                row[0] += t
-                row[1] += s
-                row[2] += c
+            if len(ev) == 0:
+                continue
+            k = _pack_pair(
+                ev["file"].astype(np.int64), ev[key_field].astype(np.int64)
+            )
+            self._parts[part].append((k, np.ascontiguousarray(ev["time"])))
+
+    # -- seam state ----------------------------------------------------------
+
+    def _set_carry(self, keys, off, end) -> None:
+        """Overwrite the carried last request per group (new wins)."""
+        if len(self._carry_keys):
+            keep = ~_in_sorted(keys, self._carry_keys)
+            keys = np.concatenate([self._carry_keys[keep], keys])
+            off = np.concatenate([self._carry_off[keep], off])
+            end = np.concatenate([self._carry_end[keep], end])
+            order = np.argsort(keys, kind="stable")
+            keys, off, end = keys[order], off[order], end[order]
+        self._carry_keys, self._carry_off, self._carry_end = keys, off, end
+
+    def _insert_boundary_first(self, keys, file_ids, off) -> None:
+        """Record groups still awaiting a preceding request (first wins;
+        callers pass only keys not yet present)."""
+        keys = np.concatenate([self._bf_keys, keys])
+        file_ids = np.concatenate([self._bf_file, file_ids])
+        off = np.concatenate([self._bf_off, off])
+        order = np.argsort(keys, kind="stable")
+        self._bf_keys = keys[order]
+        self._bf_file = file_ids[order]
+        self._bf_off = off[order]
 
     # -- combining adjacent ranges -------------------------------------------
 
@@ -249,56 +533,90 @@ class ChunkAccumulator:
         self.n_transfers += other.n_transfers
         self.bytes_read += other.bytes_read
         self.bytes_written += other.bytes_written
-        for mine, theirs in (
-            (self.opens_per_mode, other.opens_per_mode),
-            (self.opens_per_file, other.opens_per_file),
-            (self.file_event_counts, other.file_event_counts),
-            (self.read_size_counts, other.read_size_counts),
-            (self.write_size_counts, other.write_size_counts),
-        ):
-            for k, v in theirs.items():
-                mine[k] = mine.get(k, 0) + v
-        self.seen_files |= other.seen_files
-        self.read_files |= other.read_files
-        self.written_files |= other.written_files
-        self.open_pairs |= other.open_pairs
-        self.size_pairs |= other.size_pairs
-        self.interval_pairs |= other.interval_pairs
-        for fid, mode in other.first_mode.items():
-            if fid not in self.first_mode:
-                self.first_mode[fid] = mode
         # resolve the transitions that straddle the seam: other's first
         # request of a group follows self's carried last request
-        for k, (fid, first_off) in other.boundary_first.items():
-            carried = self.carry.get(k)
-            if carried is not None:
-                last_off, last_end = carried
-                row = self.trans.get(fid)
-                if row is None:
-                    row = self.trans[fid] = [0, 0, 0]
-                row[0] += 1
-                if first_off > last_off:
-                    row[1] += 1
-                if first_off == last_end:
-                    row[2] += 1
-                self.interval_pairs.add((fid, first_off - last_end))
-            elif k not in self.boundary_first:
-                self.boundary_first[k] = (fid, first_off)
-        self.carry.update(other.carry)
-        for fid, (t, s, c) in other.trans.items():
-            row = self.trans.get(fid)
-            if row is None:
-                self.trans[fid] = [t, s, c]
-            else:
-                row[0] += t
-                row[1] += s
-                row[2] += c
+        if len(other._bf_keys):
+            found = _in_sorted(self._carry_keys, other._bf_keys)
+            if found.any():
+                pos = np.searchsorted(self._carry_keys, other._bf_keys[found])
+                fid = other._bf_file[found]
+                first_off = other._bf_off[found]
+                last_off = self._carry_off[pos]
+                last_end = self._carry_end[pos]
+                ones = np.ones(len(fid), dtype=np.int64)
+                self._parts["trans"].append((
+                    fid,
+                    ones,
+                    (first_off > last_off).astype(np.int64),
+                    (first_off == last_end).astype(np.int64),
+                ))
+                self._parts["interval_pairs"].append(
+                    _dedupe_pairs(fid, first_off - last_end)
+                )
+            pending = ~found
+            if pending.any():
+                cand = other._bf_keys[pending]
+                new = ~_in_sorted(self._bf_keys, cand)
+                if new.any():
+                    self._insert_boundary_first(
+                        cand[new],
+                        other._bf_file[pending][new],
+                        other._bf_off[pending][new],
+                    )
+        if len(other._carry_keys):
+            self._set_carry(
+                other._carry_keys, other._carry_off, other._carry_end
+            )
+        for name, parts in other._parts.items():
+            self._parts[name].extend(parts)
 
 
-def _scan_chunks(source: TraceSource, lo: int, hi: int) -> ChunkAccumulator:
-    acc = ChunkAccumulator()
+def _scan_chunks(
+    source: TraceSource,
+    lo: int,
+    hi: int,
+    collect_spans: bool = True,
+    compact_runs: bool = True,
+) -> ChunkAccumulator:
+    t0 = time.perf_counter()
+    acc = ChunkAccumulator(collect_spans=collect_spans)
     for i in range(lo, hi):
         acc.update(source.chunk(i))
+    acc.compact(runs=compact_runs)
+    if obs.enabled():
+        obs.add("fused.chunks", hi - lo)
+        obs.add("fused.events", acc.n_events)
+        obs.hist("fused.scan_seconds", time.perf_counter() - t0)
+    return acc
+
+
+def _scan_parallel(
+    source: TraceSource, workers: int | None, collect_spans: bool
+) -> ChunkAccumulator:
+    """Partition the chunks into contiguous ranges, scan them (in
+    parallel when asked), and merge left to right — the deterministic
+    merge order that keeps parallel output byte-identical to serial."""
+    n_chunks = source.n_chunks
+    n_ranges = max(1, min(n_chunks, workers or 1))
+    bounds = np.linspace(0, n_chunks, n_ranges + 1).astype(int)
+    names = [
+        f"scan[{int(bounds[i])}:{int(bounds[i + 1])})" for i in range(n_ranges)
+    ]
+    tasks = {
+        name: partial(_scan_chunks, lo=int(bounds[i]), hi=int(bounds[i + 1]),
+                      collect_spans=collect_spans,
+                      # with one range the result never crosses a process
+                      # boundary, so the run union can wait for finalize
+                      compact_runs=n_ranges > 1)
+        for i, name in enumerate(names)
+    }
+    partials = map_tasks(tasks, source, workers)
+    acc = partials[names[0]]
+    if len(names) > 1:
+        t0 = time.perf_counter()
+        for name in names[1:]:
+            acc.merge(partials[name])
+        obs.hist("fused.merge_seconds", time.perf_counter() - t0)
     return acc
 
 
@@ -312,8 +630,8 @@ def _file_windows(acc: ChunkAccumulator, window_events: int) -> list[tuple[int, 
     lo = None
     hi = None
     budget = 0
-    for fid in sorted(acc.file_event_counts):
-        count = acc.file_event_counts[fid]
+    files, counts = acc.part("events")
+    for fid, count in zip(files.tolist(), counts.tolist()):
         if lo is not None and budget + count > window_events and budget > 0:
             windows.append((lo, hi))
             lo = None
@@ -383,22 +701,30 @@ def _finalize_basics(source: TraceSource, acc: ChunkAccumulator) -> dict:
 
     if acc.n_opens == 0:
         raise AnalysisError("no OPEN events in trace")
-    per_job: dict[int, int] = {}
-    for job, _fid in acc.open_pairs:
-        per_job[job] = per_job.get(job, 0) + 1
-    files_per_job = files_per_job_from_counts(per_job.values())
+    open_pairs = acc.part("open_pairs")
+    _jobs, per_job = np.unique(open_pairs >> np.int64(32), return_counts=True)
+    files_per_job = files_per_job_from_counts(per_job.tolist())
 
-    if not acc.seen_files:
+    seen_files, _counts = acc.part("events")
+    if len(seen_files) == 0:
         raise AnalysisError("no file events in trace")
-    read_write = acc.read_files & acc.written_files
-    n_files = len(acc.seen_files)
-    read_only = len(acc.read_files) - len(read_write)
-    write_only = len(acc.written_files) - len(read_write)
+    read_files = acc.part("read_files")
+    written_files = acc.part("written_files")
+    read_write = np.intersect1d(read_files, written_files, assume_unique=True)
+    n_files = len(seen_files)
+    read_only = len(read_files) - len(read_write)
+    write_only = len(written_files) - len(read_write)
     untouched = n_files - read_only - write_only - len(read_write)
 
     table = source.files.data
-    temp_ids = set(table["file"][source.files.temporary].tolist())
-    temp_opens = sum(acc.opens_per_file.get(fid, 0) for fid in temp_ids)
+    temp_ids = np.unique(
+        table["file"][source.files.temporary].astype(np.int64)
+    )
+    open_files, open_counts = acc.part("opens")
+    have = _in_sorted(open_files, temp_ids)
+    temp_opens = int(
+        open_counts[np.searchsorted(open_files, temp_ids[have])].sum()
+    )
     population = FilePopulation(
         n_files=n_files,
         n_opens=acc.n_opens,
@@ -415,24 +741,24 @@ def _finalize_basics(source: TraceSource, acc: ChunkAccumulator) -> dict:
         obs.add("core.filestats.files", n_files)
         obs.add("core.filestats.opens", acc.n_opens)
 
-    touched = np.asarray(sorted(acc.read_files | acc.written_files),
-                         dtype=np.int64)
+    touched = np.union1d(read_files, written_files).astype(np.int64)
     size_cdf = size_cdf_from_table(table, touched)
 
-    reads = _size_summary(acc.read_size_counts, "read")
-    writes = _size_summary(acc.write_size_counts, "write")
+    reads = _size_summary(acc, "read_sizes", "read")
+    writes = _size_summary(acc, "write_sizes", "write")
 
-    first_modes, file_mode_counts = np.unique(
-        np.asarray(list(acc.first_mode.values()), dtype=np.int64),
-        return_counts=True,
-    )
+    _files, fm_modes = acc.part("first_mode")
+    first_modes, file_mode_counts = np.unique(fm_modes, return_counts=True)
+    mode_keys, mode_opens = acc.part("mode_counts")
     modes = ModeUsage(
         files_per_mode={
             int(m): int(c)
             for m, c in zip(first_modes.tolist(), file_mode_counts.tolist())
         },
-        opens_per_mode={m: acc.opens_per_mode[m]
-                        for m in sorted(acc.opens_per_mode)},
+        opens_per_mode={
+            int(m): int(c)
+            for m, c in zip(mode_keys.tolist(), mode_opens.tolist())
+        },
     )
     if obs.enabled():
         obs.add("core.modes.opens", acc.n_opens)
@@ -449,33 +775,34 @@ def _finalize_basics(source: TraceSource, acc: ChunkAccumulator) -> dict:
     }
 
 
-def _size_summary(size_counts: dict[int, int], kind_name: str):
-    values = np.asarray(sorted(size_counts), dtype=np.int64)
-    counts = np.asarray([size_counts[v] for v in values.tolist()],
-                        dtype=np.int64)
+def _size_summary(acc: ChunkAccumulator, part: str, kind_name: str):
+    values, counts = acc.part(part)
     if obs.enabled() and len(values):
         obs.add(f"core.requests.{kind_name}s", int(counts.sum()))
     return summary_from_size_counts(kind_name, values, counts)
 
 
+def _labels_for(acc: ChunkAccumulator, file_ids: np.ndarray) -> list[str]:
+    r = _in_sorted(acc.part("read_files"), file_ids)
+    w = _in_sorted(acc.part("written_files"), file_ids)
+    return np.where(
+        r & w, "rw", np.where(r, "ro", np.where(w, "wo", "untouched"))
+    ).tolist()
+
+
 def _finalize_regularity(acc: ChunkAccumulator):
     if acc.n_transfers == 0:
         return None, "sequentiality skipped: no transfers in trace"
-    items = [
-        (fid, row[0], row[1], row[2])
-        for fid, row in sorted(acc.trans.items())
-        if row[0] > 0
-    ]
-    if not items:
+    files, n_trans, n_seq, n_con = acc.part("trans")
+    keep = n_trans > 0
+    if not keep.any():
         return (
             None,
             "sequentiality skipped: no file has more than one request per node",
         )
-    file_ids = np.asarray([it[0] for it in items], dtype=np.int64)
-    n_trans = np.asarray([it[1] for it in items], dtype=np.int64)
-    n_seq = np.asarray([it[2] for it in items], dtype=np.int64)
-    n_con = np.asarray([it[3] for it in items], dtype=np.int64)
-    labels = [_label(acc, int(fid)) for fid in file_ids.tolist()]
+    file_ids = files[keep]
+    n_trans, n_seq, n_con = n_trans[keep], n_seq[keep], n_con[keep]
+    labels = _labels_for(acc, file_ids)
     if obs.enabled():
         obs.add("core.sequentiality.files", len(file_ids))
         obs.add("core.sequentiality.transitions", int(n_trans.sum()))
@@ -491,37 +818,151 @@ def _finalize_regularity(acc: ChunkAccumulator):
     )
 
 
-def _label(acc: ChunkAccumulator, fid: int) -> str:
-    was_read = fid in acc.read_files
-    was_written = fid in acc.written_files
-    if was_read and was_written:
-        return "rw"
-    if was_read:
-        return "ro"
-    if was_written:
-        return "wo"
-    return "untouched"
-
-
 def _finalize_tables(acc: ChunkAccumulator) -> tuple[dict, dict]:
-    if not acc.seen_files:
+    seen, _counts = acc.part("events")
+    if len(seen) == 0:
         raise AnalysisError("no file events in trace")
 
-    def table_from(pairs: set[tuple[int, int]]) -> dict[str, int]:
-        per_file = dict.fromkeys(acc.seen_files, 0)
-        for fid, _value in pairs:
-            per_file[fid] += 1
-        return bucket_counts(per_file.values(), cap=4)
+    def table_from(pair_files: np.ndarray) -> dict[str, int]:
+        # every pair file is a seen file, so this bincount reproduces
+        # bucket_counts(per-file distinct counts, cap=4) exactly
+        per_file = np.bincount(
+            np.searchsorted(seen, pair_files), minlength=len(seen)
+        )
+        binned = np.bincount(np.minimum(per_file, 4), minlength=5)
+        table = {str(i): int(binned[i]) for i in range(4)}
+        table["4+"] = int(binned[4])
+        return table
 
-    intervals = table_from(acc.interval_pairs)
-    request_sizes = table_from(acc.size_pairs)
+    intervals = table_from(acc.part("interval_pairs")[0])
+    request_sizes = table_from(acc.part("size_pairs")[0])
     if obs.enabled():
         obs.add("core.intervals.files", sum(intervals.values()))
         obs.add("core.intervals.request_size_files", sum(request_sizes.values()))
     return intervals, request_sizes
 
 
-def _finalize_sharing(acc: ChunkAccumulator, window_results: list[dict]):
+# -- fused sharing/interjob finalizers ---------------------------------------
+
+
+def _span_stats(acc: ChunkAccumulator, open_part: str, close_part: str):
+    """(# multi-window files, concurrent file ids) from fused span state.
+
+    Reproduces :meth:`repro.trace.index.TraceIndex._span_table` exactly:
+    rows are per-(file, key) windows [min open time, max close time],
+    clamped below by the open time, in packed-key order; the concurrency
+    sweep is the same lexsort + adjacent-overlap cummax.
+    """
+    open_keys, t0 = acc.part(open_part)
+    close_keys, close_t1 = acc.part(close_part)
+    t1 = t0.copy()
+    if len(close_keys) and len(open_keys):
+        pos = np.searchsorted(open_keys, close_keys)
+        ok = pos < len(open_keys)
+        ok &= open_keys[np.minimum(pos, len(open_keys) - 1)] == close_keys
+        t1[pos[ok]] = close_t1[ok]
+    t1 = np.maximum(t0, t1)
+    file = open_keys >> np.int64(32)
+
+    starts = _group_starts(file)
+    widths = np.diff(np.append(starts, len(file)))
+    multi = int((widths >= 2).sum())
+
+    if len(file) < 2:
+        return multi, np.empty(0, dtype=np.int64)
+    order = np.lexsort((t1, t0, file))
+    f = file[order]
+    a0, a1 = t0[order], t1[order]
+    same = f[1:] == f[:-1]
+    hit = same & (a0[1:] <= a1[:-1])
+    return multi, np.unique(f[1:][hit]).astype(np.int64)
+
+
+def _candidate_runs(acc: ChunkAccumulator, name: str, candidates: np.ndarray):
+    """Canonical interval union of one runs part, restricted to the
+    candidate files (sorted ascending).  Operates on the raw per-chunk
+    contributions so the union's lexsort only ever sees candidate rows —
+    and stays byte-identical because the union is one-shot either way."""
+    parts = acc._parts[name]
+    if not parts:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy(), e.copy()
+    k = _cat([p[0] for p in parts])
+    s = _cat([p[1] for p in parts])
+    e_ = _cat([p[2] for p in parts])
+    mask = _in_sorted(candidates, k >> np.int64(32))
+    return _union_runs(k[mask], s[mask], e_[mask])
+
+
+def _finalize_sharing_fused(acc: ChunkAccumulator):
+    if acc.n_opens == 0:
+        return None, "sharing skipped: no OPEN events in trace", 0, 0
+    interjob_shared, job_concurrent = _span_stats(acc, "job_open", "job_close")
+    interjob_concurrent = len(job_concurrent)
+    _multi, candidates = _span_stats(acc, "node_open", "node_close")
+    if len(candidates) == 0:
+        return (
+            None,
+            "sharing skipped: no concurrently multi-node-opened files in trace",
+            interjob_shared,
+            interjob_concurrent,
+        )
+
+    # union only the candidates' transfers: the full-trace union is the
+    # scan's single most expensive sort, and non-candidate files never
+    # contribute to the sharing table
+    bk, bs, be = _candidate_runs(acc, "byte_runs", candidates)
+    gk, gs, ge = _candidate_runs(acc, "block_runs", candidates)
+    bfile = bk >> np.int64(32)
+    gfile = gk >> np.int64(32)
+    b_lo = np.searchsorted(bfile, candidates, side="left")
+    b_hi = np.searchsorted(bfile, candidates, side="right")
+    g_lo = np.searchsorted(gfile, candidates, side="left")
+    g_hi = np.searchsorted(gfile, candidates, side="right")
+
+    file_ids: list[int] = []
+    byte_fracs: list[float] = []
+    block_fracs: list[float] = []
+    for fid, a, b, ga, gb in zip(
+        candidates.tolist(), b_lo.tolist(), b_hi.tolist(),
+        g_lo.tolist(), g_hi.tolist(),
+    ):
+        if b <= a:
+            continue  # opened by many nodes but never accessed
+        keys = bk[a:b]
+        n_nodes = 1 + int((keys[1:] != keys[:-1]).sum())
+        if n_nodes < 2:
+            # concurrently opened by several nodes but accessed by one
+            byte_fracs.append(0.0)
+            block_fracs.append(0.0)
+        else:
+            nodes = (keys & _LOW) - _HALF
+            byte_fracs.append(_overlap_fraction(bs[a:b], be[a:b], nodes))
+            gkeys = gk[ga:gb]
+            gnodes = (gkeys & _LOW) - _HALF
+            block_fracs.append(_overlap_fraction(gs[ga:gb], ge[ga:gb], gnodes))
+        file_ids.append(fid)
+
+    if not file_ids:
+        return (
+            None,
+            "sharing skipped: no accessed multi-node files in trace",
+            interjob_shared,
+            interjob_concurrent,
+        )
+    if obs.enabled():
+        obs.add("core.sharing.candidate_files", len(candidates))
+        obs.add("core.sharing.files", len(file_ids))
+    sharing = SharingResult(
+        file_ids=np.asarray(file_ids, dtype=np.int64),
+        byte_shared=np.asarray(byte_fracs),
+        block_shared=np.asarray(block_fracs),
+        labels=_labels_for(acc, np.asarray(file_ids, dtype=np.int64)),
+    )
+    return sharing, None, interjob_shared, interjob_concurrent
+
+
+def _finalize_sharing_windowed(acc: ChunkAccumulator, window_results: list[dict]):
     if acc.n_opens == 0:
         return None, "sharing skipped: no OPEN events in trace", 0, 0
     interjob_shared = sum(w["interjob_shared"] for w in window_results)
@@ -551,58 +992,12 @@ def _finalize_sharing(acc: ChunkAccumulator, window_results: list[dict]):
     return sharing, None, interjob_shared, interjob_concurrent
 
 
-# -- the entry point ---------------------------------------------------------
+# -- the entry points ---------------------------------------------------------
 
 
-def characterize_streaming(
-    source: TraceSource,
-    workers: int | None = None,
-    window_events: int | None = None,
-) -> WorkloadReport:
-    """The full §4 characterization from a chunked source, out-of-core.
-
-    Byte-identical to ``characterize(source.frame())`` — enforced by
-    ``tests/test_equivalence.py`` — while holding at most a few chunks
-    plus one file window in memory.  ``window_events`` bounds the size of
-    each sharing-analysis window (default: four chunks' worth).
-    """
-    if window_events is None:
-        window_events = max(4 * source.chunk_size, 1)
-
-    with obs.span("core/characterize_streaming"):
-        with obs.span("core/characterize_streaming/scan"):
-            n_chunks = source.n_chunks
-            n_ranges = max(1, min(n_chunks, workers or 1))
-            bounds = np.linspace(0, n_chunks, n_ranges + 1).astype(int)
-            tasks = {
-                f"scan/{i}": partial(_scan_chunks, lo=int(bounds[i]),
-                                     hi=int(bounds[i + 1]))
-                for i in range(n_ranges)
-            }
-            partials = map_tasks(tasks, source, workers)
-            acc = partials["scan/0"]
-            for i in range(1, n_ranges):
-                acc.merge(partials[f"scan/{i}"])
-
-        basics = _finalize_basics(source, acc)
-        regularity, reg_note = _finalize_regularity(acc)
-        intervals, request_sizes = _finalize_tables(acc)
-
-        with obs.span("core/characterize_streaming/windows"):
-            windows = _file_windows(acc, window_events)
-            window_tasks = {
-                f"window/{i}": partial(_window_task, lo=lo, hi=hi)
-                for i, (lo, hi) in enumerate(windows)
-            }
-            if windows:
-                done = map_tasks(window_tasks, source, workers)
-                window_results = [done[f"window/{i}"] for i in range(len(windows))]
-            else:
-                window_results = []
-        sharing, sharing_note, interjob_shared, interjob_concurrent = (
-            _finalize_sharing(acc, window_results)
-        )
-
+def _build_report(source, acc, basics, regularity, reg_note,
+                  intervals, request_sizes, sharing, sharing_note,
+                  interjob_shared, interjob_concurrent) -> WorkloadReport:
     if obs.enabled():
         obs.add("core.characterizations")
         obs.add("core.characterize.events", source.n_events)
@@ -624,3 +1019,74 @@ def characterize_streaming(
         interjob_concurrent=interjob_concurrent,
         notes=notes,
     )
+
+
+def characterize_streaming(
+    source: TraceSource,
+    workers: int | None = None,
+    window_events: int | None = None,
+    engine: str = "fused",
+) -> WorkloadReport:
+    """The full §4 characterization from a chunked source, out-of-core.
+
+    Byte-identical to the index-backed ``characterize(source.frame(),
+    engine="indexed")`` — enforced by ``tests/test_equivalence.py`` —
+    while holding at most a few chunks of state in memory.
+
+    ``engine`` selects how the cross-chunk sharing/interjob families are
+    computed: ``"fused"`` (default) folds them into the single chunk
+    walk, so every event is touched exactly once; ``"windowed"`` re-
+    streams the chunks once more, running the index-based analyzers over
+    bounded file-id windows (``window_events`` sets the per-window event
+    budget, default four chunks' worth).
+    """
+    if engine not in STREAM_ENGINES:
+        raise ValueError(
+            f"unknown streaming engine {engine!r}; choose from {STREAM_ENGINES}"
+        )
+    if engine == "fused":
+        with obs.span("core/characterize_fused"):
+            with obs.span("core/characterize_fused/scan"):
+                acc = _scan_parallel(source, workers, collect_spans=True)
+            with obs.span("core/characterize_fused/finalize"):
+                with obs.span("core/characterize_fused/finalize/basics"):
+                    basics = _finalize_basics(source, acc)
+                with obs.span("core/characterize_fused/finalize/regularity"):
+                    regularity, reg_note = _finalize_regularity(acc)
+                with obs.span("core/characterize_fused/finalize/tables"):
+                    intervals, request_sizes = _finalize_tables(acc)
+                with obs.span("core/characterize_fused/finalize/sharing"):
+                    sharing, sharing_note, ij_shared, ij_concurrent = (
+                        _finalize_sharing_fused(acc)
+                    )
+        return _build_report(source, acc, basics, regularity, reg_note,
+                             intervals, request_sizes, sharing, sharing_note,
+                             ij_shared, ij_concurrent)
+
+    if window_events is None:
+        window_events = max(4 * source.chunk_size, 1)
+    with obs.span("core/characterize_streaming"):
+        with obs.span("core/characterize_streaming/scan"):
+            acc = _scan_parallel(source, workers, collect_spans=False)
+
+        basics = _finalize_basics(source, acc)
+        regularity, reg_note = _finalize_regularity(acc)
+        intervals, request_sizes = _finalize_tables(acc)
+
+        with obs.span("core/characterize_streaming/windows"):
+            windows = _file_windows(acc, window_events)
+            window_tasks = {
+                f"window/{i}": partial(_window_task, lo=lo, hi=hi)
+                for i, (lo, hi) in enumerate(windows)
+            }
+            if windows:
+                done = map_tasks(window_tasks, source, workers)
+                window_results = [done[f"window/{i}"] for i in range(len(windows))]
+            else:
+                window_results = []
+        sharing, sharing_note, ij_shared, ij_concurrent = (
+            _finalize_sharing_windowed(acc, window_results)
+        )
+    return _build_report(source, acc, basics, regularity, reg_note,
+                         intervals, request_sizes, sharing, sharing_note,
+                         ij_shared, ij_concurrent)

@@ -6,12 +6,16 @@ way the cache sweeps do (:mod:`repro.caching.sweeps`): deterministic
 per-task functions, results reassembled in task order, and a serial
 fallback with identical output whenever the pool cannot help.
 
-Unlike the sweeps (whose request stream is cheap to pickle), these tasks
-share a multi-megabyte :class:`~repro.trace.frame.TraceFrame` or planned
-workload.  The pool therefore uses the ``fork`` start method and parks
-the shared state in a module global before forking, so children inherit
-it copy-on-write and only task *names* cross the pipe.  On platforms
-without ``fork`` the tasks simply run serially.
+These tasks share a multi-megabyte :class:`~repro.trace.frame.TraceFrame`
+or chunked source, which must never be pickled per task.  The pool
+therefore uses the ``fork`` start method and parks the shared state in a
+module global before forking, so children inherit it copy-on-write and
+only task *names* cross the pipe; the global is dropped as soon as the
+pool drains so it cannot pin the arrays afterwards.  On platforms
+without ``fork`` the pool falls back to ``spawn`` workers attached to
+the same data through :mod:`repro.util.shm` shared-memory segments —
+still zero-copy for the array payload — and runs serially only when
+both are unavailable.
 
 Failure and observability semantics: a task exception in a worker is
 re-raised in the parent as :class:`~repro.errors.PoolTaskError` naming
@@ -30,6 +34,7 @@ import os
 import time
 from collections.abc import Callable, Mapping
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from pickle import PicklingError
 from typing import Any
 
 from repro import obs
@@ -70,6 +75,17 @@ def _record_task(name: str, duration_s: float) -> None:
         observer.note("pool.slowest_task", name)
 
 
+def _spawn_init(tasks, spec, obs_on: bool) -> None:
+    """Initializer for spawn workers: attach to the exported shared
+    object once per worker, then serve tasks exactly like a forked one."""
+    global _SHARED
+    from repro.util import shm
+
+    if obs_on:
+        obs.enable()
+    _SHARED = (tasks, shm.attach_shareable(spec))
+
+
 def _run_serial(
     tasks: Mapping[str, Callable[[Any], Any]], obj: Any, names: list[str]
 ) -> dict[str, Any]:
@@ -84,6 +100,50 @@ def _run_serial(
     return results
 
 
+def _run_pool(
+    names: list[str], n_workers: int, mode: str, **executor_kwargs
+) -> dict[str, Any]:
+    """Submit every task to a fresh pool and gather results in
+    submission order, folding worker observations back in."""
+    ctx = multiprocessing.get_context(mode)
+    with ProcessPoolExecutor(
+        max_workers=n_workers, mp_context=ctx, **executor_kwargs
+    ) as pool:
+        futures = []
+        for index, name in enumerate(names):
+            if obs.enabled():
+                obs.event("pool_dispatch", name, index=index, mode=mode)
+            futures.append(pool.submit(_call, name))
+        results: dict[str, Any] = {}
+        snapshots: dict[str, dict] = {}
+        durations: dict[str, float] = {}
+        for index, (name, future) in enumerate(zip(names, futures)):
+            try:
+                rname, value, snapshot, dur = future.result()
+            except (BrokenExecutor, OSError):
+                raise
+            except Exception as exc:
+                raise PoolTaskError(
+                    f"pool task {name!r} (#{index} of {len(names)}) "
+                    f"failed in a worker: {exc}",
+                    task=name,
+                    index=index,
+                ) from exc
+            results[rname] = value
+            if snapshot is not None:
+                snapshots[rname] = snapshot
+                durations[rname] = dur
+    obs.add(f"pool.{mode}ed_batches")
+    obs.add("pool.worker_processes", n_workers)
+    # fold worker observations in submission order (deterministic)
+    for name in names:
+        snapshot = snapshots.get(name)
+        if snapshot is not None:
+            obs.current().merge_snapshot(snapshot)
+            _record_task(name, durations[name])
+    return results
+
+
 def map_tasks(
     tasks: Mapping[str, Callable[[Any], Any]],
     obj: Any,
@@ -91,9 +151,11 @@ def map_tasks(
 ) -> dict[str, Any]:
     """Run every ``tasks[name](obj)`` and return ``{name: result}``.
 
-    With ``workers`` of ``None``/0/1, a single task, or no ``fork``
-    support, the tasks run serially in-process.  Otherwise they fan out
-    across a forked process pool; a pool that fails to start or loses a
+    With ``workers`` of ``None``/0/1 or a single task, the tasks run
+    serially in-process.  Otherwise they fan out across a forked process
+    pool (``obj`` inherited copy-on-write), or — without ``fork`` — a
+    spawned pool whose workers attach to ``obj`` through shared memory
+    (:mod:`repro.util.shm`).  A pool that fails to start or loses a
     worker falls back to the serial path, which produces identical
     results because every task is deterministic.  A task that *raises*
     in a worker surfaces as :class:`~repro.errors.PoolTaskError` with
@@ -102,56 +164,35 @@ def map_tasks(
     names = list(tasks)
     obs.add("pool.batches")
     obs.add("pool.tasks", len(names))
-    if (
-        workers is None
-        or workers <= 1
-        or len(names) <= 1
-        or not fork_available()
-    ):
+    if workers is None or workers <= 1 or len(names) <= 1:
         obs.add("pool.serial_batches")
         return _run_serial(tasks, obj, names)
-
-    global _SHARED
-    _SHARED = (tasks, obj)
     n_workers = min(workers, len(names))
+
+    if fork_available():
+        global _SHARED
+        _SHARED = (tasks, obj)
+        try:
+            return _run_pool(names, n_workers, "fork")
+        except (BrokenExecutor, OSError):
+            obs.add("pool.serial_fallbacks")
+            return _run_serial(tasks, obj, names)
+        finally:
+            _SHARED = None
+
+    from repro.util import shm
+
+    spec, cleanup = shm.export_shareable(obj)
     try:
-        ctx = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
-            futures = []
-            for index, name in enumerate(names):
-                if obs.enabled():
-                    obs.event("pool_dispatch", name, index=index, mode="fork")
-                futures.append(pool.submit(_call, name))
-            results: dict[str, Any] = {}
-            snapshots: dict[str, dict] = {}
-            durations: dict[str, float] = {}
-            for index, (name, future) in enumerate(zip(names, futures)):
-                try:
-                    rname, value, snapshot, dur = future.result()
-                except (BrokenExecutor, OSError):
-                    raise
-                except Exception as exc:
-                    raise PoolTaskError(
-                        f"pool task {name!r} (#{index} of {len(names)}) "
-                        f"failed in a worker: {exc}",
-                        task=name,
-                        index=index,
-                    ) from exc
-                results[rname] = value
-                if snapshot is not None:
-                    snapshots[rname] = snapshot
-                    durations[rname] = dur
-        obs.add("pool.forked_batches")
-        obs.add("pool.worker_processes", n_workers)
-        # fold worker observations in submission order (deterministic)
-        for name in names:
-            snapshot = snapshots.get(name)
-            if snapshot is not None:
-                obs.current().merge_snapshot(snapshot)
-                _record_task(name, durations[name])
-        return results
-    except (BrokenExecutor, OSError):
+        return _run_pool(
+            names,
+            n_workers,
+            "spawn",
+            initializer=_spawn_init,
+            initargs=(dict(tasks), spec, obs.enabled()),
+        )
+    except (BrokenExecutor, OSError, PicklingError):
         obs.add("pool.serial_fallbacks")
         return _run_serial(tasks, obj, names)
     finally:
-        _SHARED = None
+        cleanup()

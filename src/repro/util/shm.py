@@ -1,0 +1,168 @@
+"""Zero-copy export of analysis inputs over POSIX shared memory.
+
+The fork-based pool in :mod:`repro.util.pool` shares its input with
+workers for free through copy-on-write.  On spawn-only platforms the
+same sharing is recovered here: :func:`export_shareable` packs the heavy
+arrays behind a known object (a frame, a chunked source, a request
+stream) into one :class:`multiprocessing.shared_memory.SharedMemory`
+segment and returns a small picklable *spec*; workers rebuild the object
+with :func:`attach_shareable`, mapping the very same pages instead of
+unpickling a private copy.
+
+Specs round-trip these shapes:
+
+- ``TraceFrame`` — events + job/file side tables packed into one
+  segment, the (tiny) header pickled inside the spec;
+- ``FrameSource`` — the wrapped frame's spec plus the chunk size;
+- ``TraceStore`` — just the path: the store is already an mmap'd file,
+  so workers reopen it and share the page cache;
+- tuples of plain numpy arrays (the cache-replay request stream);
+- anything else — pickled verbatim inside the spec (the fallback keeps
+  :func:`repro.util.pool.map_tasks` correct for arbitrary objects).
+
+The exporting process owns the segment: :func:`export_shareable` returns
+a cleanup callable that closes *and unlinks* it, to be invoked once the
+pool has drained.  Workers attach read-only and keep the handle alive
+for the rest of their life; see :func:`_attach_arrays` for how that
+interacts with the shared ``resource_tracker``.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Any, Callable
+
+import numpy as np
+
+#: alignment of each packed array inside a segment
+_ALIGN = 64
+
+#: attached handles kept alive for the worker process lifetime — the
+#: rebuilt numpy arrays borrow the segment's buffer, so dropping the
+#: handle would invalidate them mid-task
+_ATTACHED: list[Any] = []
+
+
+def _noop() -> None:
+    return None
+
+
+def _pack_arrays(arrays: list[np.ndarray]):
+    """Copy arrays back to back into one fresh segment; returns the
+    segment and one metadata dict per array."""
+    offsets: list[int] = []
+    total = 0
+    for a in arrays:
+        total = -(-total // _ALIGN) * _ALIGN
+        offsets.append(total)
+        total += a.nbytes
+    seg = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    metas = []
+    for a, off in zip(arrays, offsets):
+        a = np.ascontiguousarray(a)
+        if a.nbytes:
+            dst = np.ndarray(a.shape, dtype=a.dtype, buffer=seg.buf, offset=off)
+            dst[...] = a
+        metas.append({"offset": off, "n": len(a), "dtype": a.dtype})
+    return seg, metas
+
+
+def _attach_arrays(name: str, metas: list[dict]) -> list[np.ndarray]:
+    seg = shared_memory.SharedMemory(name=name)
+    # Attaching re-registers the segment with the resource tracker on
+    # Python < 3.13.  Pool workers share the exporter's tracker process,
+    # so the re-register is an idempotent no-op there and the exporter's
+    # unlink() balances it — workers must NOT unregister, or the shared
+    # tracker would drop the entry while siblings still map the pages.
+    _ATTACHED.append(seg)
+    out = []
+    for m in metas:
+        arr = np.ndarray((m["n"],), dtype=m["dtype"], buffer=seg.buf,
+                         offset=m["offset"])
+        arr.flags.writeable = False
+        out.append(arr)
+    return out
+
+
+def export_shareable(obj: Any) -> tuple[dict, Callable[[], None]]:
+    """A picklable spec for ``obj`` plus a cleanup callable.
+
+    Heavy known objects go through shared memory (see module docstring);
+    everything else is pickled inside the spec itself.  The caller must
+    invoke the cleanup exactly once, after every worker has finished.
+    """
+    from repro.trace.store import FrameSource, TraceStore
+    from repro.trace.frame import TraceFrame
+
+    if isinstance(obj, TraceStore):
+        return {"kind": "store", "path": str(obj.path)}, _noop
+    if isinstance(obj, FrameSource):
+        spec, cleanup = export_shareable(obj.frame())
+        if spec["kind"] == "frame":
+            return (
+                {"kind": "frame_source", "frame": spec,
+                 "chunk_size": obj.chunk_size},
+                cleanup,
+            )
+        return {"kind": "pickle", "obj": obj}, _noop  # pragma: no cover
+    if isinstance(obj, TraceFrame):
+        seg, metas = _pack_arrays([obj.events, obj.jobs.data, obj.files.data])
+        spec = {
+            "kind": "frame",
+            "name": seg.name,
+            "arrays": metas,
+            "header": obj.header,
+        }
+
+        def cleanup(seg=seg) -> None:
+            seg.close()
+            seg.unlink()
+
+        return spec, cleanup
+    if (
+        isinstance(obj, tuple)
+        and len(obj) > 0
+        and all(isinstance(a, np.ndarray) and a.ndim == 1 for a in obj)
+    ):
+        seg, metas = _pack_arrays(list(obj))
+        spec = {"kind": "arrays", "name": seg.name, "arrays": metas}
+
+        def cleanup(seg=seg) -> None:
+            seg.close()
+            seg.unlink()
+
+        return spec, cleanup
+    return {"kind": "pickle", "obj": obj}, _noop
+
+
+def attach_shareable(spec: dict) -> Any:
+    """Rebuild the object described by an :func:`export_shareable` spec,
+    borrowing the exporter's pages for the array payload."""
+    kind = spec["kind"]
+    if kind == "pickle":
+        return spec["obj"]
+    if kind == "store":
+        from repro.trace.store import TraceStore
+
+        store = TraceStore(spec["path"])
+        _ATTACHED.append(store)
+        return store
+    if kind == "frame_source":
+        from repro.trace.store import FrameSource
+
+        return FrameSource(
+            attach_shareable(spec["frame"]), chunk_size=spec["chunk_size"]
+        )
+    if kind == "frame":
+        from repro.trace.frame import FileTable, JobTable, TraceFrame
+
+        events, jobs, files = _attach_arrays(spec["name"], spec["arrays"])
+        return TraceFrame(
+            events,
+            jobs=JobTable(jobs),
+            files=FileTable(files),
+            header=spec["header"],
+        )
+    if kind == "arrays":
+        return tuple(_attach_arrays(spec["name"], spec["arrays"]))
+    raise ValueError(f"unknown shareable spec kind {kind!r}")

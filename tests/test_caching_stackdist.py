@@ -21,6 +21,7 @@ from repro.caching.stackdist import (
     lru_depths,
     opt_depths,
 )
+from repro.caching.replayvec import batch_replay, batch_replay_curve
 from repro.caching.sweeps import SweepLine, sweep_lines
 from repro.errors import CacheConfigError
 from repro.trace.frame import TraceFrame
@@ -224,6 +225,67 @@ class TestExpansionAndErrors:
     def test_stackdist_engine_rejects_fifo_sweep(self, micro_frame):
         with pytest.raises(CacheConfigError):
             sweep_buffer_counts(micro_frame, [1], policy="fifo", engine="stackdist")
+
+
+class TestVectorizedReplay:
+    """The batch replay scores every capacity in numpy but must stay an
+    *oracle-exact* replay: same integer hit/sub-request counts as the
+    per-block dictionary simulator at every buffer count."""
+
+    @given(request_rows, st.sampled_from([1, 3]), st.sampled_from(["lru", "opt"]))
+    @settings(max_examples=25, deadline=None)
+    def test_batch_replay_equals_oracle(self, rows, n_io, policy):
+        stream = _stream(rows)
+        counts = list(range(0, 12))
+        for cap, got in zip(
+            counts, batch_replay(stream, counts, n_io_nodes=n_io, policy=policy)
+        ):
+            want = simulate_io_node_caches(
+                None, cap, n_io_nodes=n_io, policy=policy, stream=stream
+            )
+            assert (
+                got.read_hits, got.read_sub_requests,
+                got.all_hits, got.all_sub_requests,
+            ) == (
+                want.read_hits, want.read_sub_requests,
+                want.all_hits, want.all_sub_requests,
+            )
+
+    @given(request_rows, st.sampled_from(["lru", "opt"]))
+    @settings(max_examples=15, deadline=None)
+    def test_replay_and_replay_python_engines_agree(self, rows, policy):
+        stream = _stream(rows)
+        counts = [0, 2, 5, 11]
+        vec = sweep_buffer_counts(
+            None, counts, n_io_nodes=3, policy=policy,
+            engine="replay", stream=stream,
+        )
+        oracle = sweep_buffer_counts(
+            None, counts, n_io_nodes=3, policy=policy,
+            engine="replay-python", stream=stream,
+        )
+        assert np.array_equal(vec.hit_rates, oracle.hit_rates)
+
+    def test_fifo_still_replays_through_the_oracle(self, micro_frame):
+        # FIFO is not a stack algorithm: engine="replay" must fall back
+        # to the dictionary loop, not the depth-based scorer
+        a = sweep_buffer_counts(micro_frame, [1, 8], policy="fifo", engine="replay")
+        b = sweep_buffer_counts(
+            micro_frame, [1, 8], policy="fifo", engine="replay-python"
+        )
+        assert np.array_equal(a.hit_rates, b.hit_rates)
+
+    def test_batch_replay_rejects_negative_count(self):
+        stream = _stream([(0, 0, 0, 0, True)])
+        with pytest.raises(CacheConfigError):
+            batch_replay(stream, [-1], n_io_nodes=1)
+
+    def test_curve_carries_counts_and_policy(self):
+        stream = _stream([(0, 0, 0, 0, True), (0, 0, 0, 1, True)])
+        curve = batch_replay_curve(stream, [1, 4], n_io_nodes=2, policy="lru")
+        assert curve.policy == "lru"
+        assert curve.buffer_counts.tolist() == [1, 4]
+        assert len(curve.hit_rates) == 2
 
 
 class TestSweepLines:

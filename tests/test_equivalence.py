@@ -47,6 +47,33 @@ class TestIndexEquivalence:
         assert new == old
 
 
+class TestEngineEquivalence:
+    """The fused one-pass engine and the indexed per-family engine are
+    the same report, byte for byte — serial and fanned out."""
+
+    def test_fused_matches_indexed(self, workload):
+        frame = workload.frame
+        fused = characterize(frame, engine="fused")
+        indexed = characterize(frame, engine="indexed")
+        assert fused.render() == indexed.render()
+        assert json.dumps(fused.to_dict(), sort_keys=True) == json.dumps(
+            indexed.to_dict(), sort_keys=True
+        )
+
+    def test_fused_parallel_matches_indexed_parallel(self, workload):
+        frame = workload.frame
+        fused = characterize(frame, workers=4, engine="fused")
+        indexed = characterize(frame, workers=4, engine="indexed")
+        assert fused.render() == indexed.render()
+        assert json.dumps(fused.to_dict(), sort_keys=True) == json.dumps(
+            indexed.to_dict(), sort_keys=True
+        )
+
+    def test_unknown_engine_rejected(self, workload):
+        with pytest.raises(ValueError, match="engine"):
+            characterize(workload.frame, engine="quantum")
+
+
 class TestStreamingEquivalence:
     """The out-of-core chunked path reproduces the in-memory report
     byte for byte — at both fixture seeds/scales, through a wrapped

@@ -134,15 +134,27 @@ class TestDisabledMode:
 
 class TestPoolObservability:
     def test_parallel_map_tasks_merges_worker_observations(self, small_frame):
+        # the indexed engine fans the five analysis families out
         obs.enable()
         observer = obs.current()
-        characterize(small_frame, workers=4)
+        characterize(small_frame, workers=4, engine="indexed")
         # the per-part counters must have crossed the process boundary
         assert observer.counters["core.filestats.files"] > 0
         assert observer.counters["pool.tasks"] == 5
         assert observer.counters["pool.forked_batches"] == 1
         span_names = set(RunReport(spans=observer.root.to_dict()).span_names())
         assert "core/characterize/basics" in span_names
+
+    def test_fused_scan_merges_worker_observations(self, small_frame):
+        # the fused engine partitions the event stream into chunk ranges
+        obs.enable()
+        observer = obs.current()
+        characterize(small_frame, workers=2)
+        assert observer.counters["fused.chunks"] >= 2
+        assert observer.counters["fused.events"] == small_frame.n_events
+        assert observer.counters["core.filestats.files"] > 0
+        span_names = set(RunReport(spans=observer.root.to_dict()).span_names())
+        assert "core/characterize_fused/scan" in span_names
 
     def test_worker_exception_carries_task_context(self):
         def ok(shared):
