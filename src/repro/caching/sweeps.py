@@ -81,6 +81,8 @@ def sweep_lines(
     block_size: int = BLOCK_SIZE,
     workers: int | None = None,
     stream: tuple[np.ndarray, ...] | None = None,
+    scheduler: str = "steal",
+    straggler_timeout: float | None = None,
 ) -> list[HitRateCurve]:
     """Compute several sweep lines over one trace, in parallel.
 
@@ -89,6 +91,13 @@ def sweep_lines(
     back in the order given.  ``workers`` caps the process count
     (default: one per line, bounded by the CPU count); with one worker
     or one line everything runs in-process.
+
+    Sweep lines are wildly uneven (an OPT line costs several LRU
+    lines), so the fan-out defaults to the work-stealing scheduler
+    (:mod:`repro.util.sched`): idle workers take queued lines from the
+    busiest worker's tail, and ``straggler_timeout`` seconds without
+    progress re-dispatches the oldest in-flight line.  Results are
+    identical to the static schedule either way.
     """
     specs = [_as_line(line) for line in lines]
     if not specs:
@@ -112,5 +121,8 @@ def sweep_lines(
         for name, line in zip(names, specs)
     }
     with obs.span("caching/sweep_lines"):
-        done = map_tasks(tasks, stream, workers)
+        done = map_tasks(
+            tasks, stream, workers,
+            scheduler=scheduler, straggler_timeout=straggler_timeout,
+        )
         return [done[name] for name in names]

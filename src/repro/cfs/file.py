@@ -110,14 +110,16 @@ class CFSFile:
         size = min(size, self.size - offset)
         out = bytearray(size)
         pos = 0
+        blocks = self._blocks
+        block_size = self.block_size
         while pos < size:
             abs_off = offset + pos
-            block_idx = abs_off // self.block_size
-            within = abs_off % self.block_size
-            take = min(self.block_size - within, size - pos)
-            block = self._blocks.get(block_idx)
+            block_idx = abs_off // block_size
+            within = abs_off % block_size
+            take = min(block_size - within, size - pos)
+            block = blocks.get(block_idx)
             if block is not None:
-                out[pos : pos + take] = block[within : within + take]
+                out[pos : pos + take] = memoryview(block)[within : within + take]
             pos += take
         return bytes(out)
 
@@ -132,17 +134,52 @@ class CFSFile:
         new_blocks = 0
         pos = 0
         size = len(data)
+        src = memoryview(data)  # slices of a view copy once, not twice
+        blocks = self._blocks
+        block_size = self.block_size
         while pos < size:
             abs_off = offset + pos
-            block_idx = abs_off // self.block_size
-            within = abs_off % self.block_size
-            take = min(self.block_size - within, size - pos)
-            block = self._blocks.get(block_idx)
+            block_idx = abs_off // block_size
+            within = abs_off % block_size
+            take = min(block_size - within, size - pos)
+            block = blocks.get(block_idx)
             if block is None:
-                block = bytearray(self.block_size)
-                self._blocks[block_idx] = block
+                block = bytearray(block_size)
+                blocks[block_idx] = block
                 new_blocks += 1
-            block[within : within + take] = data[pos : pos + take]
+            block[within : within + take] = src[pos : pos + take]
+            pos += take
+        self.size = max(self.size, offset + size)
+        return new_blocks
+
+    def write_zeros_at(self, offset: int, size: int) -> int:
+        """Write ``size`` zero bytes at an absolute offset.
+
+        Byte-identical in effect to ``write_at(offset, b"\\x00" * size)``
+        but never materialises the source: freshly allocated blocks are
+        already zero, so only pre-existing blocks need clearing.  The
+        replay engines use this for synthetic write payloads.
+        """
+        if offset < 0 or size < 0:
+            raise CFSError("offset and size must be non-negative")
+        new_blocks = 0
+        pos = 0
+        blocks = self._blocks
+        block_size = self.block_size
+        zeros = None
+        while pos < size:
+            abs_off = offset + pos
+            block_idx = abs_off // block_size
+            within = abs_off % block_size
+            take = min(block_size - within, size - pos)
+            block = blocks.get(block_idx)
+            if block is None:
+                blocks[block_idx] = bytearray(block_size)
+                new_blocks += 1
+            else:
+                if zeros is None:
+                    zeros = memoryview(bytes(block_size))
+                block[within : within + take] = zeros[:take]
             pos += take
         self.size = max(self.size, offset + size)
         return new_blocks

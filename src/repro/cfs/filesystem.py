@@ -35,16 +35,13 @@ class FileHandle:
     pointer: int = 0  # used only in mode 0
     bytes_read: int = 0
     bytes_written: int = 0
+    #: permission bits resolved once at open (``flags`` never changes after)
+    readable: bool = False
+    writable: bool = False
 
-    @property
-    def readable(self) -> bool:
-        """True when the open allows reads."""
-        return bool(self.flags & OpenFlags.READ)
-
-    @property
-    def writable(self) -> bool:
-        """True when the open allows writes."""
-        return bool(self.flags & OpenFlags.WRITE)
+    def __post_init__(self) -> None:
+        self.readable = bool(self.flags & OpenFlags.READ)
+        self.writable = bool(self.flags & OpenFlags.WRITE)
 
 
 class ConcurrentFileSystem:
@@ -82,6 +79,23 @@ class ConcurrentFileSystem:
         self._handles: dict[int, FileHandle] = {}
         self._next_fd = 3  # leave room for stdio, cosmetically
         self._next_fid = 0
+        #: when set, file ids come from this iterator instead of the
+        #: local counter — a shard replica of the file system consumes
+        #: the id stream a serial pre-pass assigned to its files, so
+        #: fids match the serial run (:mod:`repro.workload.sharded`)
+        self.fid_source = None
+        #: when set, block-cache traffic is recorded through this sink
+        #: (``touch``/``invalidate``) instead of hitting the local
+        #: caches — shard replicas log accesses for a later global
+        #: replay because LRU state cannot be partitioned
+        self.cache_sink = None
+
+    def _alloc_fid(self) -> int:
+        if self.fid_source is not None:
+            return next(self.fid_source)
+        fid = self._next_fid
+        self._next_fid += 1
+        return fid
 
     # -- namespace -------------------------------------------------------------
 
@@ -113,8 +127,7 @@ class ConcurrentFileSystem:
             raise CFSError(f"file exists: {name!r}")
         if size < 0:
             raise CFSError("size must be non-negative")
-        file = CFSFile(name, self._next_fid, self.block_size)
-        self._next_fid += 1
+        file = CFSFile(name, self._alloc_fid(), self.block_size)
         file.extend_to(size)
         self._namespace[name] = file
         return file
@@ -141,9 +154,8 @@ class ConcurrentFileSystem:
         if file is None:
             if not flags & OpenFlags.CREATE:
                 raise CFSError(f"no such file: {name!r}")
-            file = CFSFile(name, self._next_fid, self.block_size)
+            file = CFSFile(name, self._alloc_fid(), self.block_size)
             file.creator_job = job
-            self._next_fid += 1
             self._namespace[name] = file
             created = True
         if flags & OpenFlags.TRUNC and not created:
@@ -181,8 +193,11 @@ class ConcurrentFileSystem:
         """
         file = self.stat(name)
         self._release_blocks(file)
-        for cache in self.caches:
-            cache.invalidate_file(file.fid)
+        if self.cache_sink is not None:
+            self.cache_sink.invalidate(file.fid)
+        else:
+            for cache in self.caches:
+                cache.invalidate_file(file.fid)
         file.deleted = True
         file.deleter_job = job
         del self._namespace[name]
@@ -241,6 +256,29 @@ class ConcurrentFileSystem:
             obs.add("cfs.bytes_written", len(data))
             obs.hist("cfs.write_request_bytes", float(len(data)))
         return len(data)
+
+    def write_zeros(self, fd: int, size: int) -> int:
+        """Write ``size`` zero bytes at the descriptor's pointer.
+
+        Observationally identical to ``write(fd, b"\\x00" * size)`` —
+        same pointer motion, charging, cache touches, and counters —
+        without building the payload.  The replay engines' fast path.
+        """
+        handle = self._handle(fd)
+        if not handle.writable:
+            raise CFSError(f"fd {fd} not open for writing")
+        offset = self._claim(handle, size)
+        self._charge_new_blocks(handle.file, offset, size)
+        handle.file.write_zeros_at(offset, size)
+        self._touch_blocks(handle.file, offset, size, is_write=True)
+        if handle.mode is IOMode.INDEPENDENT:
+            handle.pointer = offset + size
+        handle.bytes_written += size
+        if obs.enabled():
+            obs.add("cfs.writes")
+            obs.add("cfs.bytes_written", size)
+            obs.hist("cfs.write_request_bytes", float(size))
+        return size
 
     # -- strided transfers (§5's recommended interface) --------------------------
 
@@ -335,17 +373,30 @@ class ConcurrentFileSystem:
         """Pre-charge disk space for blocks this write will newly allocate."""
         if size == 0:
             return
-        for block_idx in self.striping.blocks_of_extent(offset, size):
-            if int(block_idx) not in file._blocks:
-                io_node = int(self.striping.io_node_of_block(int(block_idx)))
-                self.disks[io_node].allocate(self.block_size)
+        first = offset // self.block_size
+        last = (offset + size - 1) // self.block_size
+        n_io = self.striping.n_io_nodes
+        blocks = file._blocks
+        for block_idx in range(first, last + 1):
+            if block_idx not in blocks:
+                self.disks[block_idx % n_io].allocate(self.block_size)
 
     def _touch_blocks(self, file: CFSFile, offset: int, size: int, is_write: bool) -> None:
         if size == 0:
             return
-        for block_idx in self.striping.blocks_of_extent(offset, size):
-            io_node = int(self.striping.io_node_of_block(int(block_idx)))
-            self.caches[io_node].access(file.fid, int(block_idx), is_write=is_write)
+        first = offset // self.block_size
+        last = (offset + size - 1) // self.block_size
+        n_io = self.striping.n_io_nodes
+        sink = self.cache_sink
+        if sink is not None:
+            fid = file.fid
+            for block_idx in range(first, last + 1):
+                sink.touch(block_idx % n_io, fid, block_idx, is_write)
+            return
+        caches = self.caches
+        fid = file.fid
+        for block_idx in range(first, last + 1):
+            caches[block_idx % n_io].access(fid, block_idx, is_write=is_write)
 
     # -- statistics ----------------------------------------------------------------
 

@@ -16,8 +16,14 @@ from collections.abc import Callable
 from repro import obs
 from repro.cfs.filesystem import ConcurrentFileSystem
 from repro.cfs.modes import IOMode
-from repro.trace.records import EventKind, OpenFlags, Record
+from repro.trace.codec import encode_fields
+from repro.trace.records import NO_VALUE, EventKind, OpenFlags, Record
 from repro.trace.writer import TraceWriter
+
+#: plain ints for the hot emit paths (enum ``__int__`` costs add up)
+_READ = int(EventKind.READ)
+_WRITE = int(EventKind.WRITE)
+_SEEK = int(EventKind.SEEK)
 
 
 class InstrumentedCFS:
@@ -101,7 +107,13 @@ class InstrumentedCFS:
         self.fs.close(fd)
 
     def read(self, fd: int, size: int) -> bytes:
-        """Traced read; records the offset actually served."""
+        """Traced read; records the offset actually served.
+
+        The hot trio (read/write/lseek) encodes its record fields
+        straight to wire bytes — byte-identical to building a
+        :class:`~repro.trace.records.Record`, minus the per-event
+        object and validation cost.
+        """
         handle = self.fs._handles[fd]
         before = (
             handle.pointer
@@ -109,17 +121,15 @@ class InstrumentedCFS:
             else handle.file.groups[handle.job].pointer
         )
         data = self.fs.read(fd, size)
-        self._emit(
-            Record(
-                time=self._stamp(handle.node),
-                node=handle.node,
-                job=handle.job,
-                kind=EventKind.READ,
-                file=handle.file.fid,
-                offset=before,
-                size=len(data),
-            )
+        node = handle.node
+        self.writer.emit_encoded(
+            node,
+            encode_fields(
+                self._stamp(node), node, handle.job, handle.file.fid,
+                _READ, NO_VALUE, 0, before, len(data),
+            ),
         )
+        self.calls_traced += 1
         return data
 
     def write(self, fd: int, data: bytes) -> int:
@@ -131,17 +141,35 @@ class InstrumentedCFS:
             else handle.file.groups[handle.job].pointer
         )
         n = self.fs.write(fd, data)
-        self._emit(
-            Record(
-                time=self._stamp(handle.node),
-                node=handle.node,
-                job=handle.job,
-                kind=EventKind.WRITE,
-                file=handle.file.fid,
-                offset=before,
-                size=n,
-            )
+        node = handle.node
+        self.writer.emit_encoded(
+            node,
+            encode_fields(
+                self._stamp(node), node, handle.job, handle.file.fid,
+                _WRITE, NO_VALUE, 0, before, n,
+            ),
         )
+        self.calls_traced += 1
+        return n
+
+    def write_zeros(self, fd: int, size: int) -> int:
+        """Traced zero-fill write; trace-identical to ``write`` of zeros."""
+        handle = self.fs._handles[fd]
+        before = (
+            handle.pointer
+            if handle.mode is IOMode.INDEPENDENT
+            else handle.file.groups[handle.job].pointer
+        )
+        n = self.fs.write_zeros(fd, size)
+        node = handle.node
+        self.writer.emit_encoded(
+            node,
+            encode_fields(
+                self._stamp(node), node, handle.job, handle.file.fid,
+                _WRITE, NO_VALUE, 0, before, n,
+            ),
+        )
+        self.calls_traced += 1
         return n
 
     def read_strided(self, fd: int, size: int, stride: int, count: int) -> bytes:
@@ -201,17 +229,15 @@ class InstrumentedCFS:
         """Traced seek."""
         handle = self.fs._handles[fd]
         result = self.fs.lseek(fd, offset)
-        self._emit(
-            Record(
-                time=self._stamp(handle.node),
-                node=handle.node,
-                job=handle.job,
-                kind=EventKind.SEEK,
-                file=handle.file.fid,
-                offset=offset,
-                size=0,
-            )
+        node = handle.node
+        self.writer.emit_encoded(
+            node,
+            encode_fields(
+                self._stamp(node), node, handle.job, handle.file.fid,
+                _SEEK, NO_VALUE, 0, offset, 0,
+            ),
         )
+        self.calls_traced += 1
         return result
 
     def unlink(self, name: str, node: int, job: int) -> None:

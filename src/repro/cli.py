@@ -58,6 +58,9 @@ def _add_input_args(parser: argparse.ArgumentParser) -> None:
                         help="pipeline for on-the-fly generation (the 'full' "
                              "pipeline replays through the simulated machine "
                              "and CFS)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="split the 'full' pipeline across this many "
+                             "worker processes (byte-identical to serial)")
 
 
 def _generate_frame(args) -> TraceFrame:
@@ -66,7 +69,9 @@ def _generate_frame(args) -> TraceFrame:
         "generating workload on the fly (scale=%s seed=%s pipeline=%s)",
         args.scale, args.seed, pipeline,
     )
-    return WorkloadGenerator(ames1993(args.scale), seed=args.seed).run(pipeline).frame
+    return WorkloadGenerator(ames1993(args.scale), seed=args.seed).run(
+        pipeline, shards=getattr(args, "shards", None)
+    ).frame
 
 
 def _load_frame(args) -> TraceFrame:
@@ -97,11 +102,13 @@ def cmd_generate(args) -> int:
     if args.store:
         workload = generator.run_to_store(
             args.out, args.pipeline, workers=args.workers,
-            chunk_size=args.chunk_size,
+            chunk_size=args.chunk_size, shards=args.shards,
         )
         kind = "chunked store"
     else:
-        workload = generator.run(args.pipeline, workers=args.workers)
+        workload = generator.run(
+            args.pipeline, workers=args.workers, shards=args.shards
+        )
         workload.frame.save(args.out)
         kind = "frame"
     print(
@@ -439,6 +446,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="processes to fan per-job event synthesis across "
                         "(direct pipeline; output is byte-identical)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="split the 'full' pipeline across this many worker "
+                        "processes (output is byte-identical to serial)")
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("characterize", help="run the full §4 characterization")

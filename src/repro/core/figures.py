@@ -195,5 +195,5 @@ def render_all(
         )
         for figure in FIGURES
     }
-    blocks = map_tasks(tasks, frame, workers)
+    blocks = map_tasks(tasks, frame, workers, scheduler="steal")
     return "\n\n".join(blocks[figure] for figure in FIGURES)

@@ -370,7 +370,9 @@ def characterize(
         )
 
     with obs.span("core/characterize"):
-        results = map_tasks(_PARTS, frame, workers)
+        # analysis families are uneven (sharing dwarfs basics); let idle
+        # workers steal queued families instead of waiting
+        results = map_tasks(_PARTS, frame, workers, scheduler="steal")
     if obs.enabled():
         obs.add("core.characterizations")
         obs.add("core.characterize.events", frame.n_events)

@@ -610,7 +610,7 @@ def _scan_parallel(
                       compact_runs=n_ranges > 1)
         for i, name in enumerate(names)
     }
-    partials = map_tasks(tasks, source, workers)
+    partials = map_tasks(tasks, source, workers, scheduler="steal")
     acc = partials[names[0]]
     if len(names) > 1:
         t0 = time.perf_counter()
@@ -1080,7 +1080,9 @@ def characterize_streaming(
                 for i, (lo, hi) in enumerate(windows)
             }
             if windows:
-                done = map_tasks(window_tasks, source, workers)
+                done = map_tasks(
+                    window_tasks, source, workers, scheduler="steal"
+                )
                 window_results = [done[f"window/{i}"] for i in range(len(windows))]
             else:
                 window_results = []

@@ -101,7 +101,7 @@ class IPSC860:
         self.service_node = ServiceNode(self.clocks.service)
         self.messages = MessageModel(self.cube)
         self.allocator = SubcubeAllocator(self.cube)
-        self._latency_rng = pool.rng("message-jitter")
+        self._seed_pool = pool
         if obs.enabled():
             obs.add("machine.instances")
             obs.gauge("machine.compute_nodes", self.config.n_compute_nodes)
@@ -140,14 +140,23 @@ class IPSC860:
         Service-node local time at (true) arrival: true send time of the
         block (inverted through the sender's clock) plus message latency
         from the sender to the compute node the service connection hangs
-        off, read on the service node's drifting clock.
+        off, read on the service node's drifting clock.  The latency
+        jitter is drawn from a stream keyed by ``(node, seq)`` rather
+        than a shared sequential generator, so the stamp a block gets is
+        a pure function of the block — independent of how many blocks
+        from *other* nodes arrived first.  That is what lets a sharded
+        simulation stamp the re-merged blocks identically to a serial
+        run (:mod:`repro.workload.sharded`).
         """
         sender_clock = self.clocks[block.node]
         true_send = float(sender_clock.true(block.send_stamp))
         latency = self.messages.latency(
             Message(src=block.node, dst=0, size=len(block.payload))
         )
-        jitter = float(self._latency_rng.exponential(self.messages.startup))
+        jitter = float(
+            self._seed_pool.rng(f"message-jitter/{block.node}/{block.seq}")
+            .exponential(self.messages.startup)
+        )
         obs.add("machine.collector_stamps")
         return float(self.clocks.service.local(true_send + latency + jitter))
 

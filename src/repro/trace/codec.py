@@ -41,9 +41,20 @@ RECORD_NP_DTYPE = np.dtype(
 HEADER_MAGIC: bytes = b"CHARISMA1\n"
 
 
+#: bound pack for the hot encode path (one attribute lookup per call)
+encode_fields = _RECORD_STRUCT.pack
+"""Encode record fields straight to wire bytes.
+
+``encode_fields(time, node, job, file, kind, mode, flags, offset, size)``
+is the layout :func:`encode_record` uses, minus the
+:class:`~repro.trace.records.Record` object — the fast path for the
+full-pipeline replay, which emits hundreds of thousands of records.
+"""
+
+
 def encode_record(record: Record) -> bytes:
     """Encode one record into its fixed-width binary form."""
-    return _RECORD_STRUCT.pack(
+    return encode_fields(
         record.time,
         record.node,
         record.job,

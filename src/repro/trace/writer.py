@@ -59,7 +59,16 @@ class NodeTraceBuffer:
             raise TraceError(
                 f"record from node {record.node} appended to buffer of node {self.node}"
             )
-        self._chunks.append(encode_record(record))
+        return self.append_encoded(encode_record(record))
+
+    def append_encoded(self, data: bytes) -> RawBlock | None:
+        """Buffer one already-encoded record (the replay fast path).
+
+        Byte-identical to :meth:`append` fed the equivalent
+        :class:`~repro.trace.records.Record`; the caller vouches that
+        ``data`` is one wire-format record from this buffer's node.
+        """
+        self._chunks.append(data)
         self._bytes += RECORD_SIZE
         self.records_buffered += 1
         if self._bytes + RECORD_SIZE > self.capacity:
@@ -118,6 +127,15 @@ class TraceWriter:
     def emit(self, record: Record) -> None:
         """Record one event; ships a block to the collector on buffer fill."""
         block = self.buffer(record.node).append(record)
+        if block is not None:
+            self.collector.receive(block)
+
+    def emit_encoded(self, node: int, data: bytes) -> None:
+        """Record one pre-encoded event from ``node`` (the fast path)."""
+        buf = self._buffers.get(node)
+        if buf is None:
+            buf = self.buffer(node)
+        block = buf.append_encoded(data)
         if block is not None:
             self.collector.receive(block)
 

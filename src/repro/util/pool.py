@@ -29,6 +29,7 @@ fan-out counters (``pool.*``).
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import time
@@ -39,6 +40,8 @@ from typing import Any
 
 from repro import obs
 from repro.errors import PoolTaskError
+
+log = logging.getLogger("repro.util.pool")
 
 #: state inherited by forked workers: (task mapping, shared object)
 _SHARED: tuple[Mapping[str, Callable[[Any], Any]], Any] | None = None
@@ -148,6 +151,8 @@ def map_tasks(
     tasks: Mapping[str, Callable[[Any], Any]],
     obj: Any,
     workers: int | None,
+    scheduler: str = "static",
+    straggler_timeout: float | None = None,
 ) -> dict[str, Any]:
     """Run every ``tasks[name](obj)`` and return ``{name: result}``.
 
@@ -160,22 +165,51 @@ def map_tasks(
     results because every task is deterministic.  A task that *raises*
     in a worker surfaces as :class:`~repro.errors.PoolTaskError` with
     the task name and submission index, the worker exception chained.
+
+    ``scheduler`` selects the fan-out discipline: ``"static"`` submits
+    every task to an executor up front; ``"steal"`` routes through the
+    work-stealing scheduler (:mod:`repro.util.sched`) so idle workers
+    take over a straggling worker's queued tasks — same results, folded
+    in the same order.  ``straggler_timeout`` (steal only) additionally
+    re-dispatches the oldest in-flight task after that many seconds
+    without progress.
     """
     names = list(tasks)
     obs.add("pool.batches")
     obs.add("pool.tasks", len(names))
     if workers is None or workers <= 1 or len(names) <= 1:
         obs.add("pool.serial_batches")
+        if workers is not None and workers > 1:
+            log.info(
+                "running %d task(s) serially: a single task cannot fan out",
+                len(names),
+            )
         return _run_serial(tasks, obj, names)
     n_workers = min(workers, len(names))
+
+    if scheduler == "steal" and fork_available():
+        from repro.util import sched
+
+        return sched.run_stealing(
+            tasks, obj, n_workers, straggler_timeout=straggler_timeout
+        )
+    if scheduler not in ("static", "steal"):
+        raise ValueError(
+            f"unknown scheduler {scheduler!r} (use 'static' or 'steal')"
+        )
 
     if fork_available():
         global _SHARED
         _SHARED = (tasks, obj)
         try:
             return _run_pool(names, n_workers, "fork")
-        except (BrokenExecutor, OSError):
+        except (BrokenExecutor, OSError) as exc:
             obs.add("pool.serial_fallbacks")
+            log.warning(
+                "forked pool of %d workers broke (%s: %s); "
+                "rerunning all %d tasks serially",
+                n_workers, type(exc).__name__, exc, len(names),
+            )
             return _run_serial(tasks, obj, names)
         finally:
             _SHARED = None
@@ -191,8 +225,13 @@ def map_tasks(
             initializer=_spawn_init,
             initargs=(dict(tasks), spec, obs.enabled()),
         )
-    except (BrokenExecutor, OSError, PicklingError):
+    except (BrokenExecutor, OSError, PicklingError) as exc:
         obs.add("pool.serial_fallbacks")
+        log.warning(
+            "spawned pool of %d workers failed (%s: %s); "
+            "rerunning all %d tasks serially",
+            n_workers, type(exc).__name__, exc, len(names),
+        )
         return _run_serial(tasks, obj, names)
     finally:
         cleanup()

@@ -1,0 +1,423 @@
+"""Work-stealing task scheduler over the shared-object worker pool.
+
+:func:`repro.util.pool.map_tasks` fans tasks out *statically*: every
+task is submitted up front and an executor hands them to whichever
+worker asks next.  That is fine when tasks are uniform, but sweep lines
+and shard replays are not — one FIFO replay line can run 10x longer
+than an LRU stack-distance line, and a static split leaves workers idle
+behind the straggler.  This module adds the dynamic half of the
+ROADMAP's "distributed sweep scheduler":
+
+- **Chunked task queues.**  The task list is split into per-worker
+  contiguous chunks living in one shared index array; each worker pops
+  from the *head* of its own chunk, so the common case is lock-cheap
+  and preserves the submission-order locality of the static split.
+- **Stealing from the tail.**  A worker whose chunk drains picks the
+  victim with the most work left and takes one task from the victim's
+  *tail* — the classic deque discipline: owner and thief touch opposite
+  ends, so contention stays rare.
+- **Straggler re-dispatch.**  When no result has arrived for
+  ``straggler_timeout`` seconds and idle capacity exists, the oldest
+  in-flight task is re-enqueued on the overflow queue.  Tasks are
+  deterministic functions, so whichever copy finishes first wins and
+  the duplicate result is dropped.
+- **Crash requeue.**  A worker that dies mid-queue (OOM-killed,
+  segfaulted C extension, ``os._exit`` in a task) has its unfinished
+  chunk and in-flight task re-enqueued for the survivors; if every
+  worker is gone the parent finishes the remainder serially.  A task
+  that repeatedly kills its executor is eventually run in the parent so
+  a genuine crash still surfaces instead of looping.
+
+Determinism: results and worker obs snapshots are reassembled in task
+submission order regardless of which worker ran what or how often, so a
+stolen, re-dispatched, or requeued run is byte-identical to a serial
+one.  Scheduling activity is observable through the ``pool.steal`` /
+``pool.requeue`` / ``pool.straggler_redispatch`` counters.
+
+The scheduler requires the ``fork`` start method (workers inherit the
+task mapping and shared object copy-on-write).  On spawn-only platforms
+:func:`repro.util.pool.map_tasks` keeps using the static executor path,
+which shares data through :mod:`repro.util.shm` instead.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import queue as queue_mod
+import time
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro import obs
+from repro.errors import PoolTaskError
+
+log = logging.getLogger("repro.util.sched")
+
+#: how long a worker sleeps when it finds no runnable task anywhere
+_IDLE_SLEEP_S = 0.002
+
+#: how long the parent waits on the result queue per poll
+_POLL_S = 0.02
+
+#: how long to wait for a (possibly dead) victim's queue lock
+_LOCK_TIMEOUT_S = 0.2
+
+#: how many times a task may be requeued after killing its worker
+#: before the parent runs it in-process and lets the failure surface
+_MAX_REQUEUES = 2
+
+
+def _pop_own(worker: int, bounds, locks, idx_arr) -> int | None:
+    """Take the next task index from a worker's own chunk head."""
+    lock = locks[worker]
+    if not lock.acquire(timeout=_LOCK_TIMEOUT_S):  # pragma: no cover - contention
+        return None
+    try:
+        head, tail = bounds[2 * worker], bounds[2 * worker + 1]
+        if head >= tail:
+            return None
+        bounds[2 * worker] = head + 1
+        return idx_arr[head]
+    finally:
+        lock.release()
+
+
+def _steal(worker: int, n_workers: int, bounds, locks, idx_arr) -> int | None:
+    """Take one task from the tail of the fullest other queue."""
+    victims = sorted(
+        (v for v in range(n_workers) if v != worker),
+        key=lambda v: bounds[2 * v + 1] - bounds[2 * v],
+        reverse=True,
+    )
+    for victim in victims:
+        if bounds[2 * victim + 1] - bounds[2 * victim] <= 0:
+            break  # sorted: nobody further has work either
+        lock = locks[victim]
+        if not lock.acquire(timeout=_LOCK_TIMEOUT_S):
+            continue  # victim (or its lock holder) is wedged; try another
+        try:
+            head, tail = bounds[2 * victim], bounds[2 * victim + 1]
+            if head >= tail:
+                continue
+            bounds[2 * victim + 1] = tail - 1
+            return idx_arr[tail - 1]
+        finally:
+            lock.release()
+    return None
+
+
+def _run_one(names, tasks, obj, idx: int, obs_on: bool):
+    """Execute one task, capturing its obs deltas like the static pool."""
+    name = names[idx]
+    if obs_on:
+        observer = obs.enable()
+        t0 = time.perf_counter()
+        try:
+            value = tasks[name](obj)
+        except Exception as exc:
+            return idx, None, None, 0.0, exc
+        return idx, value, observer.snapshot(), time.perf_counter() - t0, None
+    try:
+        value = tasks[name](obj)
+    except Exception as exc:
+        return idx, None, None, 0.0, exc
+    return idx, value, None, 0.0, None
+
+
+def _steal_worker(
+    worker: int,
+    n_workers: int,
+    idx_arr,
+    bounds,
+    locks,
+    current,
+    extra,
+    results,
+    done,
+    obs_on: bool,
+) -> None:
+    """Worker main loop: drain own chunk, then steal, then poll overflow."""
+    from repro.util import pool as pool_mod
+
+    assert pool_mod._SHARED is not None, "steal worker forked without state"
+    tasks, obj = pool_mod._SHARED
+    names = list(tasks)
+    while not done.is_set():
+        idx = _pop_own(worker, bounds, locks, idx_arr)
+        stolen = False
+        if idx is None:
+            idx = _steal(worker, n_workers, bounds, locks, idx_arr)
+            stolen = idx is not None
+        if idx is None:
+            try:
+                idx = extra.get_nowait()
+            except queue_mod.Empty:
+                time.sleep(_IDLE_SLEEP_S)
+                continue
+        current[worker] = idx
+        idx, value, snapshot, dur, exc = _run_one(names, tasks, obj, idx, obs_on)
+        current[worker] = -1
+        if exc is not None:
+            import pickle
+
+            try:
+                pickle.dumps(exc)
+            except Exception:
+                exc = RuntimeError(repr(exc))
+        results.put((worker, stolen, idx, value, snapshot, dur, exc))
+
+
+def run_stealing(
+    tasks: Mapping[str, Callable[[Any], Any]],
+    obj: Any,
+    workers: int,
+    straggler_timeout: float | None = None,
+) -> dict[str, Any]:
+    """Run ``tasks[name](obj)`` for every task over a work-stealing pool.
+
+    Same contract as :func:`repro.util.pool.map_tasks`: returns
+    ``{name: result}`` with results (and worker obs snapshots) folded in
+    submission order, raises :class:`~repro.errors.PoolTaskError` naming
+    a task that raised, and falls back to the serial path when the
+    platform cannot fork.  ``straggler_timeout`` enables re-dispatching
+    the oldest in-flight task after that many seconds without progress.
+    """
+    from repro.util import pool as pool_mod
+
+    names = list(tasks)
+    n = len(names)
+    n_workers = min(workers, n)
+    if n_workers <= 1 or not pool_mod.fork_available():
+        reason = (
+            "single worker/task" if n_workers <= 1 else "fork unavailable"
+        )
+        log.info("steal scheduler falling back to static pool (%s)", reason)
+        return pool_mod.map_tasks(tasks, obj, workers)
+
+    ctx = multiprocessing.get_context("fork")
+    idx_arr = ctx.Array("q", n, lock=False)
+    bounds = ctx.Array("q", 2 * n_workers, lock=False)
+    locks = [ctx.Lock() for _ in range(n_workers)]
+    current = ctx.Array("q", n_workers, lock=False)
+    extra = ctx.Queue()
+    results_q = ctx.Queue()
+    done = ctx.Event()
+
+    # contiguous chunked split, same order the static pool would submit
+    for i in range(n):
+        idx_arr[i] = i
+    for w in range(n_workers):
+        bounds[2 * w] = w * n // n_workers
+        bounds[2 * w + 1] = (w + 1) * n // n_workers
+        current[w] = -1
+
+    obs_on = obs.enabled()
+    pool_mod._SHARED = (tasks, obj)
+    procs = [
+        ctx.Process(
+            target=_steal_worker,
+            args=(w, n_workers, idx_arr, bounds, locks, current, extra,
+                  results_q, done, obs_on),
+            daemon=True,
+        )
+        for w in range(n_workers)
+    ]
+    try:
+        for p in procs:
+            p.start()
+        outcome = _collect(
+            names, tasks, obj, n_workers, procs, idx_arr, bounds, locks,
+            current, extra, results_q, straggler_timeout, obs_on,
+        )
+    finally:
+        done.set()
+        for p in procs:
+            p.join(timeout=2.0)
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - defensive
+                p.terminate()
+                p.join(timeout=1.0)
+        extra.cancel_join_thread()
+        results_q.cancel_join_thread()
+        pool_mod._SHARED = None
+
+    values, snapshots, durations, steals, requeues = outcome
+    obs.add("pool.steal_batches")
+    obs.add("pool.worker_processes", n_workers)
+    if steals:
+        obs.add("pool.steal", steals)
+    if requeues:
+        obs.add("pool.requeue", requeues)
+    # fold worker observations in submission order (deterministic)
+    for idx, name in enumerate(names):
+        snapshot = snapshots.get(idx)
+        if snapshot is not None:
+            obs.current().merge_snapshot(snapshot)
+            pool_mod._record_task(name, durations[idx])
+    return {name: values[idx] for idx, name in enumerate(names)}
+
+
+def _drain_dead_worker(worker, bounds, locks, idx_arr, current) -> list[int]:
+    """Recover every task index a dead worker still owned."""
+    recovered: list[int] = []
+    in_flight = current[worker]
+    if in_flight >= 0:
+        recovered.append(in_flight)
+        current[worker] = -1
+    lock = locks[worker]
+    locked = lock.acquire(timeout=_LOCK_TIMEOUT_S)
+    try:
+        # if the worker died holding its own lock, reading without it is
+        # safe: the owner is gone and thieves give up after a timeout
+        head, tail = bounds[2 * worker], bounds[2 * worker + 1]
+        recovered.extend(idx_arr[head:tail])
+        bounds[2 * worker] = tail
+    finally:
+        if locked:
+            lock.release()
+    return recovered
+
+
+def _collect(
+    names, tasks, obj, n_workers, procs, idx_arr, bounds, locks, current,
+    extra, results_q, straggler_timeout, obs_on,
+):
+    """Parent loop: gather results, police crashes and stragglers."""
+    n = len(names)
+    values: dict[int, Any] = {}
+    snapshots: dict[int, dict] = {}
+    durations: dict[int, float] = {}
+    requeue_counts: dict[int, int] = {}
+    steals = requeues = 0
+    last_progress = time.monotonic()
+    dead: set[int] = set()
+
+    def _requeue(idx: int, why: str) -> None:
+        nonlocal requeues
+        requeue_counts[idx] = requeue_counts.get(idx, 0) + 1
+        requeues += 1
+        if obs_on:
+            obs.event("pool_requeue", names[idx], index=idx, reason=why)
+        if requeue_counts[idx] > _MAX_REQUEUES:
+            log.warning(
+                "task %r requeued %d times; running it in the parent",
+                names[idx], requeue_counts[idx] - 1,
+            )
+            _, value, snapshot, dur, exc = _run_one(
+                names, tasks, obj, idx, obs_on
+            )
+            if exc is not None:
+                raise PoolTaskError(
+                    f"pool task {names[idx]!r} (#{idx} of {n}) failed after "
+                    f"{why}: {exc}",
+                    task=names[idx],
+                    index=idx,
+                ) from exc
+            values[idx] = value
+            if snapshot is not None:
+                snapshots[idx] = snapshot
+                durations[idx] = dur
+        else:
+            log.info("requeueing task %r after %s", names[idx], why)
+            extra.put(idx)
+
+    while len(values) < n:
+        try:
+            worker, stolen, idx, value, snapshot, dur, exc = results_q.get(
+                timeout=_POLL_S
+            )
+        except queue_mod.Empty:
+            pass
+        else:
+            last_progress = time.monotonic()
+            if exc is not None:
+                raise PoolTaskError(
+                    f"pool task {names[idx]!r} (#{idx} of {n}) failed in a "
+                    f"worker: {exc}",
+                    task=names[idx],
+                    index=idx,
+                ) from exc
+            if idx not in values:  # first finisher wins on duplicates
+                values[idx] = value
+                if snapshot is not None:
+                    snapshots[idx] = snapshot
+                    durations[idx] = dur
+                if stolen:
+                    steals += 1
+            continue
+
+        # no result this poll: check for dead workers ...
+        newly_dead = False
+        recovered: set[int] = set()
+        for w, p in enumerate(procs):
+            if w in dead or p.is_alive():
+                continue
+            dead.add(w)
+            newly_dead = True
+            log.warning(
+                "pool worker %d died (exit code %s); requeueing its tasks",
+                w, p.exitcode,
+            )
+            for idx in _drain_dead_worker(w, bounds, locks, idx_arr, current):
+                if idx not in values:
+                    recovered.add(idx)
+                    _requeue(idx, f"worker {w} crash")
+        if newly_dead and len(dead) < len(procs):
+            # a hard-killed worker (os._exit, SIGKILL) takes its queue
+            # feeder thread with it, so results it finished but never
+            # flushed are gone for good.  Any missing index that no live
+            # worker owns must be presumed lost and re-dispatched;
+            # duplicates are dropped by first-result-wins above.
+            owned: set[int] = set(recovered)
+            for w in range(n_workers):
+                if w in dead:
+                    continue
+                if current[w] >= 0:
+                    owned.add(current[w])
+                owned.update(idx_arr[bounds[2 * w]:bounds[2 * w + 1]])
+            for idx in range(n):
+                if idx not in values and idx not in owned:
+                    _requeue(idx, "result lost in a worker crash")
+        if len(dead) == len(procs):
+            # nobody left to serve the queues: finish serially, in order
+            log.warning("all pool workers died; finishing serially in parent")
+            for idx in range(n):
+                if idx in values:
+                    continue
+                _, value, snapshot, dur, exc = _run_one(
+                    names, tasks, obj, idx, obs_on
+                )
+                if exc is not None:
+                    raise PoolTaskError(
+                        f"pool task {names[idx]!r} (#{idx} of {n}) failed "
+                        f"in the parent after its workers died: {exc}",
+                        task=names[idx],
+                        index=idx,
+                    ) from exc
+                values[idx] = value
+                if snapshot is not None:
+                    snapshots[idx] = snapshot
+                    durations[idx] = dur
+            break
+
+        # ... and for stragglers worth re-dispatching
+        if (
+            straggler_timeout is not None
+            and time.monotonic() - last_progress > straggler_timeout
+        ):
+            in_flight = [
+                current[w] for w in range(n_workers)
+                if w not in dead and current[w] >= 0
+            ]
+            idle = any(
+                w not in dead and current[w] < 0 for w in range(n_workers)
+            )
+            candidates = [i for i in in_flight if i not in values]
+            if candidates and idle:
+                idx = min(candidates)  # deterministic pick: oldest index
+                obs.add("pool.straggler_redispatch")
+                _requeue(idx, "straggler timeout")
+                last_progress = time.monotonic()
+
+    return values, snapshots, durations, steals, requeues

@@ -29,10 +29,29 @@ interacts with the shared ``resource_tracker``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import Any, Callable
 
 import numpy as np
+
+
+@dataclass
+class ShmBundle:
+    """A named bag of 1-d arrays plus small picklable metadata.
+
+    The generic carrier for pool jobs whose shared state is "several
+    heavy arrays and a bit of structure" (the sharded replay's action
+    table, per-shard index lists, ...).  Under fork it rides along
+    copy-on-write like any object; under spawn :func:`export_shareable`
+    packs the arrays into one segment and pickles only ``meta``.
+    """
+
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    meta: Any = None
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        return self.arrays[key]
 
 #: alignment of each packed array inside a segment
 _ALIGN = 64
@@ -119,6 +138,24 @@ def export_shareable(obj: Any) -> tuple[dict, Callable[[], None]]:
             seg.unlink()
 
         return spec, cleanup
+    if isinstance(obj, ShmBundle):
+        keys = list(obj.arrays)
+        seg, metas = _pack_arrays(
+            [np.ascontiguousarray(obj.arrays[k]).ravel() for k in keys]
+        )
+        spec = {
+            "kind": "bundle",
+            "name": seg.name,
+            "keys": keys,
+            "arrays": metas,
+            "meta": obj.meta,
+        }
+
+        def cleanup(seg=seg) -> None:
+            seg.close()
+            seg.unlink()
+
+        return spec, cleanup
     if (
         isinstance(obj, tuple)
         and len(obj) > 0
@@ -165,4 +202,9 @@ def attach_shareable(spec: dict) -> Any:
         )
     if kind == "arrays":
         return tuple(_attach_arrays(spec["name"], spec["arrays"]))
+    if kind == "bundle":
+        arrays = _attach_arrays(spec["name"], spec["arrays"])
+        return ShmBundle(
+            arrays=dict(zip(spec["keys"], arrays)), meta=spec["meta"]
+        )
     raise ValueError(f"unknown shareable spec kind {kind!r}")

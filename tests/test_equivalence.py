@@ -22,7 +22,8 @@ from repro.strided.detect import (
     coalesce_stream,
     coalesce_stream_vectorized,
 )
-from repro.workload import WorkloadGenerator, ames1993
+from repro import obs
+from repro.workload import WorkloadGenerator, ames1993, tiny
 
 
 @pytest.fixture(
@@ -144,6 +145,87 @@ class TestParallelEquivalence:
         assert (fanned.frame.events == workload.frame.events).all()
         assert (fanned.frame.jobs.data == workload.frame.jobs.data).all()
         assert (fanned.frame.files.data == workload.frame.files.data).all()
+
+
+# -- sharded full-pipeline simulation vs the serial replay --------------------
+
+
+@pytest.fixture(
+    scope="module",
+    params=[("tiny", 5), ("ames01", 11)],
+    ids=["tiny-seed5", "ames01-seed11"],
+)
+def full_case(request):
+    kind, seed = request.param
+    scenario = tiny(1.0) if kind == "tiny" else ames1993(0.01)
+    return scenario, seed
+
+
+@pytest.fixture(scope="module")
+def full_serial(full_case):
+    scenario, seed = full_case
+    return WorkloadGenerator(scenario, seed=seed).run("full")
+
+
+#: simulation-state counters that must not move when the replay shards
+_SIM_COUNTERS = (
+    "cfs.opens", "cfs.closes", "cfs.creates",
+    "cfs.reads", "cfs.writes", "cfs.bytes_read", "cfs.bytes_written",
+    "cfs.cache.hits", "cfs.cache.misses",
+    "cfs.cache.evictions", "cfs.cache.writes_through",
+    "machine.disk_bytes_allocated", "machine.collector_stamps",
+    "trace.calls_traced", "workload.replay_actions", "workload.events",
+)
+
+
+class TestShardedFullPipeline:
+    """An N-shard full-pipeline run is *byte-identical* to the serial
+    one: the raw trace, the analysis frame, the CFS end state, and the
+    simulation obs counters all match exactly."""
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_trace_and_frame_byte_identical(self, full_case, full_serial, shards):
+        scenario, seed = full_case
+        sharded = WorkloadGenerator(scenario, seed=seed).run(
+            "full", shards=shards
+        )
+        assert sharded.raw.to_bytes() == full_serial.raw.to_bytes()
+        assert (sharded.frame.events == full_serial.frame.events).all()
+        assert (sharded.frame.jobs.data == full_serial.frame.jobs.data).all()
+        assert (sharded.frame.files.data == full_serial.frame.files.data).all()
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_cfs_end_state_identical(self, full_case, full_serial, shards):
+        scenario, seed = full_case
+        sharded = WorkloadGenerator(scenario, seed=seed).run(
+            "full", shards=shards
+        )
+        assert sharded.fs.cache_stats() == full_serial.fs.cache_stats()
+        assert sharded.fs.disk_usage() == full_serial.fs.disk_usage()
+
+    def test_obs_counters_identical(self, full_case):
+        scenario, seed = full_case
+
+        def counters(shards):
+            ob = obs.enable()
+            try:
+                WorkloadGenerator(scenario, seed=seed).run(
+                    "full", shards=shards
+                )
+                return ob.snapshot()["counters"]
+            finally:
+                obs.disable()
+
+        serial = counters(None)
+        sharded = counters(2)
+        for key in _SIM_COUNTERS:
+            assert sharded.get(key) == serial.get(key), key
+        assert serial.get("workload.events", 0) > 0
+
+    def test_one_shard_is_the_serial_path(self, full_case, full_serial):
+        scenario, seed = full_case
+        one = WorkloadGenerator(scenario, seed=seed).run("full", shards=1)
+        assert one.raw.to_bytes() == full_serial.raw.to_bytes()
 
 
 # -- strided-run detector: vectorized vs reference loop -----------------------

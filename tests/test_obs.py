@@ -141,7 +141,8 @@ class TestPoolObservability:
         # the per-part counters must have crossed the process boundary
         assert observer.counters["core.filestats.files"] > 0
         assert observer.counters["pool.tasks"] == 5
-        assert observer.counters["pool.forked_batches"] == 1
+        # the analysis families fan out through the steal scheduler now
+        assert observer.counters["pool.steal_batches"] == 1
         span_names = set(RunReport(spans=observer.root.to_dict()).span_names())
         assert "core/characterize/basics" in span_names
 
