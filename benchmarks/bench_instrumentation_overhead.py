@@ -109,6 +109,13 @@ def test_obs_overhead(frame):
 
     observer = obs.enable()
     t_on = _time_characterize(frame)
+    obs.disable()
+
+    # traced mode (obs v3): spans additionally land in a TraceLog ring
+    from repro.obs import TraceContext
+
+    obs.enable(TraceContext.root())
+    t_traced = _time_characterize(frame)
     # every counter add and span entry the run performed, ×2 for the
     # enabled() guards that precede grouped counter adds
     n_calls = 2 * (
@@ -120,24 +127,29 @@ def test_obs_overhead(frame):
     per_call = _null_call_cost_s()
     disabled_overhead = (n_calls * per_call) / t_off
     enabled_overhead = t_on / t_off - 1.0
+    traced_overhead = t_traced / t_off - 1.0
     show(
         "repro.obs: observation overhead on characterize()",
         f"obs disabled: {t_off * 1000:.1f} ms (null observer)\n"
         f"obs enabled:  {t_on * 1000:.1f} ms "
         f"({n_observed} spans+counters collected)\n"
+        f"obs traced:   {t_traced * 1000:.1f} ms (+ TraceLog event ring)\n"
         f"null call cost: {per_call * 1e9:.0f} ns × ~{n_calls} calls -> "
         f"disabled-mode overhead {disabled_overhead:.4%}\n"
-        f"enabled-mode overhead: {enabled_overhead:+.1%}",
+        f"enabled-mode overhead: {enabled_overhead:+.1%}\n"
+        f"traced-mode overhead:  {traced_overhead:+.1%}",
     )
     emit_json(
         "obs_overhead",
         {
             "t_disabled_s": t_off,
             "t_enabled_s": t_on,
+            "t_traced_s": t_traced,
             "null_call_cost_s": per_call,
             "n_instrumentation_calls": n_calls,
             "disabled_overhead": disabled_overhead,
             "enabled_overhead": enabled_overhead,
+            "traced_overhead": traced_overhead,
             "n_events": int(frame.n_events),
             "n_observed_names": n_observed,
         },
@@ -146,3 +158,5 @@ def test_obs_overhead(frame):
     assert disabled_overhead < 0.03
     # enabled-mode collection stays within a small factor of the analysis
     assert t_on < 2.0 * t_off
+    # tracing adds an event append per span; still a small factor
+    assert t_traced < 2.5 * t_off

@@ -368,18 +368,98 @@ def cmd_obs_export(args) -> int:
     return 0
 
 
-def cmd_obs_diff(args) -> int:
+def cmd_obs_timeline(args) -> int:
     from repro.errors import ObsReportError
-    from repro.obs.regress import compare_files, regressions
+    from repro.obs import RunReport
+    from repro.obs.timeline import (
+        build_timeline,
+        render_summary,
+        write_chrome_trace,
+    )
 
     try:
-        deltas = compare_files(
-            args.base, args.new,
-            threshold=args.threshold, patterns=args.metric,
-        )
+        report = RunReport.load(args.report)
+        timeline = build_timeline(report)
     except ObsReportError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    print(render_summary(timeline))
+    if args.out:
+        path = write_chrome_trace(timeline, args.out)
+        print(f"wrote {path} (Chrome trace-event JSON; load in ui.perfetto.dev)")
+    return 0
+
+
+def cmd_obs_serve(args) -> int:
+    import time as time_mod
+
+    from repro.errors import ObsReportError
+    from repro.obs import RunReport
+    from repro.obs.server import ObsServer
+
+    try:
+        report = RunReport.load(args.report)
+    except ObsReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    server = ObsServer(report=report, host=args.host, port=args.port).start()
+    print(
+        f"serving {args.report} at {server.url} "
+        f"(/metrics /healthz /timeline)"
+        + ("" if args.duration else "; Ctrl-C to stop")
+    )
+    try:
+        if args.duration:
+            time_mod.sleep(args.duration)
+        else:
+            while True:
+                time_mod.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    from repro.errors import ObsReportError
+    from repro.obs.regress import (
+        compare,
+        load_record,
+        missing_metrics,
+        regressions,
+    )
+
+    try:
+        base_kind, base_version, base = load_record(args.base)
+        new_kind, new_version, new = load_record(args.new)
+    except ObsReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if base_kind != new_kind:
+        print(
+            f"error: cannot compare a {base_kind} ({args.base}) against "
+            f"a {new_kind} ({args.new})",
+            file=sys.stderr,
+        )
+        return 1
+    if base_version != new_version:
+        print(
+            f"error: schema version mismatch: {args.base} is a {base_kind} "
+            f"with schema {base_version} but {args.new} has schema "
+            f"{new_version} — regenerate the baseline with this build "
+            f"before gating on it",
+            file=sys.stderr,
+        )
+        return 1
+    deltas = compare(base, new, threshold=args.threshold, patterns=args.metric)
+    only_base, only_new = missing_metrics(base, new, patterns=args.metric)
+    for name in only_base:
+        print(f"warning: metric {name} missing from {args.new} "
+              f"(present in {args.base}); skipped")
+    for name in only_new:
+        print(f"warning: metric {name} missing from {args.base} "
+              f"(present in {args.new}); skipped")
     if not deltas:
         print(f"no comparable metrics between {args.base} and {args.new}")
         return 0
@@ -422,6 +502,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --obs: sample RSS/CPU/gauges/counter deltas every "
              "SECONDS on a background thread into the report's time "
              "series (implies --obs)",
+    )
+    parser.add_argument(
+        "--obs-serve", type=int, default=None, metavar="PORT",
+        help="with --obs: serve live telemetry on 127.0.0.1:PORT for the "
+             "duration of the run — /metrics (Prometheus), /healthz, "
+             "/timeline (Perfetto JSON); implies --obs",
     )
     parser.add_argument(
         "-v", "--verbose", action="count", default=0,
@@ -554,6 +640,27 @@ def build_parser() -> argparse.ArgumentParser:
     od.add_argument("--all", action="store_true",
                     help="print every compared metric, not just changes")
     od.set_defaults(func=cmd_obs_diff)
+    ot = osub.add_parser(
+        "timeline",
+        help="merge a traced run report's per-process event streams into "
+             "one causal timeline (Chrome trace-event / Perfetto JSON)",
+    )
+    ot.add_argument("report", help="a schema-v3 run report written by --obs")
+    ot.add_argument("-o", "--out", metavar="PATH",
+                    help="write Chrome trace-event JSON to PATH "
+                         "(load it in ui.perfetto.dev)")
+    ot.set_defaults(func=cmd_obs_timeline)
+    osv = osub.add_parser(
+        "serve",
+        help="serve a saved run report over HTTP "
+             "(/metrics, /healthz, /timeline)",
+    )
+    osv.add_argument("report", help="a JSON run report written by --obs")
+    osv.add_argument("--host", default="127.0.0.1")
+    osv.add_argument("--port", type=int, default=8321)
+    osv.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                     help="serve for SECONDS then exit 0 (default: forever)")
+    osv.set_defaults(func=cmd_obs_serve)
 
     return parser
 
@@ -571,19 +678,31 @@ def main(argv: list[str] | None = None) -> int:
     _configure_logging(args.verbose, args.quiet)
     if args.obs_sample is not None and args.obs_sample <= 0:
         build_parser().error("--obs-sample period must be positive")
-    if args.obs is None and args.obs_sample is not None:
-        args.obs = "obs_report.json"  # sampling implies observation
+    if args.obs is None and (
+        args.obs_sample is not None or args.obs_serve is not None
+    ):
+        args.obs = "obs_report.json"  # sampling/serving imply observation
     if args.obs is None:
         return args.func(args)
 
-    from repro.obs import FlightRecorder, Sampler
+    from repro.obs import FlightRecorder, Sampler, TraceContext
 
-    observer = obs.enable()
+    observer = obs.enable(TraceContext.root(worker="main"))
     observer.flight = FlightRecorder()
     sampler = None
     if args.obs_sample is not None:
         sampler = Sampler(observer, period_s=args.obs_sample)
         sampler.start()
+        observer.sampler = sampler
+    server = None
+    if args.obs_serve is not None:
+        from repro.obs.server import ObsServer
+
+        command = list(argv) if argv is not None else sys.argv[1:]
+        server = ObsServer(
+            observer=observer, port=args.obs_serve, command=command
+        ).start()
+        print(f"[obs] live telemetry at {server.url}", file=sys.stderr)
     try:
         with observer.span(f"cli/{args.command}"):
             return args.func(args)
@@ -601,6 +720,8 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         # write the report even when the command raises: a profile of the
         # partial run is exactly what a post-mortem wants
+        if server is not None:
+            server.stop()
         timeseries = sampler.flush() if sampler is not None else None
         command = list(argv) if argv is not None else sys.argv[1:]
         report = observer.report(command=command, timeseries=timeseries)

@@ -35,6 +35,7 @@ from repro.obs.collector import (
     SpanNode,
     peak_rss_bytes,
 )
+from repro.obs.context import TraceContext, TraceLog
 from repro.obs.flight import FlightRecorder
 from repro.obs.hist import Histogram
 from repro.obs.report import RunReport
@@ -49,6 +50,8 @@ __all__ = [
     "RunReport",
     "Sampler",
     "SpanNode",
+    "TraceContext",
+    "TraceLog",
     "add",
     "current",
     "disable",
@@ -77,10 +80,16 @@ def enabled() -> bool:
     return _OBSERVER.enabled
 
 
-def enable() -> Observer:
-    """Install (and return) a fresh collecting observer."""
+def enable(context: TraceContext | None = None) -> Observer:
+    """Install (and return) a fresh collecting observer.
+
+    Passing a :class:`TraceContext` additionally opens a causal event
+    stream (:class:`TraceLog`) so spans and scheduler events feed the
+    cross-process timeline; without one the observer behaves exactly as
+    before.
+    """
     global _OBSERVER
-    _OBSERVER = Observer()
+    _OBSERVER = Observer(context)
     return _OBSERVER
 
 

@@ -27,10 +27,12 @@ except ImportError:  # pragma: no cover
 
 import sys
 
+from repro.obs.context import TraceContext, TraceLog
 from repro.obs.hist import Histogram
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.flight import FlightRecorder
+    from repro.obs.sampler import Sampler
 
 
 def peak_rss_bytes() -> int:
@@ -129,6 +131,9 @@ class _SpanHandle:
         flight = observer.flight
         if flight is not None:
             flight.record("span_open", self._name)
+        tracelog = observer.tracelog
+        if tracelog is not None:
+            tracelog.begin_span(self._name)
         self._w0 = time.perf_counter()
         self._c0 = time.process_time()
         return self._node
@@ -145,6 +150,12 @@ class _SpanHandle:
         elif self._node in stack:  # pragma: no cover - unbalanced exits
             del stack[stack.index(self._node):]
         observer.hist(f"span.{self._name}.seconds", wall)
+        tracelog = observer.tracelog
+        if tracelog is not None:
+            tracelog.end_span(
+                self._name,
+                error=exc_type.__name__ if exc_type is not None else None,
+            )
         flight = observer.flight
         if flight is not None:
             if exc_type is not None:
@@ -162,7 +173,7 @@ class Observer:
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, context: TraceContext | None = None) -> None:
         self.root = SpanNode("run")
         self._stack: list[SpanNode] = [self.root]
         self.counters: dict[str, int | float] = {}
@@ -171,6 +182,15 @@ class Observer:
         self.notes: dict[str, str] = {}
         #: optional crash-forensics ring (attached by the CLI's --obs path)
         self.flight: FlightRecorder | None = None
+        #: optional background time-series sampler (attached alongside)
+        self.sampler: Sampler | None = None
+        #: per-process causal event stream; None unless a TraceContext
+        #: was supplied (the CLI's --obs path and pool workers do)
+        self.tracelog: TraceLog | None = (
+            TraceLog(context) if context is not None else None
+        )
+        #: flushed worker sampler rings folded in by merge_snapshot
+        self.worker_timeseries: list[dict] = []
         self.started_at = time.time()
         self._w0 = time.perf_counter()
         self._c0 = time.process_time()
@@ -223,13 +243,23 @@ class Observer:
         parent can fold their observations into its own tree (see
         :func:`repro.util.pool.map_tasks`).
         """
-        return {
+        snap = {
             "spans": self.root.to_dict(),
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
             "notes": dict(self.notes),
         }
+        if self.tracelog is not None:
+            snap["trace"] = self.tracelog.payload()
+        if self.worker_timeseries:
+            snap["worker_timeseries"] = list(self.worker_timeseries)
+        sampler = self.sampler
+        if sampler is not None:
+            ring = sampler.flush()
+            if ring.get("samples"):
+                snap.setdefault("worker_timeseries", []).append(ring)
+        return snap
 
     def merge_snapshot(self, payload: dict) -> None:
         """Fold another observer's :meth:`snapshot` under the open span.
@@ -250,6 +280,18 @@ class Observer:
             h.merge_dict(hd)
         for name, text in payload.get("notes", {}).items():
             self.note(name, text)
+        trace = payload.get("trace")
+        if trace and self.tracelog is not None:
+            self.tracelog.add_child(trace)
+        worker_ts = payload.get("worker_timeseries")
+        if worker_ts:
+            self.worker_timeseries.extend(worker_ts)
+
+    def trace_payload(self) -> dict:
+        """The full trace tree (this stream + nested workers), or ``{}``."""
+        if self.tracelog is None:
+            return {}
+        return self.tracelog.payload()
 
     # -- finalization ---------------------------------------------------------
 
@@ -275,8 +317,16 @@ class Observer:
                 k: self.histograms[k].to_dict() for k in sorted(self.histograms)
             },
             notes={k: self.notes[k] for k in sorted(self.notes)},
-            timeseries=dict(timeseries) if timeseries else {},
+            timeseries=self._merged_timeseries(timeseries),
+            trace=self.trace_payload(),
         )
+
+    def _merged_timeseries(self, timeseries: dict | None) -> dict:
+        """The parent sampler ring plus any worker rings folded back."""
+        merged = dict(timeseries) if timeseries else {}
+        if self.worker_timeseries:
+            merged["workers"] = list(self.worker_timeseries)
+        return merged
 
 
 class _NullSpan:
@@ -300,6 +350,8 @@ class NullObserver:
     __slots__ = ()
     enabled = False
     flight = None
+    sampler = None
+    tracelog = None
 
     def span(self, name: str) -> _NullSpan:
         return _NULL_SPAN

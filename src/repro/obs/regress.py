@@ -124,9 +124,11 @@ def _report_metrics(payload: dict) -> dict[str, float]:
     return metrics
 
 
-def load_metrics(path: str | Path) -> tuple[str, dict[str, float]]:
-    """Load any supported record as ``(kind, {metric: value})``.
+def load_record(path: str | Path) -> tuple[str, int, dict[str, float]]:
+    """Load any supported record as ``(kind, schema version, metrics)``.
 
+    The schema version is the run report's ``version`` or the bench
+    envelope's ``schema`` (0 for legacy benches, which predate both).
     Raises :class:`~repro.errors.ObsReportError` with a one-line message
     on unreadable, truncated, or unrecognizable files.
     """
@@ -147,21 +149,50 @@ def load_metrics(path: str | Path) -> tuple[str, dict[str, float]]:
         raise ObsReportError(f"{path}: expected a JSON object at top level")
     if "spans" in payload and "counters" in payload:
         try:
-            return "run-report", _report_metrics(payload)
+            metrics = _report_metrics(payload)
         except ObsReportError as exc:
             raise ObsReportError(f"{path}: {exc}") from exc
+        return "run-report", int(payload.get("version", 1)), metrics
     if "metrics" in payload and "schema" in payload:
         metrics = payload["metrics"]
         if not isinstance(metrics, dict):
             raise ObsReportError(f"{path}: 'metrics' must be an object")
-        return "bench", {
+        return "bench", int(payload.get("schema", 0)), {
             str(k): float(v) for k, v in metrics.items()
             if isinstance(v, (int, float)) and not isinstance(v, bool)
         }
     flat = _flatten(payload)
     if not flat:
         raise ObsReportError(f"{path}: no numeric metrics found")
-    return "legacy-bench", flat
+    return "legacy-bench", 0, flat
+
+
+def load_metrics(path: str | Path) -> tuple[str, dict[str, float]]:
+    """Load any supported record as ``(kind, {metric: value})``.
+
+    See :func:`load_record` for the version-aware form.
+    """
+    kind, _version, metrics = load_record(path)
+    return kind, metrics
+
+
+def missing_metrics(
+    base: dict[str, float],
+    new: dict[str, float],
+    patterns: list[str] | None = None,
+) -> tuple[list[str], list[str]]:
+    """Metric names present on only one side: ``(only base, only new)``.
+
+    :func:`compare` skips these (a gate compares like with like); the
+    CLI warns about them so schema drift is visible instead of silent.
+    """
+
+    def wanted(name: str) -> bool:
+        return not patterns or any(fnmatch(name, p) for p in patterns)
+
+    only_base = sorted(n for n in set(base) - set(new) if wanted(n))
+    only_new = sorted(n for n in set(new) - set(base) if wanted(n))
+    return only_base, only_new
 
 
 def compare(

@@ -13,7 +13,11 @@ Schema history:
 - **v2**: adds ``histograms`` (mergeable log-bucketed distributions,
   :mod:`repro.obs.hist`), ``timeseries`` (flushed sampler ring,
   :mod:`repro.obs.sampler`), and ``notes`` (string annotations such as
-  the slowest pool task).  v1 files load with those fields empty;
+  the slowest pool task).
+- **v3**: adds ``trace`` (the cross-process causal event tree,
+  :mod:`repro.obs.context` — one stream per process, nested worker
+  streams under ``children``) and ``timeseries["workers"]`` (flushed
+  worker sampler rings).  v1/v2 files load with those fields empty;
   files from a *future* version raise
   :class:`~repro.errors.ObsReportError` instead of being misread.
 """
@@ -30,7 +34,7 @@ from repro.obs.collector import SpanNode
 from repro.obs.hist import Histogram
 
 #: current on-disk format version
-REPORT_VERSION = 2
+REPORT_VERSION = 3
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -67,6 +71,8 @@ class RunReport:
     timeseries: dict = field(default_factory=dict)
     #: string annotations (e.g. ``pool.slowest_task``)
     notes: dict[str, str] = field(default_factory=dict)
+    #: cross-process causal event tree (:meth:`repro.obs.context.TraceLog.payload`)
+    trace: dict = field(default_factory=dict)
     version: int = REPORT_VERSION
 
     # -- derived --------------------------------------------------------------
@@ -94,6 +100,19 @@ class RunReport:
     def histogram(self, name: str) -> Histogram:
         """The named histogram rebuilt as a :class:`Histogram`."""
         return Histogram.from_dict(self.histograms[name])
+
+    def trace_streams(self) -> list[dict]:
+        """Every per-process trace stream, flattened (root first)."""
+        streams: list[dict] = []
+
+        def walk(stream: dict) -> None:
+            streams.append(stream)
+            for child in stream.get("children", ()):
+                walk(child)
+
+        if self.trace:
+            walk(self.trace)
+        return streams
 
     def span_names(self) -> list[str]:
         """Every distinct span path, ``/``-joined from the root."""
@@ -127,6 +146,7 @@ class RunReport:
             "histograms": {k: dict(v) for k, v in self.histograms.items()},
             "timeseries": dict(self.timeseries),
             "notes": dict(self.notes),
+            "trace": dict(self.trace),
         }
 
     @classmethod
@@ -159,6 +179,7 @@ class RunReport:
                 histograms=dict(payload.get("histograms", {})),
                 timeseries=dict(payload.get("timeseries", {})),
                 notes=dict(payload.get("notes", {})),
+                trace=dict(payload.get("trace", {})),
                 version=version,
             )
         except (TypeError, ValueError) as exc:
@@ -269,5 +290,21 @@ class RunReport:
                 f"samples @ {self.timeseries.get('period_s', 0)}s "
                 f"({self.timeseries.get('n_dropped', 0)} dropped), "
                 f"rss {_fmt_bytes(min(rss))} -> {_fmt_bytes(max(rss))}"
+            )
+        worker_rings = self.timeseries.get("workers")
+        if worker_rings:
+            lines.append(
+                f"worker timeseries: {len(worker_rings)} rings, "
+                f"{sum(len(r.get('samples', ())) for r in worker_rings)} samples"
+            )
+        streams = self.trace_streams()
+        if streams:
+            n_events = sum(len(s.get("events", ())) for s in streams)
+            workers = [s.get("worker", "?") for s in streams[1:]]
+            suffix = f" (workers: {', '.join(workers)})" if workers else ""
+            lines.append(
+                f"trace: {len(streams)} process streams, "
+                f"{n_events} events{suffix} — "
+                f"render with `repro obs timeline`"
             )
         return "\n".join(lines)

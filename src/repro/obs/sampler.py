@@ -120,14 +120,12 @@ class Sampler:
         """Samples evicted from the ring."""
         return self._n_samples - len(self._ring)
 
-    def flush(self) -> dict:
-        """Stop sampling and return the ``timeseries`` report payload.
+    def peek(self) -> dict:
+        """The ring contents *without* stopping the sampling thread.
 
-        Always takes one final sample so even a run shorter than the
-        period leaves a data point.
+        The live telemetry endpoint (:mod:`repro.obs.server`) serves
+        this mid-run; :meth:`flush` remains the end-of-run finalizer.
         """
-        self.stop()
-        self.sample_once()
         return {
             "version": TIMESERIES_VERSION,
             "period_s": self.period_s,
@@ -136,3 +134,13 @@ class Sampler:
             "n_dropped": self.n_dropped,
             "samples": list(self._ring),
         }
+
+    def flush(self) -> dict:
+        """Stop sampling and return the ``timeseries`` report payload.
+
+        Always takes one final sample so even a run shorter than the
+        period leaves a data point.
+        """
+        self.stop()
+        self.sample_once()
+        return self.peek()

@@ -1,0 +1,216 @@
+"""Live telemetry endpoint: the first networked surface of ``repro.obs``.
+
+The ROADMAP's collector→aggregator→query trace service needs a
+pull-based way to look inside a running (or finished) observed run;
+this module provides it with nothing but the standard library: a
+:class:`ObsServer` wraps ``http.server.ThreadingHTTPServer`` on a
+daemon thread and answers
+
+- ``/metrics``  — Prometheus text exposition (reusing
+  :func:`repro.obs.export.to_prometheus`), so a scraper pointed at a
+  long characterization sees counters, gauges and histogram families
+  update live;
+- ``/healthz``  — a one-object JSON liveness probe (run id, uptime,
+  pid, spans/counters so far);
+- ``/timeline`` — the current causal timeline as Chrome trace-event
+  JSON (:mod:`repro.obs.timeline`), downloadable mid-run and loadable
+  in Perfetto;
+- ``/``         — a plain-text index of the above.
+
+Two modes share the same handler: **live** (constructed with the
+running :class:`~repro.obs.collector.Observer`; every request takes a
+fresh report snapshot, reading the sampler ring non-destructively via
+:meth:`~repro.obs.sampler.Sampler.peek`) and **static** (constructed
+with a saved :class:`~repro.obs.report.RunReport`, which is how
+``repro obs serve report.json`` republishes a finished run).
+
+The CLI exposes both: ``--obs-serve PORT`` on any observed command
+serves live for the duration of the run, and ``repro obs serve``
+serves a report file until interrupted.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ObsReportError
+from repro.obs.collector import Observer
+from repro.obs.report import RunReport
+
+log = logging.getLogger("repro.obs.server")
+
+#: content type Prometheus scrapers expect
+_PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ObsServer:
+    """Serves one run's telemetry over HTTP from a daemon thread."""
+
+    def __init__(
+        self,
+        observer: Observer | None = None,
+        report: RunReport | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        command: list[str] | None = None,
+    ) -> None:
+        if (observer is None) == (report is None):
+            raise ValueError("pass exactly one of observer= or report=")
+        self.observer = observer
+        self.report = report
+        self.command = list(command) if command else []
+        self._t0 = time.time()
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._host = host
+        self._requested_port = port
+
+    # -- report access ---------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        return "live" if self.observer is not None else "static"
+
+    def snapshot_report(self) -> RunReport:
+        """The most current report: frozen for static, fresh for live."""
+        if self.report is not None:
+            return self.report
+        observer = self.observer
+        assert observer is not None
+        sampler = observer.sampler
+        timeseries = sampler.peek() if sampler is not None else None
+        return observer.report(command=self.command, timeseries=timeseries)
+
+    def health(self) -> dict:
+        """The ``/healthz`` payload."""
+        payload = {
+            "status": "ok",
+            "mode": self.mode,
+            "uptime_s": round(time.time() - self._t0, 3),
+        }
+        if self.observer is not None:
+            payload["pid"] = os.getpid()
+            payload["n_counters"] = len(self.observer.counters)
+            tracelog = self.observer.tracelog
+            if tracelog is not None:
+                payload["run_id"] = tracelog.context.run_id
+                payload["n_trace_events"] = len(tracelog.events)
+        else:
+            assert self.report is not None
+            payload["command"] = list(self.report.command)
+            if self.report.trace:
+                payload["run_id"] = str(self.report.trace.get("run_id", ""))
+        return payload
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ObsServer":
+        """Bind and begin serving on a daemon thread (idempotent)."""
+        if self._httpd is not None:
+            return self
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # route into our logger
+                log.debug("%s %s", self.address_string(), fmt % args)
+
+            def _send(self, code: int, content_type: str, body: str) -> None:
+                data = body.encode("utf-8")
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                try:
+                    route = self.path.split("?", 1)[0].rstrip("/") or "/"
+                    if route == "/healthz":
+                        self._send(200, "application/json",
+                                   json.dumps(server.health()) + "\n")
+                    elif route == "/metrics":
+                        from repro.obs.export import to_prometheus
+
+                        self._send(200, _PROM_CONTENT_TYPE,
+                                   to_prometheus(server.snapshot_report()))
+                    elif route == "/timeline":
+                        from repro.obs.timeline import (
+                            build_timeline,
+                            to_chrome_trace,
+                        )
+
+                        try:
+                            timeline = build_timeline(server.snapshot_report())
+                        except ObsReportError as exc:
+                            self._send(404, "application/json",
+                                       json.dumps({"error": str(exc)}) + "\n")
+                            return
+                        self._send(200, "application/json",
+                                   json.dumps(to_chrome_trace(timeline)) + "\n")
+                    elif route == "/":
+                        self._send(
+                            200, "text/plain; charset=utf-8",
+                            "repro obs telemetry ({} mode)\n"
+                            "  /metrics   Prometheus text exposition\n"
+                            "  /healthz   liveness probe (JSON)\n"
+                            "  /timeline  Chrome trace-event JSON "
+                            "(load in ui.perfetto.dev)\n".format(server.mode),
+                        )
+                    else:
+                        self._send(404, "text/plain; charset=utf-8",
+                                   f"no such route {route}\n")
+                except BrokenPipeError:  # pragma: no cover - client gone
+                    pass
+                except Exception as exc:  # pragma: no cover - defensive
+                    log.warning("telemetry request failed: %s", exc)
+                    try:
+                        self._send(500, "text/plain; charset=utf-8",
+                                   f"internal error: {exc}\n")
+                    except Exception:
+                        pass
+
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), Handler
+        )
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-server",
+            daemon=True,
+        )
+        self._thread.start()
+        log.info("obs telemetry serving at %s (%s mode)", self.url, self.mode)
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves 0 to the ephemeral pick)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

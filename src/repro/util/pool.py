@@ -40,11 +40,51 @@ from typing import Any
 
 from repro import obs
 from repro.errors import PoolTaskError
+from repro.obs.context import TraceContext
 
 log = logging.getLogger("repro.util.pool")
 
 #: state inherited by forked workers: (task mapping, shared object)
 _SHARED: tuple[Mapping[str, Callable[[Any], Any]], Any] | None = None
+
+#: trace handoff wire inherited by forked workers (spawn gets it as an
+#: initializer argument); None whenever the parent run is not traced
+_TRACE_WIRE: dict | None = None
+
+
+def _make_wire() -> dict | None:
+    """One fan-out's trace handoff (and worker sampling period), if traced."""
+    observer = obs.current()
+    tracelog = observer.tracelog
+    if tracelog is None:
+        return None
+    batch = tracelog.new_span_id()
+    wire = tracelog.context.handoff(tracelog.current_span(), batch)
+    sampler = observer.sampler
+    if sampler is not None:
+        wire["sample_period"] = sampler.period_s
+    return wire
+
+
+def _adopt_wire(
+    wire: dict, name: str, worker: str | None = None,
+    victim: int | None = None,
+):
+    """Install a fresh traced observer for one worker task and record
+    its ``task_start`` (preceded by a ``steal`` event when the task was
+    taken from another worker's queue); returns (observer, edge key)."""
+    context = TraceContext.adopt(wire, worker=worker or f"pid{os.getpid()}")
+    observer = obs.enable(context)
+    key = f"{wire['batch']}/{name}"
+    if victim is not None:
+        observer.tracelog.record("steal", name, key=key, victim=victim)
+    observer.tracelog.record("task_start", name, key=key)
+    period = wire.get("sample_period")
+    if period:
+        from repro.obs.sampler import Sampler
+
+        observer.sampler = Sampler(observer, period_s=period).start()
+    return observer, key
 
 
 def fork_available() -> bool:
@@ -62,10 +102,18 @@ def _call(name: str) -> tuple[str, Any, dict | None, float]:
     tasks, obj = _SHARED
     if obs.enabled():
         # start a fresh observer so only this task's deltas travel back
-        observer = obs.enable()
+        wire = _TRACE_WIRE
+        if wire is not None:
+            observer, key = _adopt_wire(wire, name)
+        else:
+            observer, key = obs.enable(), None
         t0 = time.perf_counter()
         result = tasks[name](obj)
-        return name, result, observer.snapshot(), time.perf_counter() - t0
+        dur = time.perf_counter() - t0
+        if key is not None:
+            observer.tracelog.record("task_end", name, key=key,
+                                     dur_s=round(dur, 6))
+        return name, result, observer.snapshot(), dur
     return name, tasks[name](obj), None, 0.0
 
 
@@ -78,12 +126,13 @@ def _record_task(name: str, duration_s: float) -> None:
         observer.note("pool.slowest_task", name)
 
 
-def _spawn_init(tasks, spec, obs_on: bool) -> None:
+def _spawn_init(tasks, spec, obs_on: bool, wire: dict | None = None) -> None:
     """Initializer for spawn workers: attach to the exported shared
     object once per worker, then serve tasks exactly like a forked one."""
-    global _SHARED
+    global _SHARED, _TRACE_WIRE
     from repro.util import shm
 
+    _TRACE_WIRE = wire
     if obs_on:
         obs.enable()
     _SHARED = (tasks, shm.attach_shareable(spec))
@@ -104,10 +153,12 @@ def _run_serial(
 
 
 def _run_pool(
-    names: list[str], n_workers: int, mode: str, **executor_kwargs
+    names: list[str], n_workers: int, mode: str,
+    wire: dict | None = None, **executor_kwargs
 ) -> dict[str, Any]:
     """Submit every task to a fresh pool and gather results in
     submission order, folding worker observations back in."""
+    tracelog = obs.current().tracelog
     ctx = multiprocessing.get_context(mode)
     with ProcessPoolExecutor(
         max_workers=n_workers, mp_context=ctx, **executor_kwargs
@@ -116,6 +167,11 @@ def _run_pool(
         for index, name in enumerate(names):
             if obs.enabled():
                 obs.event("pool_dispatch", name, index=index, mode=mode)
+                if tracelog is not None and wire is not None:
+                    tracelog.record(
+                        "dispatch", name, key=f"{wire['batch']}/{name}",
+                        index=index, mode=mode,
+                    )
             futures.append(pool.submit(_call, name))
         results: dict[str, Any] = {}
         snapshots: dict[str, dict] = {}
@@ -144,6 +200,8 @@ def _run_pool(
         if snapshot is not None:
             obs.current().merge_snapshot(snapshot)
             _record_task(name, durations[name])
+            if tracelog is not None and wire is not None:
+                tracelog.record("merge", name, key=f"{wire['batch']}/{name}")
     return results
 
 
@@ -198,11 +256,13 @@ def map_tasks(
             f"unknown scheduler {scheduler!r} (use 'static' or 'steal')"
         )
 
+    wire = _make_wire()
     if fork_available():
-        global _SHARED
+        global _SHARED, _TRACE_WIRE
         _SHARED = (tasks, obj)
+        _TRACE_WIRE = wire
         try:
-            return _run_pool(names, n_workers, "fork")
+            return _run_pool(names, n_workers, "fork", wire=wire)
         except (BrokenExecutor, OSError) as exc:
             obs.add("pool.serial_fallbacks")
             log.warning(
@@ -213,6 +273,7 @@ def map_tasks(
             return _run_serial(tasks, obj, names)
         finally:
             _SHARED = None
+            _TRACE_WIRE = None
 
     from repro.util import shm
 
@@ -222,8 +283,9 @@ def map_tasks(
             names,
             n_workers,
             "spawn",
+            wire=wire,
             initializer=_spawn_init,
-            initargs=(dict(tasks), spec, obs.enabled()),
+            initargs=(dict(tasks), spec, obs.enabled(), wire),
         )
     except (BrokenExecutor, OSError, PicklingError) as exc:
         obs.add("pool.serial_fallbacks")

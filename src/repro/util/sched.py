@@ -83,8 +83,14 @@ def _pop_own(worker: int, bounds, locks, idx_arr) -> int | None:
         lock.release()
 
 
-def _steal(worker: int, n_workers: int, bounds, locks, idx_arr) -> int | None:
-    """Take one task from the tail of the fullest other queue."""
+def _steal(
+    worker: int, n_workers: int, bounds, locks, idx_arr
+) -> tuple[int, int] | None:
+    """Take one task from the tail of the fullest other queue.
+
+    Returns ``(task index, victim worker)`` so the thief can attribute
+    the steal in its trace stream and flight events.
+    """
     victims = sorted(
         (v for v in range(n_workers) if v != worker),
         key=lambda v: bounds[2 * v + 1] - bounds[2 * v],
@@ -101,23 +107,53 @@ def _steal(worker: int, n_workers: int, bounds, locks, idx_arr) -> int | None:
             if head >= tail:
                 continue
             bounds[2 * victim + 1] = tail - 1
-            return idx_arr[tail - 1]
+            return idx_arr[tail - 1], victim
         finally:
             lock.release()
     return None
 
 
-def _run_one(names, tasks, obj, idx: int, obs_on: bool):
-    """Execute one task, capturing its obs deltas like the static pool."""
+def _run_one(names, tasks, obj, idx: int, obs_on: bool,
+             wire: dict | None = None, worker: int | None = None,
+             victim: int | None = None, fresh: bool = True):
+    """Execute one task, capturing its obs deltas like the static pool.
+
+    ``fresh=False`` is the *parent-side* mode (requeue cap exceeded, all
+    workers dead): the task runs under the parent's live observer instead
+    of replacing it with a fresh one, and returns ``snapshot=None`` so
+    nothing is double-merged.
+    """
     name = names[idx]
     if obs_on:
-        observer = obs.enable()
+        from repro.util import pool as pool_mod
+
+        if not fresh:
+            t0 = time.perf_counter()
+            try:
+                value = tasks[name](obj)
+            except Exception as exc:
+                return idx, None, None, 0.0, exc
+            dur = time.perf_counter() - t0
+            pool_mod._record_task(name, dur)
+            return idx, value, None, dur, None
+        if wire is not None:
+            observer, key = pool_mod._adopt_wire(
+                wire, name,
+                worker=f"w{worker}" if worker is not None else None,
+                victim=victim,
+            )
+        else:
+            observer, key = obs.enable(), None
         t0 = time.perf_counter()
         try:
             value = tasks[name](obj)
         except Exception as exc:
             return idx, None, None, 0.0, exc
-        return idx, value, observer.snapshot(), time.perf_counter() - t0, None
+        dur = time.perf_counter() - t0
+        if key is not None:
+            observer.tracelog.record("task_end", name, key=key,
+                                     dur_s=round(dur, 6))
+        return idx, value, observer.snapshot(), dur, None
     try:
         value = tasks[name](obj)
     except Exception as exc:
@@ -136,6 +172,7 @@ def _steal_worker(
     results,
     done,
     obs_on: bool,
+    wire: dict | None = None,
 ) -> None:
     """Worker main loop: drain own chunk, then steal, then poll overflow."""
     from repro.util import pool as pool_mod
@@ -145,10 +182,11 @@ def _steal_worker(
     names = list(tasks)
     while not done.is_set():
         idx = _pop_own(worker, bounds, locks, idx_arr)
-        stolen = False
+        victim: int | None = None
         if idx is None:
-            idx = _steal(worker, n_workers, bounds, locks, idx_arr)
-            stolen = idx is not None
+            stolen = _steal(worker, n_workers, bounds, locks, idx_arr)
+            if stolen is not None:
+                idx, victim = stolen
         if idx is None:
             try:
                 idx = extra.get_nowait()
@@ -156,7 +194,10 @@ def _steal_worker(
                 time.sleep(_IDLE_SLEEP_S)
                 continue
         current[worker] = idx
-        idx, value, snapshot, dur, exc = _run_one(names, tasks, obj, idx, obs_on)
+        idx, value, snapshot, dur, exc = _run_one(
+            names, tasks, obj, idx, obs_on,
+            wire=wire, worker=worker, victim=victim,
+        )
         current[worker] = -1
         if exc is not None:
             import pickle
@@ -165,7 +206,7 @@ def _steal_worker(
                 pickle.dumps(exc)
             except Exception:
                 exc = RuntimeError(repr(exc))
-        results.put((worker, stolen, idx, value, snapshot, dur, exc))
+        results.put((worker, victim, idx, value, snapshot, dur, exc))
 
 
 def run_stealing(
@@ -213,12 +254,24 @@ def run_stealing(
         current[w] = -1
 
     obs_on = obs.enabled()
+    wire = pool_mod._make_wire()
+    tracelog = obs.current().tracelog
+    if tracelog is not None and wire is not None:
+        for i, name in enumerate(names):
+            owner = next(
+                w for w in range(n_workers)
+                if bounds[2 * w] <= i < bounds[2 * w + 1]
+            )
+            tracelog.record(
+                "dispatch", name, key=f"{wire['batch']}/{name}",
+                index=i, mode="steal", worker=owner,
+            )
     pool_mod._SHARED = (tasks, obj)
     procs = [
         ctx.Process(
             target=_steal_worker,
             args=(w, n_workers, idx_arr, bounds, locks, current, extra,
-                  results_q, done, obs_on),
+                  results_q, done, obs_on, wire),
             daemon=True,
         )
         for w in range(n_workers)
@@ -228,7 +281,7 @@ def run_stealing(
             p.start()
         outcome = _collect(
             names, tasks, obj, n_workers, procs, idx_arr, bounds, locks,
-            current, extra, results_q, straggler_timeout, obs_on,
+            current, extra, results_q, straggler_timeout, obs_on, wire,
         )
     finally:
         done.set()
@@ -255,6 +308,8 @@ def run_stealing(
         if snapshot is not None:
             obs.current().merge_snapshot(snapshot)
             pool_mod._record_task(name, durations[idx])
+            if tracelog is not None and wire is not None:
+                tracelog.record("merge", name, key=f"{wire['batch']}/{name}")
     return {name: values[idx] for idx, name in enumerate(names)}
 
 
@@ -281,7 +336,7 @@ def _drain_dead_worker(worker, bounds, locks, idx_arr, current) -> list[int]:
 
 def _collect(
     names, tasks, obj, n_workers, procs, idx_arr, bounds, locks, current,
-    extra, results_q, straggler_timeout, obs_on,
+    extra, results_q, straggler_timeout, obs_on, wire=None,
 ):
     """Parent loop: gather results, police crashes and stragglers."""
     n = len(names)
@@ -292,20 +347,28 @@ def _collect(
     steals = requeues = 0
     last_progress = time.monotonic()
     dead: set[int] = set()
+    tracelog = obs.current().tracelog
 
-    def _requeue(idx: int, why: str) -> None:
+    def _requeue(idx: int, why: str, worker: int | None = None) -> None:
         nonlocal requeues
         requeue_counts[idx] = requeue_counts.get(idx, 0) + 1
         requeues += 1
         if obs_on:
-            obs.event("pool_requeue", names[idx], index=idx, reason=why)
+            obs.event("pool_requeue", names[idx], index=idx, reason=why,
+                      worker=worker)
+            if tracelog is not None and wire is not None:
+                tracelog.record(
+                    "requeue", names[idx],
+                    key=f"{wire['batch']}/{names[idx]}",
+                    reason=why, worker=worker,
+                )
         if requeue_counts[idx] > _MAX_REQUEUES:
             log.warning(
                 "task %r requeued %d times; running it in the parent",
                 names[idx], requeue_counts[idx] - 1,
             )
             _, value, snapshot, dur, exc = _run_one(
-                names, tasks, obj, idx, obs_on
+                names, tasks, obj, idx, obs_on, fresh=False
             )
             if exc is not None:
                 raise PoolTaskError(
@@ -324,7 +387,7 @@ def _collect(
 
     while len(values) < n:
         try:
-            worker, stolen, idx, value, snapshot, dur, exc = results_q.get(
+            worker, victim, idx, value, snapshot, dur, exc = results_q.get(
                 timeout=_POLL_S
             )
         except queue_mod.Empty:
@@ -343,8 +406,13 @@ def _collect(
                 if snapshot is not None:
                     snapshots[idx] = snapshot
                     durations[idx] = dur
-                if stolen:
+                if victim is not None:
                     steals += 1
+                    if obs_on:
+                        obs.event(
+                            "pool_steal", names[idx], index=idx,
+                            worker=worker, victim=victim,
+                        )
             continue
 
         # no result this poll: check for dead workers ...
@@ -362,7 +430,7 @@ def _collect(
             for idx in _drain_dead_worker(w, bounds, locks, idx_arr, current):
                 if idx not in values:
                     recovered.add(idx)
-                    _requeue(idx, f"worker {w} crash")
+                    _requeue(idx, f"worker {w} crash", worker=w)
         if newly_dead and len(dead) < len(procs):
             # a hard-killed worker (os._exit, SIGKILL) takes its queue
             # feeder thread with it, so results it finished but never
@@ -386,7 +454,7 @@ def _collect(
                 if idx in values:
                     continue
                 _, value, snapshot, dur, exc = _run_one(
-                    names, tasks, obj, idx, obs_on
+                    names, tasks, obj, idx, obs_on, fresh=False
                 )
                 if exc is not None:
                     raise PoolTaskError(
@@ -416,8 +484,24 @@ def _collect(
             candidates = [i for i in in_flight if i not in values]
             if candidates and idle:
                 idx = min(candidates)  # deterministic pick: oldest index
+                owner = next(
+                    (w for w in range(n_workers)
+                     if w not in dead and current[w] == idx),
+                    None,
+                )
                 obs.add("pool.straggler_redispatch")
-                _requeue(idx, "straggler timeout")
+                if obs_on:
+                    obs.event(
+                        "pool_straggler_redispatch", names[idx],
+                        index=idx, worker=owner,
+                    )
+                    if tracelog is not None and wire is not None:
+                        tracelog.record(
+                            "redispatch", names[idx],
+                            key=f"{wire['batch']}/{names[idx]}",
+                            worker=owner,
+                        )
+                _requeue(idx, "straggler timeout", worker=owner)
                 last_progress = time.monotonic()
 
     return values, snapshots, durations, steals, requeues

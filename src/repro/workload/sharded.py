@@ -143,6 +143,13 @@ def _replay_shard(shard: int, ctx: ShmBundle) -> dict:
     """
     from repro.workload.generator import _Replayer
 
+    if obs.enabled():
+        tracelog = obs.current().tracelog
+        if tracelog is not None:
+            # relabel this task's trace stream with the shard id so the
+            # timeline names shard lanes, not anonymous pool pids
+            tracelog.context.worker = f"shard{shard}"
+
     meta = ctx.meta
     actions = {k: ctx.arrays[k] for k in _ACTION_COLS}
     order = ctx.arrays[f"order/{shard}"]

@@ -142,7 +142,7 @@ class TestObservability:
         report_path = tmp_path / "run.json"
         main(["--obs", str(report_path), "strided", str(trace_path)])
         payload = json.loads(report_path.read_text())
-        assert payload["version"] == 2
+        assert payload["version"] == 3
         assert payload["spans"]["name"] == "run"
         assert "histograms" in payload and "timeseries" in payload
 

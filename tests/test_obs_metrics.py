@@ -409,6 +409,77 @@ class TestCLIErrorPaths:
         assert "positive" in capsys.readouterr().err
 
 
+class TestDiffSchemaGuards:
+    """``obs diff`` surfaces schema drift instead of silently skipping."""
+
+    def _pair(self, tmp_path, base_metrics, new_metrics,
+              base_schema=1, new_schema=1):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps({"schema": base_schema,
+                                 "metrics": base_metrics}))
+        b.write_text(json.dumps({"schema": new_schema,
+                                 "metrics": new_metrics}))
+        return a, b
+
+    def test_load_record_reports_schema_versions(self, tmp_path):
+        from repro.obs.regress import load_record
+
+        report = tmp_path / "r.json"
+        Observer().report(command=["x"]).save(report)
+        assert load_record(report)[:2] == ("run-report", 3)
+        bench = tmp_path / "b.json"
+        bench.write_text(json.dumps({"schema": 2, "metrics": {"a_s": 1.0}}))
+        assert load_record(bench)[:2] == ("bench", 2)
+        legacy = tmp_path / "l.json"
+        legacy.write_text(json.dumps({"t_s": 2.0}))
+        assert load_record(legacy)[:2] == ("legacy-bench", 0)
+
+    def test_missing_metrics_split_and_filter(self):
+        from repro.obs.regress import missing_metrics
+
+        only_base, only_new = missing_metrics(
+            {"a_s": 1.0, "b_s": 1.0}, {"b_s": 1.0, "c_s": 1.0}
+        )
+        assert (only_base, only_new) == (["a_s"], ["c_s"])
+        only_base, only_new = missing_metrics(
+            {"a_s": 1.0, "zz": 1.0}, {"c_s": 1.0}, patterns=["*_s"]
+        )
+        assert (only_base, only_new) == (["a_s"], ["c_s"])
+
+    def test_cli_diff_warns_on_one_sided_metrics(self, tmp_path, capsys):
+        a, b = self._pair(
+            tmp_path,
+            {"shared_s": 1.0, "retired_s": 2.0},
+            {"shared_s": 1.0, "added_s": 3.0},
+        )
+        assert main(["obs", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert f"warning: metric retired_s missing from {b}" in out
+        assert f"warning: metric added_s missing from {a}" in out
+        assert "skipped" in out
+
+    def test_cli_diff_exits_1_on_schema_version_mismatch(
+        self, tmp_path, capsys
+    ):
+        a, b = self._pair(
+            tmp_path, {"x_s": 1.0}, {"x_s": 1.0},
+            base_schema=1, new_schema=2,
+        )
+        assert main(["obs", "diff", str(a), str(b)]) == 1
+        err = capsys.readouterr().err
+        assert "schema version mismatch" in err
+        assert "regenerate the baseline" in err
+
+    def test_cli_diff_committed_baseline_vs_itself_passes(self, capsys):
+        from pathlib import Path
+
+        baseline = Path("benchmarks/BENCH_obs_overhead.json")
+        assert baseline.exists()
+        assert main(["obs", "diff", str(baseline), str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "warning:" not in out and "mismatch" not in out
+
+
 class TestAcceptance:
     def test_export_covers_five_layers_of_histograms(self, tmp_path):
         """An observed end-to-end run exports >= 5 histogram families
