@@ -55,7 +55,7 @@ MIN_CORES_FOR_SHARD_GATE = 4
 def _run(shards=None, engine="vector"):
     gen = WorkloadGenerator(ames1993(SCALE), seed=SEED)
     if shards is None:
-        return gen._run_full(replay_engine=engine)
+        return gen.engine._run_full(replay_engine=engine)
     return gen.run("full", shards=shards)
 
 

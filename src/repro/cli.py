@@ -42,9 +42,15 @@ from repro.strided import coalesce_trace
 from repro.trace.dump import dump_frame
 from repro.trace.frame import TraceFrame
 from repro.util.tables import format_percent, format_table
-from repro.workload import WorkloadGenerator, ames1993, tiny, validate_workload
-
-SCENARIOS = {"ames1993": ames1993, "tiny": lambda scale: tiny(1.5 * scale * 156.0 / 1.5)}
+from repro.errors import WorkloadError
+from repro.workload import (
+    WorkloadGenerator,
+    available_engines,
+    available_scenarios,
+    get_engine,
+    get_scenario,
+    validate_workload,
+)
 
 logger = logging.getLogger("repro.cli")
 
@@ -54,6 +60,15 @@ def _add_input_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.05,
                         help="generate on the fly: fraction of 156 hours")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scenario", default="ames1993",
+                        help="registered scenario for on-the-fly generation "
+                             "(see 'repro scenarios')")
+    parser.add_argument("--workload-engine", default=None, metavar="ENGINE",
+                        help="override the scenario's workload engine "
+                             "(see 'repro scenarios')")
+    parser.add_argument("--mix", default=None, metavar="PATH",
+                        help="drift engine: JSON op-weights file "
+                             "(read/write/append/create/delete/stat)")
     parser.add_argument("--pipeline", choices=["direct", "full"], default="direct",
                         help="pipeline for on-the-fly generation (the 'full' "
                              "pipeline replays through the simulated machine "
@@ -63,13 +78,42 @@ def _add_input_args(parser: argparse.ArgumentParser) -> None:
                              "worker processes (byte-identical to serial)")
 
 
+def _resolve_generator(args) -> WorkloadGenerator:
+    """Build the generator from --scenario/--workload-engine/--mix.
+
+    Unknown scenario or engine names exit 2 with the available names on
+    stderr (the registries' own error message lists them).
+    """
+    engine = (
+        getattr(args, "workload_engine", None)
+        or getattr(args, "engine_name", None)
+    )
+    try:
+        scenario = get_scenario(getattr(args, "scenario", "ames1993"), args.scale)
+        mix = getattr(args, "mix", None)
+        if mix:
+            if (engine or scenario.engine) != "drift":
+                raise WorkloadError(
+                    "--mix only applies to the drift engine "
+                    "(pass --engine drift / --workload-engine drift)"
+                )
+            scenario = scenario.with_engine(engine or scenario.engine, mix=mix)
+        return WorkloadGenerator(scenario, seed=args.seed, engine=engine)
+    except WorkloadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+
+
 def _generate_frame(args) -> TraceFrame:
     pipeline = getattr(args, "pipeline", "direct")
+    generator = _resolve_generator(args)
     logger.info(
-        "generating workload on the fly (scale=%s seed=%s pipeline=%s)",
+        "generating workload on the fly (scenario=%s engine=%s scale=%s "
+        "seed=%s pipeline=%s)",
+        getattr(args, "scenario", "ames1993"), generator.engine_name,
         args.scale, args.seed, pipeline,
     )
-    return WorkloadGenerator(ames1993(args.scale), seed=args.seed).run(
+    return generator.run(
         pipeline, shards=getattr(args, "shards", None)
     ).frame
 
@@ -97,8 +141,7 @@ def _load_source(args):
 
 
 def cmd_generate(args) -> int:
-    scenario = ames1993(args.scale)
-    generator = WorkloadGenerator(scenario, seed=args.seed)
+    generator = _resolve_generator(args)
     if args.store:
         workload = generator.run_to_store(
             args.out, args.pipeline, workers=args.workers,
@@ -166,7 +209,7 @@ def cmd_figures(args) -> int:
         from pathlib import Path
 
         from repro.core.figures import render_figure_svg
-        from repro.errors import AnalysisError
+        from repro.errors import AnalysisError, CacheConfigError
 
         out = Path(args.svg)
         out.mkdir(parents=True, exist_ok=True)
@@ -174,7 +217,7 @@ def cmd_figures(args) -> int:
         for figure in wanted:
             try:
                 svg = render_figure_svg(frame, figure)
-            except AnalysisError as exc:
+            except (AnalysisError, CacheConfigError) as exc:
                 logger.warning("%s: skipped (%s)", figure, exc)
                 continue
             path = out / f"{figure}.svg"
@@ -325,12 +368,43 @@ def cmd_validate(args) -> int:
     frame = _load_frame(args)
     report = validate_workload(frame)
     print(report.render())
+    if report.profile == "structural":
+        # structural invariants are hard requirements, no slack
+        if not report.all_ok:
+            logger.warning(
+                "structural validation failed: %d of %d checks passed",
+                report.passed, len(report.checks),
+            )
+            return 1
+        return 0
     if report.passed < len(report.checks) - 3:
         logger.warning(
             "validation failed: only %d of %d checks passed",
             report.passed, len(report.checks),
         )
         return 1
+    return 0
+
+
+def cmd_scenarios(args) -> int:
+    rows = []
+    for name in available_scenarios():
+        sc = get_scenario(name)
+        rows.append((name, sc.engine, f"{sc.duration_hours:g}"))
+    print(format_table(
+        ["scenario", "engine", "hours at scale 1"], rows,
+        title="registered scenarios",
+    ))
+    print()
+    rows = []
+    for name in available_engines():
+        cls = get_engine(name)
+        doc = (cls.__doc__ or "").strip().splitlines()[0]
+        rows.append((name, cls.validation, doc))
+    print(format_table(
+        ["engine", "validation", "description"], rows,
+        title="registered workload engines",
+    ))
     return 0
 
 
@@ -522,6 +596,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("generate", help="generate a synthetic trace")
     p.add_argument("--scale", type=float, default=0.05)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--scenario", default="ames1993",
+                   help="registered scenario (see 'repro scenarios')")
+    p.add_argument("--engine", dest="engine_name", default=None,
+                   help="override the scenario's workload engine "
+                        "(synthetic, drift, replay, ...)")
+    p.add_argument("--mix", default=None, metavar="PATH",
+                   help="drift engine: JSON op-weights file "
+                        "(read/write/append/create/delete/stat)")
     p.add_argument("--pipeline", choices=["direct", "full"], default="direct")
     p.add_argument("--out", required=True, help="output path (.npz or store)")
     p.add_argument("--store", action="store_true",
@@ -602,6 +684,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("validate", help="check a trace against the paper's marginals")
     _add_input_args(p)
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser(
+        "scenarios", help="list registered scenarios and workload engines"
+    )
+    p.set_defaults(func=cmd_scenarios)
 
     p = sub.add_parser("dump", help="print trace events, one per line")
     _add_input_args(p)

@@ -19,7 +19,7 @@ from repro.core.jobstats import concurrency_profile, node_count_distribution
 from repro.core.requests import request_size_cdfs
 from repro.core.sequentiality import access_regularity_cdfs
 from repro.core.sharing import sharing_cdfs
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, CacheConfigError
 from repro.trace.frame import TraceFrame
 from repro.trace.records import EventKind
 from repro.util.plot import ascii_bars, ascii_chart
@@ -164,7 +164,9 @@ def _render_one(frame: TraceFrame, figure: str, width: int, height: int,
         return render_figure(
             frame, figure, width=width, height=height, workers=inner_workers
         )
-    except AnalysisError as exc:
+    except (AnalysisError, CacheConfigError) as exc:
+        # a trace need not support every figure (e.g. a drift-engine
+        # trace with no read-only files cannot drive fig8)
         return f"{figure}: skipped ({exc})"
 
 

@@ -17,11 +17,17 @@ Layers:
 - :mod:`repro.workload.apps` — application models that compose primitives
   into per-job file-use plans;
 - :mod:`repro.workload.jobs` — the job mix and machine occupancy;
-- :mod:`repro.workload.generator` — turns a schedule of planned jobs into
-  a :class:`~repro.trace.frame.TraceFrame` (fast direct path) or into real
+- :mod:`repro.workload.engines` — the :class:`WorkloadEngine` registry;
+  ``synthetic`` (this calibrated planner), ``replay`` (re-emit an
+  existing trace), and ``drift`` (fs-drift-style equilibrium aging,
+  :mod:`repro.workload.drift`) ship built in;
+- :mod:`repro.workload.generator` — the engine-agnostic
+  :class:`WorkloadGenerator` driver plus the ``synthetic`` engine, which
+  turns a schedule of planned jobs into a
+  :class:`~repro.trace.frame.TraceFrame` (fast direct path) or into real
   instrumented CFS calls (full-pipeline path);
-- :mod:`repro.workload.scenarios` — packaged configurations, chiefly
-  :func:`~repro.workload.scenarios.ames1993`.
+- :mod:`repro.workload.scenarios` — packaged configurations and the
+  scenario registry, chiefly :func:`~repro.workload.scenarios.ames1993`.
 """
 
 from repro.workload.apps import (
@@ -45,9 +51,34 @@ from repro.workload.distributions import (
     NodeCountModel,
     RecordSizeModel,
 )
-from repro.workload.generator import GeneratedWorkload, WorkloadGenerator
+from repro.workload.drift import (
+    DriftConfig,
+    DriftEngine,
+    DriftMix,
+    drift_scenario,
+    population_curve,
+)
+from repro.workload.engines import (
+    WorkloadEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
+from repro.workload.generator import (
+    GeneratedWorkload,
+    SyntheticEngine,
+    WorkloadGenerator,
+)
 from repro.workload.jobs import JobMix, JobSpec, PlacedJob, schedule_jobs
-from repro.workload.scenarios import Scenario, ames1993, tiny
+from repro.workload.replay import ReplayEngine, replay_scenario
+from repro.workload.scenarios import (
+    Scenario,
+    ames1993,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    tiny,
+)
 from repro.workload.validate import Check, ValidationReport, validate_workload
 
 __all__ = [
@@ -55,6 +86,9 @@ __all__ = [
     "AppModel",
     "BroadcastReadApp",
     "CheckpointApp",
+    "DriftConfig",
+    "DriftEngine",
+    "DriftMix",
     "FileSizeModel",
     "FileUse",
     "GeneratedWorkload",
@@ -69,14 +103,26 @@ __all__ = [
     "PerNodeOutputApp",
     "PlacedJob",
     "RecordSizeModel",
+    "ReplayEngine",
     "Scenario",
     "SegmentedReadApp",
     "SharedPointerApp",
     "SmallToolApp",
+    "SyntheticEngine",
+    "WorkloadEngine",
     "WorkloadGenerator",
     "Check",
     "ValidationReport",
     "ames1993",
+    "available_engines",
+    "available_scenarios",
+    "drift_scenario",
+    "get_engine",
+    "get_scenario",
+    "population_curve",
+    "register_engine",
+    "register_scenario",
+    "replay_scenario",
     "schedule_jobs",
     "tiny",
     "validate_workload",

@@ -1,0 +1,128 @@
+"""Workload engines: the pluggable planners behind the generator.
+
+A :class:`WorkloadEngine` owns one way of turning a
+:class:`~repro.workload.scenarios.Scenario` into a
+:class:`~repro.workload.generator.GeneratedWorkload`; the engine-agnostic
+:class:`~repro.workload.generator.WorkloadGenerator` merely resolves the
+scenario's engine by name and drives it.  Three engines ship built in:
+
+``synthetic``
+    The calibrated CHARISMA planner (job mix, app models, phase windows)
+    — the original 1994 CFD workload, byte-identical to the code that
+    predates this registry (:class:`repro.workload.generator.SyntheticEngine`).
+``replay``
+    Re-emits an existing trace store or frame through the pipeline, so
+    any previously captured workload can feed the analyzers and cache
+    sweeps again (:class:`repro.workload.replay.ReplayEngine`).
+``drift``
+    An fs-drift-style equilibrium aging workload: operations drawn from
+    a configurable weights table over a bounded namespace, per-tenant
+    lanes, and create/delete churn toward a steady-state file population
+    (:class:`repro.workload.drift.DriftEngine`).
+
+Engines register by name.  The built-ins resolve lazily from dotted
+paths so this module stays import-light and free of cycles; third-party
+engines call :func:`register_engine` directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.errors import WorkloadError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workload.generator import GeneratedWorkload
+    from repro.workload.scenarios import Scenario
+
+
+class WorkloadEngine(abc.ABC):
+    """One strategy for realizing a scenario as a trace.
+
+    The contract an engine owes the driver:
+
+    - :meth:`run` returns a :class:`~repro.workload.generator.GeneratedWorkload`
+      whose frame is time-sorted and structurally valid
+      (``frame.validate()`` passes);
+    - a fixed ``(scenario, seed)`` produces byte-identical event/job/file
+      arrays regardless of ``workers`` or ``shards`` — parallelism is an
+      execution detail, never a semantic one;
+    - the frame header's ``notes`` field carries ``engine=<name>`` so
+      downstream consumers (validation, reports) can recover the engine
+      from a trace file alone.
+
+    ``validation`` names the profile :func:`~repro.workload.validate.
+    validate_workload` applies: ``"marginals"`` engines are checked
+    against the paper's published CHARISMA marginals, ``"structural"``
+    engines only against trace invariants.
+    """
+
+    #: registry key; subclasses must override
+    name: ClassVar[str] = ""
+    #: validation profile: "marginals" (CHARISMA calibration) or "structural"
+    validation: ClassVar[str] = "structural"
+
+    def __init__(self, scenario: "Scenario", seed: int = 0) -> None:
+        self.scenario = scenario
+        self.seed = seed
+
+    @abc.abstractmethod
+    def run(
+        self,
+        pipeline: str = "direct",
+        workers: int | None = None,
+        shards: int | None = None,
+    ) -> "GeneratedWorkload":
+        """Realize the scenario via the named pipeline."""
+
+    def plan(self):
+        """Engine-specific plan preview; optional."""
+        raise WorkloadError(f"engine {self.name!r} does not expose a plan")
+
+
+#: dotted paths of the built-in engines, imported on first lookup
+_BUILTIN_ENGINES: dict[str, str] = {
+    "synthetic": "repro.workload.generator:SyntheticEngine",
+    "replay": "repro.workload.replay:ReplayEngine",
+    "drift": "repro.workload.drift:DriftEngine",
+}
+
+#: engines registered at runtime (register_engine); shadows _BUILTIN_ENGINES
+ENGINE_REGISTRY: dict[str, type[WorkloadEngine]] = {}
+
+
+def register_engine(cls: type[WorkloadEngine]) -> type[WorkloadEngine]:
+    """Register an engine class under its ``name`` (usable as a decorator)."""
+    if not cls.name:
+        raise WorkloadError(f"engine class {cls.__name__} has no name")
+    ENGINE_REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_engines() -> list[str]:
+    """Sorted names of every known engine."""
+    return sorted(set(_BUILTIN_ENGINES) | set(ENGINE_REGISTRY))
+
+
+def get_engine(name: str) -> type[WorkloadEngine]:
+    """Resolve an engine class by name.
+
+    Raises :class:`~repro.errors.WorkloadError` naming the available
+    engines when ``name`` is unknown.
+    """
+    cls = ENGINE_REGISTRY.get(name)
+    if cls is not None:
+        return cls
+    path = _BUILTIN_ENGINES.get(name)
+    if path is None:
+        raise WorkloadError(
+            f"unknown workload engine {name!r} "
+            f"(available: {', '.join(available_engines())})"
+        )
+    import importlib
+
+    module_name, _, attr = path.partition(":")
+    cls = getattr(importlib.import_module(module_name), attr)
+    ENGINE_REGISTRY[name] = cls
+    return cls

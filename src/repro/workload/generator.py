@@ -1,7 +1,14 @@
 """Workload realization.
 
 :class:`WorkloadGenerator` turns a :class:`~repro.workload.scenarios.Scenario`
-into a trace.  Two pipelines produce the same logical event stream:
+into a trace.  The generator itself is engine-agnostic: it resolves the
+scenario's named :class:`~repro.workload.engines.WorkloadEngine` (the
+calibrated CHARISMA planner lives here as :class:`SyntheticEngine`;
+``replay`` and ``drift`` live in their own modules) and drives it
+through planning, emission, and the direct/full/sharded run paths.
+
+For the ``synthetic`` engine, two pipelines produce the same logical
+event stream:
 
 - ``direct`` — events are assembled straight into a columnar
   :class:`~repro.trace.frame.TraceFrame` (vectorized; use this for
@@ -37,6 +44,7 @@ from repro.trace.records import NO_VALUE, EventKind, OpenFlags, TraceHeader
 from repro.trace.writer import TraceWriter
 from repro.util.rng import SeedSequencePool
 from repro.workload.apps import APP_REGISTRY, FileUse
+from repro.workload.engines import WorkloadEngine, get_engine
 from repro.workload.jobs import PlacedJob, schedule_jobs
 from repro.workload.scenarios import Scenario
 
@@ -58,12 +66,16 @@ class GeneratedWorkload:
     @property
     def n_jobs(self) -> int:
         """Total jobs in the period (traced or not)."""
-        return len(self.placed)
+        # engines without a placement pass (e.g. replay) leave placed
+        # empty; the frame's job table is then the authoritative count
+        return len(self.placed) if self.placed else len(self.frame.jobs)
 
     @property
     def n_traced_jobs(self) -> int:
         """Jobs whose file activity is in the trace."""
-        return sum(1 for p in self.placed if p.spec.traced)
+        if self.placed:
+            return sum(1 for p in self.placed if p.spec.traced)
+        return len(self.frame.jobs.traced)
 
 
 class _Columns:
@@ -199,12 +211,19 @@ def _schedule_use(
     return _UseSchedule(open_times, op_times, close_times, delete_time)
 
 
-class WorkloadGenerator:
-    """Generates traces from a scenario; see the module docstring."""
+class SyntheticEngine(WorkloadEngine):
+    """The calibrated CHARISMA planner (the paper's 1994 CFD mix).
 
-    def __init__(self, scenario: Scenario, seed: int = 0) -> None:
-        self.scenario = scenario
-        self.seed = seed
+    Samples the job mix, plans each traced job's file uses through the
+    app models, and realizes them via the ``direct`` (vectorized frame
+    assembly) or ``full`` (instrumented-CFS replay, optionally sharded)
+    pipeline.  This is the original ``WorkloadGenerator`` body behind
+    the engine interface; its output at a fixed seed is byte-identical
+    to the pre-registry code (enforced in ``tests/test_equivalence.py``).
+    """
+
+    name = "synthetic"
+    validation = "marginals"
 
     # -- planning ----------------------------------------------------------------
 
@@ -272,42 +291,13 @@ class WorkloadGenerator:
             return self._run_full(shards=shards)
         raise WorkloadError(f"unknown pipeline {pipeline!r} (use 'direct' or 'full')")
 
-    def run_to_store(
-        self,
-        path,
-        pipeline: str = "direct",
-        workers: int | None = None,
-        chunk_size: int | None = None,
-        compression: str = "zlib",
-        shards: int | None = None,
-    ) -> GeneratedWorkload:
-        """Generate the workload and emit it as a chunked trace store.
-
-        The event stream flows through :class:`~repro.trace.store.StoreWriter`
-        chunk by chunk, so downstream consumers can characterize or sweep
-        the trace out-of-core with ``--chunk-size``-bounded memory.
-        Returns the workload (its in-memory frame is still attached for
-        callers that want both).
-        """
-        from repro.trace.store import DEFAULT_CHUNK_SIZE, write_store
-
-        workload = self.run(pipeline=pipeline, workers=workers, shards=shards)
-        with obs.span("workload/store"):
-            write_store(
-                workload.frame,
-                path,
-                chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
-                compression=compression,
-            )
-        return workload
-
     def _header(self) -> TraceHeader:
         m = self.scenario.machine
         return TraceHeader(
             site=f"synthetic-{self.scenario.name}",
             n_compute_nodes=m.n_compute_nodes,
             n_io_nodes=m.n_io_nodes,
-            notes=f"seed={self.seed}",
+            notes=f"seed={self.seed} engine={self.name}",
         )
 
     def _run_direct(self, workers: int | None = None) -> GeneratedWorkload:
@@ -503,6 +493,77 @@ class WorkloadGenerator:
             "size": np.asarray(size_, dtype=np.int64),
             "_uses": use_index,
         }
+
+
+class WorkloadGenerator:
+    """Engine-agnostic driver: resolves the scenario's engine and runs it.
+
+    The engine is chosen by the ``engine`` argument when given, else by
+    the scenario's ``engine`` field (``synthetic`` for every packaged
+    CHARISMA scenario).  Unknown names raise
+    :class:`~repro.errors.WorkloadError` listing the registered engines.
+    """
+
+    def __init__(
+        self, scenario: Scenario, seed: int = 0, engine: str | None = None
+    ) -> None:
+        self.scenario = scenario
+        self.seed = seed
+        name = engine or getattr(scenario, "engine", None) or "synthetic"
+        self.engine = get_engine(name)(scenario, seed)
+
+    @property
+    def engine_name(self) -> str:
+        """Registry name of the resolved engine."""
+        return type(self.engine).name
+
+    def plan(self):
+        """The engine's plan preview (engine-specific shape)."""
+        return self.engine.plan()
+
+    def run(
+        self,
+        pipeline: str = "direct",
+        workers: int | None = None,
+        shards: int | None = None,
+    ) -> GeneratedWorkload:
+        """Generate the workload trace via the engine's chosen pipeline.
+
+        ``workers`` fans event synthesis across a process pool and
+        ``shards`` partitions the run across worker processes; every
+        engine keeps its output byte-identical to a serial run under
+        both.
+        """
+        return self.engine.run(pipeline, workers=workers, shards=shards)
+
+    def run_to_store(
+        self,
+        path,
+        pipeline: str = "direct",
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        compression: str = "zlib",
+        shards: int | None = None,
+    ) -> GeneratedWorkload:
+        """Generate the workload and emit it as a chunked trace store.
+
+        The event stream flows through :class:`~repro.trace.store.StoreWriter`
+        chunk by chunk, so downstream consumers can characterize or sweep
+        the trace out-of-core with ``--chunk-size``-bounded memory.
+        Returns the workload (its in-memory frame is still attached for
+        callers that want both).
+        """
+        from repro.trace.store import DEFAULT_CHUNK_SIZE, write_store
+
+        workload = self.run(pipeline=pipeline, workers=workers, shards=shards)
+        with obs.span("workload/store"):
+            write_store(
+                workload.frame,
+                path,
+                chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+                compression=compression,
+            )
+        return workload
 
 
 def _emit_job_direct(

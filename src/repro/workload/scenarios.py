@@ -2,14 +2,21 @@
 
 A :class:`Scenario` is the single configuration object a user hands to
 :class:`~repro.workload.generator.WorkloadGenerator`: period length, the
-machine, the statistical models, the app mix, and tracing fractions.
+machine, the statistical models, the app mix, tracing fractions, and the
+named :mod:`~repro.workload.engines` engine that realizes it.
 :func:`ames1993` is the calibrated default reproducing the published
 study's marginals; ``scale`` shrinks the traced period (the shapes are
 scale-invariant, the absolute counts are not).
+
+Scenarios register by name in :data:`SCENARIO_REGISTRY` so the CLI (and
+anything else) can look them up with :func:`get_scenario`; each entry is
+a factory ``factory(scale) -> Scenario`` where ``scale`` is the fraction
+of the paper's 156 traced hours.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field, replace
 
 from repro.errors import WorkloadError
@@ -17,6 +24,9 @@ from repro.machine.machine import MachineConfig
 from repro.workload.apps import APP_REGISTRY, WorkloadModels
 from repro.workload.distributions import JobArrivalModel, NodeCountModel
 from repro.workload.jobs import JobMix
+
+#: the traced period of the original study, in hours
+FULL_PERIOD_HOURS: float = 156.0
 
 
 @dataclass(frozen=True)
@@ -47,6 +57,10 @@ class Scenario:
     traced_multi_fraction: float = 0.55
     traced_single_fraction: float = 0.10
     max_concurrent_jobs: int = 8
+    #: registry name of the workload engine that realizes this scenario
+    engine: str = "synthetic"
+    #: engine-specific configuration (e.g. the drift mix, a replay path)
+    engine_options: Mapping = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.duration_hours <= 0:
@@ -76,6 +90,14 @@ class Scenario:
             raise WorkloadError("scale must be positive")
         return replace(self, duration_hours=self.duration_hours * scale)
 
+    def with_engine(self, engine: str, **options) -> "Scenario":
+        """A copy realized by ``engine``, with ``options`` merged into
+        (and overriding) the existing engine options."""
+        return replace(
+            self, engine=engine,
+            engine_options={**dict(self.engine_options), **options},
+        )
+
 
 def ames1993(scale: float = 1.0) -> Scenario:
     """The calibrated NASA-Ames-like scenario.
@@ -84,7 +106,7 @@ def ames1993(scale: float = 1.0) -> Scenario:
     (~3000 jobs, ~60 k file opens — heavy); benchmarks default to a small
     fraction, which preserves every distributional shape.
     """
-    return Scenario(name="ames1993", duration_hours=156.0).scaled(scale)
+    return Scenario(name="ames1993", duration_hours=FULL_PERIOD_HOURS).scaled(scale)
 
 
 def tiny(duration_hours: float = 1.5) -> Scenario:
@@ -100,3 +122,50 @@ def tiny(duration_hours: float = 1.5) -> Scenario:
         duration_hours=duration_hours,
         models=replace(base.models, max_requests_per_node_file=300),
     )
+
+
+# -- the scenario registry -----------------------------------------------------
+
+#: dotted paths of built-in factories resolved on first lookup (keeps
+#: this module import-light; drift imports Scenario from here)
+_BUILTIN_SCENARIOS: dict[str, str] = {
+    "drift": "repro.workload.drift:drift_scenario",
+}
+
+#: scenario factories registered at runtime: name -> factory(scale)
+SCENARIO_REGISTRY: dict[str, Callable[[float], Scenario]] = {
+    "ames1993": ames1993,
+    "tiny": lambda scale: tiny(duration_hours=FULL_PERIOD_HOURS * scale),
+}
+
+
+def register_scenario(name: str, factory: Callable[[float], Scenario]) -> None:
+    """Register a scenario factory under ``name``."""
+    SCENARIO_REGISTRY[name] = factory
+
+
+def available_scenarios() -> list[str]:
+    """Sorted names of every known scenario."""
+    return sorted(set(_BUILTIN_SCENARIOS) | set(SCENARIO_REGISTRY))
+
+
+def get_scenario(name: str, scale: float = 1.0) -> Scenario:
+    """Build a registered scenario at ``scale`` (fraction of 156 hours).
+
+    Raises :class:`~repro.errors.WorkloadError` naming the available
+    scenarios when ``name`` is unknown.
+    """
+    factory = SCENARIO_REGISTRY.get(name)
+    if factory is None:
+        path = _BUILTIN_SCENARIOS.get(name)
+        if path is None:
+            raise WorkloadError(
+                f"unknown scenario {name!r} "
+                f"(available: {', '.join(available_scenarios())})"
+            )
+        import importlib
+
+        module_name, _, attr = path.partition(":")
+        factory = getattr(importlib.import_module(module_name), attr)
+        SCENARIO_REGISTRY[name] = factory
+    return factory(scale)

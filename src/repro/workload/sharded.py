@@ -1,6 +1,7 @@
 """Sharded full-pipeline simulation.
 
-Runs :meth:`~repro.workload.generator.WorkloadGenerator._run_full` split
+Runs the synthetic engine's full pipeline
+(:meth:`~repro.workload.generator.SyntheticEngine._run_full`) split
 across worker processes and merges the pieces back into a trace that is
 **byte-identical** to the serial run — same raw blocks in the same
 arrival order with the same stamps, same postprocessed frame, same cache
@@ -290,15 +291,18 @@ def _assign_fids(
 
 
 def run_sharded(
-    generator,
+    engine,
     shards: int,
     workers: int | None = None,
     scheduler: str = "static",
 ):
     """Run the full pipeline split over ``shards`` worker processes.
 
-    Returns the same :class:`~repro.workload.generator.GeneratedWorkload`
-    a serial ``_run_full`` produces, byte-for-byte.  ``workers`` defaults
+    ``engine`` is the planning engine (today always
+    :class:`~repro.workload.generator.SyntheticEngine`; any engine
+    exposing ``plan``/``_global_actions``/``_header`` works).  Returns
+    the same :class:`~repro.workload.generator.GeneratedWorkload` a
+    serial ``_run_full`` produces, byte-for-byte.  ``workers`` defaults
     to one process per shard; ``scheduler`` is forwarded to
     :func:`~repro.util.pool.map_tasks`.
     """
@@ -306,12 +310,12 @@ def run_sharded(
     from repro.workload.generator import GeneratedWorkload
 
     if shards <= 1:
-        return generator._run_full()
+        return engine._run_full()
 
-    pool = SeedSequencePool(generator.seed)
-    placed, uses_by_job = generator.plan()
+    pool = SeedSequencePool(engine.seed)
+    placed, uses_by_job = engine.plan()
     machine_seed = int(pool.rng("machine").integers(2**31))
-    actions = generator._global_actions(placed, uses_by_job, pool)
+    actions = engine._global_actions(placed, uses_by_job, pool)
     uses = actions.pop("_uses")
     order = np.argsort(actions["time"], kind="stable")
     n = len(order)
@@ -341,7 +345,7 @@ def run_sharded(
     ctx = ShmBundle(
         arrays=arrays,
         meta={
-            "machine_config": generator.scenario.machine,
+            "machine_config": engine.scenario.machine,
             "machine_seed": machine_seed,
             "uses": uses,
             "fid_streams": fid_streams,
@@ -357,10 +361,10 @@ def run_sharded(
         )
     ordered_results = [results[f"shard{k}"] for k in range(shards)]
 
-    machine = IPSC860(config=generator.scenario.machine, seed=machine_seed)
-    collector = Collector(generator._header(), clock=machine.collector_stamp)
+    machine = IPSC860(config=engine.scenario.machine, seed=machine_seed)
+    collector = Collector(engine._header(), clock=machine.collector_stamp)
     fs = ConcurrentFileSystem(
-        n_io_nodes=generator.scenario.machine.n_io_nodes,
+        n_io_nodes=engine.scenario.machine.n_io_nodes,
         disks=[io.disk for io in machine.io_nodes],
     )
 
@@ -394,8 +398,8 @@ def run_sharded(
         obs.add("workload.events", frame.n_events)
         obs.add("workload.shards", shards)
     return GeneratedWorkload(
-        frame=frame, placed=placed, scenario=generator.scenario,
-        seed=generator.seed, raw=raw, fs=fs,
+        frame=frame, placed=placed, scenario=engine.scenario,
+        seed=engine.seed, raw=raw, fs=fs,
     )
 
 

@@ -96,12 +96,92 @@ class TestCommands:
     def test_validate(self, trace_path, capsys):
         main(["validate", str(trace_path)])
         out = capsys.readouterr().out
-        assert "calibration:" in out and "mode-0" in out
+        assert "calibration (synthetic):" in out and "mode-0" in out
 
     def test_dump(self, trace_path, capsys):
         assert main(["dump", str(trace_path), "--limit", "5"]) == 0
         out = capsys.readouterr().out.splitlines()
         assert len(out) == 5
+
+
+class TestEngineCli:
+    @pytest.fixture(scope="class")
+    def drift_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-drift") / "drift.npz"
+        rc = main(["generate", "--scenario", "drift", "--scale", "0.003",
+                   "--seed", "3", "--out", str(path)])
+        assert rc == 0
+        return path
+
+    def test_generate_engine_override(self, tmp_path, capsys):
+        path = tmp_path / "t.npz"
+        rc = main(["generate", "--scenario", "tiny", "--engine", "drift",
+                   "--scale", "0.003", "--seed", "3", "--out", str(path)])
+        assert rc == 0
+        assert "events" in capsys.readouterr().out
+
+    def test_generate_with_mix_file(self, tmp_path, capsys):
+        mix = tmp_path / "mix.json"
+        mix.write_text('{"read": 1.0, "create": 1.0, "delete": 0.5}')
+        path = tmp_path / "t.npz"
+        rc = main(["generate", "--scenario", "drift", "--mix", str(mix),
+                   "--scale", "0.003", "--seed", "3", "--out", str(path)])
+        assert rc == 0
+        assert path.exists()
+
+    def test_mix_without_drift_engine_rejected(self, tmp_path, capsys):
+        mix = tmp_path / "mix.json"
+        mix.write_text('{"read": 1.0}')
+        with pytest.raises(SystemExit) as exc:
+            main(["generate", "--mix", str(mix), "--out",
+                  str(tmp_path / "t.npz")])
+        assert exc.value.code == 2
+        assert "--mix only applies" in capsys.readouterr().err
+
+    def test_unknown_scenario_lists_available(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["generate", "--scenario", "nope", "--out",
+                  str(tmp_path / "t.npz")])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and "ames1993" in err
+
+    def test_unknown_engine_lists_available(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["generate", "--engine", "nope", "--out",
+                  str(tmp_path / "t.npz")])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown workload engine" in err and "drift" in err
+
+    def test_scenarios_listing(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "ames1993" in out and "drift" in out and "synthetic" in out
+        assert "structural" in out and "marginals" in out
+
+    def test_validate_drift_structural(self, drift_path, capsys):
+        assert main(["validate", str(drift_path)]) == 0
+        out = capsys.readouterr().out
+        assert "structural (drift):" in out
+        assert "marginal checks skipped" in out
+
+    def test_characterize_drift_scenario_on_the_fly(self, capsys):
+        rc = main(["characterize", "--scenario", "drift", "--scale",
+                   "0.003", "--seed", "3"])
+        assert rc == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_figures_drift_skips_unsupported(self, drift_path, capsys):
+        assert main(["figures", str(drift_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig8: skipped" in out and "fig9" in out
+
+    def test_cache_drift(self, drift_path, capsys):
+        rc = main(["cache", str(drift_path), "--experiment", "fig9",
+                   "--policy", "lru", "--buffers", "50", "200"])
+        assert rc == 0
+        assert "lru" in capsys.readouterr().out
 
 
 class TestObservability:

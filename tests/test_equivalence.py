@@ -36,6 +36,49 @@ def workload(request):
     return WorkloadGenerator(ames1993(scale), seed=seed).run("direct")
 
 
+#: sha256 of (events, jobs, files) captured from the pre-engine-registry
+#: WorkloadGenerator — the synthetic engine must reproduce these forever
+_FROZEN_SYNTHETIC_DIGESTS = {
+    (0.02, 5): (
+        52853,
+        "d686de1ffc999234a27425f23b88619a772d3ec840feb9d2764a03bf7bf01c92",
+    ),
+    (0.01, 11): (
+        45876,
+        "dd47c63731c1901d7099c81b7b111bbd11814a3a8eedc9a81f7edff5541e4e57",
+    ),
+}
+
+
+def _frame_digest(frame):
+    import hashlib
+
+    h = hashlib.sha256()
+    h.update(frame.events.tobytes())
+    h.update(frame.jobs.data.tobytes())
+    h.update(frame.files.data.tobytes())
+    return h.hexdigest()
+
+
+class TestSyntheticFrozenBaseline:
+    """The engine-registry refactor must not move a single byte of the
+    synthetic engine's output: these digests were captured from the
+    monolithic pre-refactor WorkloadGenerator at two (scale, seed)
+    pairs, and every future change must keep reproducing them."""
+
+    def test_pre_refactor_digest(self, workload, request):
+        scale_seed = request.node.callspec.params["workload"]
+        n_events, digest = _FROZEN_SYNTHETIC_DIGESTS[scale_seed]
+        assert workload.frame.n_events == n_events
+        assert _frame_digest(workload.frame) == digest
+
+    def test_explicit_engine_name_same_bytes(self, workload):
+        via_name = WorkloadGenerator(
+            workload.scenario, seed=workload.seed, engine="synthetic"
+        ).run("direct")
+        assert _frame_digest(via_name.frame) == _frame_digest(workload.frame)
+
+
 class TestIndexEquivalence:
     def test_report_text_identical(self, workload):
         frame = workload.frame

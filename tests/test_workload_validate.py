@@ -35,7 +35,7 @@ class TestValidateWorkload:
     def test_render_flags_failures(self, small_frame):
         report = validate_workload(small_frame)
         text = report.render()
-        assert "calibration:" in text
+        assert "calibration (synthetic):" in text
         assert "paper" in text and "measured" in text
 
     def test_report_accessors(self, small_frame):
