@@ -1,0 +1,87 @@
+"""Perf benchmark: live service ingest vs the batch fused engine.
+
+The trace service folds pushed chunks through the same
+:class:`~repro.core.streaming.ChunkAccumulator` the batch engine scans
+with, plus wire framing, HTTP round trips, and per-chunk locking.  This
+benchmark measures that overhead end to end — one client streaming every
+chunk of the bench trace into a local daemon, then pulling the report —
+against ``characterize`` on the same frame, and records ingest
+throughput in ``BENCH_service.json``.
+
+The acceptance contract is correctness plus sanity, not a speed race
+(the daemon exists for liveness, not throughput): the served report must
+be byte-identical to batch, and ingest throughput must clear a floor far
+below what loopback HTTP sustains.
+"""
+
+import time
+
+from conftest import emit_json, show
+
+from repro.core import characterize
+from repro.service import ServiceClient, TraceService
+from repro.trace.store import FrameSource
+from repro.util.tables import format_table
+
+#: small enough that chunk framing dominates, like real collectors
+CHUNK_SIZE = 16384
+
+#: events/second floor for loopback ingest (conservative by ~100x)
+MIN_EVENTS_PER_S = 10_000.0
+
+
+def test_service_ingest_vs_batch(benchmark, frame):
+    t0 = time.perf_counter()
+    batch_report = characterize(frame)
+    batch_s = time.perf_counter() - t0
+    batch_text = batch_report.render() + "\n"
+
+    source = FrameSource(frame, chunk_size=CHUNK_SIZE)
+
+    def ingest_round_trip():
+        with TraceService() as svc:
+            client = ServiceClient(svc.url)
+            t1 = time.perf_counter()
+            client.push(source, "bench")
+            ingest_s = time.perf_counter() - t1
+            t2 = time.perf_counter()
+            text = client.report_text("bench")
+            report_s = time.perf_counter() - t2
+        return ingest_s, report_s, text
+
+    ingest_s, report_s, served_text = benchmark.pedantic(
+        ingest_round_trip, rounds=1, iterations=1
+    )
+    events_per_s = frame.n_events / ingest_s
+
+    show(
+        "Service ingest vs batch characterization",
+        format_table(
+            ["path", "seconds"],
+            [
+                ("batch characterize", f"{batch_s:.3f}"),
+                (f"push {source.n_chunks} chunks", f"{ingest_s:.3f}"),
+                ("serve report", f"{report_s:.3f}"),
+            ],
+        )
+        + f"\ningest throughput: {events_per_s:,.0f} events/s",
+    )
+
+    emit_json(
+        "service",
+        {
+            "bench": {
+                "events": float(frame.n_events),
+                "chunks": float(source.n_chunks),
+                "chunk_size": float(CHUNK_SIZE),
+                "batch_seconds": batch_s,
+                "ingest_seconds": ingest_s,
+                "report_seconds": report_s,
+                "ingest_events_per_s": events_per_s,
+                "report_identical": float(served_text == batch_text),
+            }
+        },
+    )
+
+    assert served_text == batch_text
+    assert events_per_s >= MIN_EVENTS_PER_S

@@ -171,6 +171,13 @@ def cmd_characterize(args) -> int:
 def cmd_trace_info(args) -> int:
     from repro.trace.store import TraceStore, is_store_file
 
+    if args.json:
+        import json
+
+        from repro.trace.store import source_info
+
+        print(json.dumps(source_info(args.path), indent=2))
+        return 0
     if is_store_file(args.path):
         with TraceStore(args.path) as st:
             t0, t1 = st.time_span()
@@ -495,6 +502,66 @@ def cmd_obs_serve(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import signal
+
+    from repro.service import TraceService
+
+    # under --obs the daemon instruments the session observer, so the
+    # CLI's exit path writes the daemon's own run report
+    observer = obs.current() if obs.enabled() else None
+    service = TraceService(
+        host=args.host,
+        port=args.port,
+        snapshot_path=args.snapshot,
+        observer=observer,
+    ).start()
+    # the bound port resolves a requested port 0 to the ephemeral pick;
+    # scripts parse this line to find the daemon
+    print(f"trace service at {service.url}", flush=True)
+    print(
+        "  GET /runs /report/<run> /figdata/<run> /metrics /healthz; "
+        "POST /runs /ingest /shutdown",
+        flush=True,
+    )
+    try:
+        # SIGTERM drains like Ctrl-C (only the main thread may install
+        # handlers; tests drive cmd_serve from worker threads)
+        signal.signal(signal.SIGTERM, lambda *_: service.stop())
+    except ValueError:
+        pass
+    try:
+        service.wait(args.duration)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+        if service.snapshot_path is not None:
+            print(f"drained; state snapshot at {service.snapshot_path}")
+    return 0
+
+
+def cmd_push(args) -> int:
+    from pathlib import Path
+
+    from repro.service import ServiceClient
+    from repro.trace.store import open_source
+
+    client = ServiceClient(args.url)
+    source = open_source(args.path, chunk_size=args.chunk_size)
+    run = args.run or Path(args.path).stem
+    summary = client.push(source, run, stride=args.stride, offset=args.offset)
+    print(
+        f"pushed {summary['n_chunks_sent']} chunks "
+        f"({summary['n_events_sent']} events) of run '{run}' to {args.url}"
+    )
+    if args.wait or args.report:
+        client.wait_complete(run, timeout=args.timeout)
+    if args.report:
+        sys.stdout.write(client.report_text(run))
+    return 0
+
+
 def cmd_obs_diff(args) -> int:
     from repro.errors import ObsReportError
     from repro.obs.regress import (
@@ -641,7 +708,49 @@ def build_parser() -> argparse.ArgumentParser:
     tsub = p.add_subparsers(dest="trace_command", required=True)
     ti = tsub.add_parser("info", help="print a trace file's format and contents")
     ti.add_argument("path", help="a chunked store or legacy .npz frame")
+    ti.add_argument("--json", action="store_true",
+                    help="emit the header and chunk directory as JSON "
+                         "(the shape the service's /runs endpoint mirrors)")
     ti.set_defaults(func=cmd_trace_info)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the trace service: ingest pushed chunks, serve reports",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="0 (the default) binds an ephemeral port; the "
+                        "bound choice is printed at startup")
+    p.add_argument("--snapshot", metavar="PATH", default=None,
+                   help="drain-snapshot file: written on shutdown, "
+                        "restored (resuming partial runs) at startup")
+    p.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                   help="serve this long then drain (default: until "
+                        "Ctrl-C, SIGTERM or POST /shutdown)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "push", help="stream a trace's chunks to a running 'repro serve'"
+    )
+    p.add_argument("path", help="trace file to push (store or .npz frame)")
+    p.add_argument("--url", required=True,
+                   help="service base URL, e.g. http://127.0.0.1:8322")
+    p.add_argument("--run", default=None,
+                   help="run id to register under (default: file stem)")
+    p.add_argument("--stride", type=int, default=1,
+                   help="push every STRIDE-th chunk (team of clients)")
+    p.add_argument("--offset", type=int, default=0,
+                   help="this client's first chunk (< --stride)")
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="re-chunk a frame input to this many events")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the daemon reports the run complete")
+    p.add_argument("--report", action="store_true",
+                   help="after completion, print the served report "
+                        "(byte-identical to 'repro characterize')")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="seconds to wait with --wait/--report")
+    p.set_defaults(func=cmd_push)
 
     p = sub.add_parser("figures", help="render the paper's figures as ASCII charts")
     _add_input_args(p)

@@ -74,13 +74,13 @@ from repro.core.requests import summary_from_size_counts
 from repro.core.sequentiality import FileRegularity
 from repro.core.sharing import SharingResult, _overlap_fraction, sharing_per_file
 from repro.errors import AnalysisError
-from repro.trace.frame import EVENT_DTYPE, FileTable, TraceFrame
+from repro.trace.frame import EVENT_DTYPE, FileTable, JobTable, TraceFrame
 from repro.trace.records import NO_VALUE, EventKind
 from repro.trace.store import TraceSource
 from repro.util.pool import map_tasks
 from repro.util.units import BLOCK_SIZE
 
-__all__ = ["ChunkAccumulator", "characterize_streaming"]
+__all__ = ["ChunkAccumulator", "characterize_streaming", "finalize_fused"]
 
 _OPEN = int(EventKind.OPEN)
 _CLOSE = int(EventKind.CLOSE)
@@ -694,8 +694,10 @@ def _window_task(source: TraceSource, lo: int, hi: int) -> dict:
 # -- finalization ------------------------------------------------------------
 
 
-def _finalize_basics(source: TraceSource, acc: ChunkAccumulator) -> dict:
-    jobs = source.jobs.data
+def _finalize_basics(
+    acc: ChunkAccumulator, jobs_table: JobTable, files_table: FileTable
+) -> dict:
+    jobs = jobs_table.data
     concurrency = concurrency_profile_from_jobs(jobs)
     node_counts = node_count_distribution_from_jobs(jobs)
 
@@ -716,9 +718,9 @@ def _finalize_basics(source: TraceSource, acc: ChunkAccumulator) -> dict:
     write_only = len(written_files) - len(read_write)
     untouched = n_files - read_only - write_only - len(read_write)
 
-    table = source.files.data
+    table = files_table.data
     temp_ids = np.unique(
-        table["file"][source.files.temporary].astype(np.int64)
+        table["file"][files_table.temporary].astype(np.int64)
     )
     open_files, open_counts = acc.part("opens")
     have = _in_sorted(open_files, temp_ids)
@@ -995,12 +997,41 @@ def _finalize_sharing_windowed(acc: ChunkAccumulator, window_results: list[dict]
 # -- the entry points ---------------------------------------------------------
 
 
-def _build_report(source, acc, basics, regularity, reg_note,
+def finalize_fused(
+    acc: ChunkAccumulator, jobs: JobTable, files: FileTable
+) -> WorkloadReport:
+    """The full §4 report from a fused accumulator plus the side tables.
+
+    This is the fused engine's back half, split out so callers that fold
+    chunks themselves — most prominently the trace-service daemon, which
+    accumulates pushed chunks over HTTP — can finalize *without* a
+    :class:`~repro.trace.store.TraceSource`.  The accumulator must have
+    been built with ``collect_spans=True`` and cover the whole event
+    stream in order; the result is byte-identical to
+    ``characterize_streaming(source)`` over the same events.
+    """
+    with obs.span("core/characterize_fused/finalize"):
+        with obs.span("core/characterize_fused/finalize/basics"):
+            basics = _finalize_basics(acc, jobs, files)
+        with obs.span("core/characterize_fused/finalize/regularity"):
+            regularity, reg_note = _finalize_regularity(acc)
+        with obs.span("core/characterize_fused/finalize/tables"):
+            intervals, request_sizes = _finalize_tables(acc)
+        with obs.span("core/characterize_fused/finalize/sharing"):
+            sharing, sharing_note, ij_shared, ij_concurrent = (
+                _finalize_sharing_fused(acc)
+            )
+    return _build_report(acc, basics, regularity, reg_note,
+                         intervals, request_sizes, sharing, sharing_note,
+                         ij_shared, ij_concurrent)
+
+
+def _build_report(acc, basics, regularity, reg_note,
                   intervals, request_sizes, sharing, sharing_note,
                   interjob_shared, interjob_concurrent) -> WorkloadReport:
     if obs.enabled():
         obs.add("core.characterizations")
-        obs.add("core.characterize.events", source.n_events)
+        obs.add("core.characterize.events", acc.n_events)
     notes = [n for n in (reg_note, sharing_note) if n is not None]
     return WorkloadReport(
         concurrency=basics["concurrency"],
@@ -1048,20 +1079,7 @@ def characterize_streaming(
         with obs.span("core/characterize_fused"):
             with obs.span("core/characterize_fused/scan"):
                 acc = _scan_parallel(source, workers, collect_spans=True)
-            with obs.span("core/characterize_fused/finalize"):
-                with obs.span("core/characterize_fused/finalize/basics"):
-                    basics = _finalize_basics(source, acc)
-                with obs.span("core/characterize_fused/finalize/regularity"):
-                    regularity, reg_note = _finalize_regularity(acc)
-                with obs.span("core/characterize_fused/finalize/tables"):
-                    intervals, request_sizes = _finalize_tables(acc)
-                with obs.span("core/characterize_fused/finalize/sharing"):
-                    sharing, sharing_note, ij_shared, ij_concurrent = (
-                        _finalize_sharing_fused(acc)
-                    )
-        return _build_report(source, acc, basics, regularity, reg_note,
-                             intervals, request_sizes, sharing, sharing_note,
-                             ij_shared, ij_concurrent)
+            return finalize_fused(acc, source.jobs, source.files)
 
     if window_events is None:
         window_events = max(4 * source.chunk_size, 1)
@@ -1069,7 +1087,7 @@ def characterize_streaming(
         with obs.span("core/characterize_streaming/scan"):
             acc = _scan_parallel(source, workers, collect_spans=False)
 
-        basics = _finalize_basics(source, acc)
+        basics = _finalize_basics(acc, source.jobs, source.files)
         regularity, reg_note = _finalize_regularity(acc)
         intervals, request_sizes = _finalize_tables(acc)
 
@@ -1089,6 +1107,6 @@ def characterize_streaming(
         sharing, sharing_note, ij_shared, ij_concurrent = (
             _finalize_sharing_windowed(acc, window_results)
         )
-    return _build_report(source, acc, basics, regularity, reg_note,
+    return _build_report(acc, basics, regularity, reg_note,
                          intervals, request_sizes, sharing, sharing_note,
                          ij_shared, ij_concurrent)

@@ -56,6 +56,15 @@ class ObsReportError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The trace service rejected a request or a wire payload.
+
+    Raised by the :mod:`repro.service` wire codec for malformed chunk
+    frames and by the client for HTTP-level failures; the daemon maps it
+    to a 4xx response with the message as the body.
+    """
+
+
 class PoolTaskError(ReproError):
     """A worker-pool task raised; carries the originating task context.
 

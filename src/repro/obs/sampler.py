@@ -70,27 +70,34 @@ class Sampler:
         self._t0 = time.perf_counter()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        # peek() is served from the daemon's HTTP request threads while
+        # the sampling thread appends: every ring/counter access is
+        # locked so a scrape never sees (or trips over) a half-applied
+        # sample — list(deque) raises RuntimeError if the deque mutates
+        # mid-iteration
+        self._lock = threading.Lock()
 
     # -- sampling -------------------------------------------------------------
 
     def sample_once(self) -> dict:
         """Take one sample immediately (the thread body; also testable)."""
         counters = dict(self.observer.counters)  # atomic under the GIL
-        deltas = {
-            name: value - self._last_counters.get(name, 0)
-            for name, value in counters.items()
-            if value != self._last_counters.get(name, 0)
-        }
-        self._last_counters = counters
-        sample = {
-            "t_s": round(time.perf_counter() - self._t0, 6),
-            "rss_bytes": current_rss_bytes(),
-            "cpu_s": time.process_time(),
-            "gauges": dict(self.observer.gauges),
-            "counter_deltas": deltas,
-        }
-        self._ring.append(sample)
-        self._n_samples += 1
+        with self._lock:
+            deltas = {
+                name: value - self._last_counters.get(name, 0)
+                for name, value in counters.items()
+                if value != self._last_counters.get(name, 0)
+            }
+            self._last_counters = counters
+            sample = {
+                "t_s": round(time.perf_counter() - self._t0, 6),
+                "rss_bytes": current_rss_bytes(),
+                "cpu_s": time.process_time(),
+                "gauges": dict(self.observer.gauges),
+                "counter_deltas": deltas,
+            }
+            self._ring.append(sample)
+            self._n_samples += 1
         return sample
 
     def _loop(self) -> None:
@@ -124,16 +131,19 @@ class Sampler:
         """The ring contents *without* stopping the sampling thread.
 
         The live telemetry endpoint (:mod:`repro.obs.server`) serves
-        this mid-run; :meth:`flush` remains the end-of-run finalizer.
+        this mid-run from HTTP request threads; the snapshot is taken
+        under the sampling lock, so a concurrent :meth:`sample_once`,
+        :meth:`flush`, or :meth:`stop` can never tear it.
         """
-        return {
-            "version": TIMESERIES_VERSION,
-            "period_s": self.period_s,
-            "capacity": self.capacity,
-            "n_samples": self._n_samples,
-            "n_dropped": self.n_dropped,
-            "samples": list(self._ring),
-        }
+        with self._lock:
+            return {
+                "version": TIMESERIES_VERSION,
+                "period_s": self.period_s,
+                "capacity": self.capacity,
+                "n_samples": self._n_samples,
+                "n_dropped": self._n_samples - len(self._ring),
+                "samples": list(self._ring),
+            }
 
     def flush(self) -> dict:
         """Stop sampling and return the ``timeseries`` report payload.

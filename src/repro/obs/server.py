@@ -48,6 +48,21 @@ log = logging.getLogger("repro.obs.server")
 _PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
+class ReusableThreadingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer with explicit socket hygiene.
+
+    ``allow_reuse_address`` sets ``SO_REUSEADDR`` before bind, so a
+    freshly stopped server's port can be rebound immediately instead of
+    lingering in TIME_WAIT — CI smoke jobs restart servers on the same
+    port back to back.  Handler threads are daemonic so a hung client
+    cannot block interpreter exit.  Bind port 0 to let the OS pick an
+    ephemeral port; ``server_address[1]`` reports the bound choice.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+
 class ObsServer:
     """Serves one run's telemetry over HTTP from a daemon thread."""
 
@@ -174,10 +189,9 @@ class ObsServer:
                     except Exception:
                         pass
 
-        self._httpd = ThreadingHTTPServer(
+        self._httpd = ReusableThreadingHTTPServer(
             (self._host, self._requested_port), Handler
         )
-        self._httpd.daemon_threads = True
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-obs-server",

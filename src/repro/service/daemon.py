@@ -1,0 +1,648 @@
+"""The aggregator/query daemon behind ``repro serve``.
+
+:class:`TraceService` is an HTTP daemon (on the obs stack's
+:class:`~repro.obs.server.ReusableThreadingHTTPServer`) that accepts
+trace chunks from ``repro push`` collectors and folds them incrementally
+into one :class:`~repro.core.streaming.ChunkAccumulator` per registered
+run — the deferred-fold discipline of the fused batch engine, applied
+live.  Chunks may arrive from many clients, interleaved and out of
+order: an in-order chunk folds immediately; an out-of-order chunk is
+parked as a single-chunk partial accumulator and merged the instant the
+sequence gap closes.  Because the accumulator's aggregation is
+idempotent and associative with seam stitching, the finished report is
+byte-identical to ``repro characterize`` over the same store, no matter
+how the chunks were sliced or raced.
+
+Queries (``/runs``, ``/report/<run>``, ``/figdata/<run>``) answer from
+the accumulators alone — the daemon never re-reads a trace file.
+Finalized reports are cached per fold-generation, so many concurrent
+readers cost one finalize.
+
+Thread discipline: HTTP handler threads never open ``observer.span()``
+(the span stack is single-threaded by design); all observer mutation
+happens under one metrics lock, per-run folding under that run's own
+lock.  Per-run lifecycle lands in the flight recorder as structured
+events instead of spans.
+
+Graceful drain: ``stop()`` (wired to ``POST /shutdown`` and the CLI's
+signal handlers) compacts every accumulator and pickles the full
+per-run state to ``snapshot_path`` via tmp-file + ``os.replace``; a
+daemon restarted on the same path resumes folding mid-run exactly where
+the last one stopped.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pickle
+import threading
+import time
+from http.server import BaseHTTPRequestHandler
+from pathlib import Path
+
+from repro import obs
+from repro.core.streaming import ChunkAccumulator, finalize_fused
+from repro.errors import ServiceError
+from repro.obs.collector import Observer
+from repro.obs.flight import FlightRecorder
+from repro.obs.sampler import Sampler
+from repro.obs.server import _PROM_CONTENT_TYPE, ReusableThreadingHTTPServer
+from repro.service.figdata import figdata_from_report
+from repro.service.wire import decode_chunk, decode_table
+from repro.trace.frame import FILE_DTYPE, JOB_DTYPE, FileTable, JobTable
+from repro.trace.records import TraceHeader
+
+log = logging.getLogger("repro.service")
+
+__all__ = ["SNAPSHOT_VERSION", "TraceService"]
+
+#: version tag of the drain-snapshot pickle payload
+SNAPSHOT_VERSION = 1
+
+
+class _HttpError(ServiceError):
+    """A request failure that maps to a specific HTTP status code."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class _RunState:
+    """One registered run: its accumulator, side tables and fold window."""
+
+    def __init__(
+        self,
+        run: str,
+        n_chunks: int,
+        n_events: int,
+        header: TraceHeader,
+        jobs: JobTable,
+        files: FileTable,
+    ) -> None:
+        self.run = run
+        self.n_chunks_expected = n_chunks
+        self.n_events_expected = n_events
+        self.header = header
+        self.jobs = jobs
+        self.files = files
+        self.acc = ChunkAccumulator()
+        self.next_seq = 0
+        #: out-of-order chunks parked as single-chunk partials, keyed by seq
+        self.pending: dict[int, ChunkAccumulator] = {}
+        #: per-chunk directory entries keyed by seq (mirrors source_info)
+        self.chunk_meta: dict[int, dict] = {}
+        self.n_duplicates = 0
+        self.registered_at = time.time()
+        self.completed_at: float | None = None
+        self.lock = threading.Lock()
+        #: (fold generation, rendered text, report) — finalize once per fold
+        self._report_cache: tuple[int, str, object] | None = None
+
+    # callers hold self.lock for everything below
+
+    @property
+    def n_folded(self) -> int:
+        return self.next_seq
+
+    @property
+    def complete(self) -> bool:
+        return self.next_seq >= self.n_chunks_expected and not self.pending
+
+    def fold(self, seq: int, events) -> str:
+        """Fold or park one chunk; returns "folded" / "parked" / "duplicate"."""
+        if seq >= self.n_chunks_expected:
+            raise _HttpError(
+                400,
+                f"run {self.run!r} declared {self.n_chunks_expected} chunks; "
+                f"chunk {seq} is out of range",
+            )
+        if seq < self.next_seq or seq in self.pending:
+            self.n_duplicates += 1
+            return "duplicate"
+        n = len(events)
+        self.chunk_meta[seq] = {
+            "n": n,
+            "t_min": float(events["time"][0]) if n else 0.0,
+            "t_max": float(events["time"][-1]) if n else 0.0,
+        }
+        if seq == self.next_seq:
+            self.acc.update(events)
+            self.next_seq += 1
+            while self.next_seq in self.pending:
+                self.acc.merge(self.pending.pop(self.next_seq))
+                self.next_seq += 1
+            self._report_cache = None
+            if self.complete and self.completed_at is None:
+                self.completed_at = time.time()
+            return "folded"
+        part = ChunkAccumulator()
+        part.update(events)
+        self.pending[seq] = part
+        return "parked"
+
+    def report(self):
+        """The finalized report (cached until the next fold advances)."""
+        if not self.complete:
+            raise _HttpError(
+                409,
+                f"run {self.run!r} is incomplete: folded {self.n_folded} of "
+                f"{self.n_chunks_expected} chunks "
+                f"({len(self.pending)} parked out of order)",
+            )
+        cached = self._report_cache
+        if cached is not None and cached[0] == self.next_seq:
+            return cached[1], cached[2]
+        # finalize collapses the accumulator's part lists in place, which
+        # is idempotent — a restored snapshot taken after a query still
+        # folds later chunks correctly
+        report = finalize_fused(self.acc, self.jobs, self.files)
+        text = report.render() + "\n"
+        self._report_cache = (self.next_seq, text, report)
+        return text, report
+
+    def summary(self) -> dict:
+        """One ``/runs`` entry, shaped like ``trace.store.source_info``."""
+        t0 = min((m["t_min"] for m in self.chunk_meta.values()), default=0.0)
+        t1 = max((m["t_max"] for m in self.chunk_meta.values()), default=0.0)
+        return {
+            "run": self.run,
+            "kind": "service",
+            "complete": self.complete,
+            "n_events": sum(m["n"] for m in self.chunk_meta.values()),
+            "n_events_expected": self.n_events_expected,
+            "n_chunks": len(self.chunk_meta),
+            "n_chunks_expected": self.n_chunks_expected,
+            "n_folded": self.n_folded,
+            "n_parked": len(self.pending),
+            "n_duplicates": self.n_duplicates,
+            "n_jobs": len(self.jobs),
+            "n_files": len(self.files),
+            "time_span": [t0, t1],
+            "header": self.header.to_dict(),
+            "chunks": [
+                {"seq": seq, **self.chunk_meta[seq]}
+                for seq in sorted(self.chunk_meta)
+            ],
+        }
+
+
+class TraceService:
+    """The collector → aggregator → query daemon (see module docstring)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        snapshot_path: str | Path | None = None,
+        observer: Observer | None = None,
+        sample_period_s: float = 0.5,
+    ) -> None:
+        self._host = host
+        self._requested_port = port
+        self.snapshot_path = Path(snapshot_path) if snapshot_path else None
+        self._runs: dict[str, _RunState] = {}
+        self._runs_lock = threading.Lock()
+        self._t0 = time.time()
+        self._httpd: ReusableThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        # _stopping guards reentry; _stopped signals the drain (snapshot
+        # included) has *finished* — wait() must not release the CLI
+        # process while a /shutdown-spawned drain thread is still writing
+        self._stop_lock = threading.Lock()
+        self._stopping = False
+        self._stopped = threading.Event()
+        # the daemon observes itself: with the CLI's --obs the session
+        # observer is passed in (so `repro --obs X serve` writes the
+        # daemon's own run report); otherwise a private one is built with
+        # the full stack attached
+        if observer is not None:
+            self._observer = observer
+            self._own_observer = False
+        else:
+            self._observer = Observer()
+            self._observer.flight = FlightRecorder()
+            self._own_observer = True
+        self._own_sampler = self._observer.sampler is None
+        if self._own_sampler:
+            self._observer.sampler = Sampler(
+                self._observer, period_s=sample_period_s
+            )
+        # Observer dicts and the flight ring are not thread-safe; every
+        # mutation from a request thread goes through this lock
+        self._obs_lock = threading.Lock()
+        # finalize_fused opens spans on the *global* obs singleton, whose
+        # span stack is single-threaded by design — at most one request
+        # thread may finalize at a time, across all runs
+        self._finalize_lock = threading.Lock()
+        if self.snapshot_path is not None and self.snapshot_path.exists():
+            self._restore(self.snapshot_path)
+
+    # -- observer plumbing -----------------------------------------------------
+
+    def _add(self, name: str, value: int | float = 1) -> None:
+        with self._obs_lock:
+            self._observer.add(name, value)
+
+    def _hist(self, name: str, value: float) -> None:
+        with self._obs_lock:
+            self._observer.hist(name, value)
+
+    def _event(self, kind: str, name: str, **fields) -> None:
+        with self._obs_lock:
+            self._observer.event(kind, name, **fields)
+
+    def _refresh_gauges(self) -> None:
+        with self._runs_lock:
+            states = list(self._runs.values())
+        n_parked = sum(len(s.pending) for s in states)
+        n_complete = sum(1 for s in states if s.complete)
+        with self._obs_lock:
+            self._observer.gauge("service.runs.registered", len(states))
+            self._observer.gauge("service.runs.active", len(states) - n_complete)
+            self._observer.gauge("service.runs.complete", n_complete)
+            self._observer.gauge("service.queue.parked_chunks", n_parked)
+
+    # -- request handling ------------------------------------------------------
+
+    def _state(self, run: str) -> _RunState:
+        with self._runs_lock:
+            state = self._runs.get(run)
+        if state is None:
+            raise _HttpError(404, f"no run {run!r} is registered here")
+        return state
+
+    def register_run(self, payload: bytes) -> dict:
+        """``POST /runs``: declare a run and ship its side tables."""
+        try:
+            meta = json.loads(payload)
+            run = str(meta["run"])
+            n_chunks = int(meta["n_chunks"])
+            n_events = int(meta["n_events"])
+            header = TraceHeader.from_dict(meta["header"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise _HttpError(400, f"malformed run registration: {exc}")
+        if n_chunks < 0 or n_events < 0:
+            raise _HttpError(400, "run registration counts must be >= 0")
+        jobs = JobTable(decode_table(meta.get("jobs", {}), JOB_DTYPE, "jobs"))
+        files = FileTable(
+            decode_table(meta.get("files", {}), FILE_DTYPE, "files")
+        )
+        with self._runs_lock:
+            existing = self._runs.get(run)
+            if existing is not None:
+                # concurrent pushers of one run all register; identical
+                # declarations are idempotent, divergent ones conflict
+                if (
+                    existing.n_chunks_expected != n_chunks
+                    or existing.n_events_expected != n_events
+                ):
+                    raise _HttpError(
+                        409,
+                        f"run {run!r} already registered with "
+                        f"{existing.n_chunks_expected} chunks / "
+                        f"{existing.n_events_expected} events",
+                    )
+                return {"status": "already-registered", "run": run}
+            self._runs[run] = _RunState(
+                run, n_chunks, n_events, header, jobs, files
+            )
+        self._add("service.runs.registered_total")
+        self._event(
+            "service", f"run/{run}/registered",
+            n_chunks=n_chunks, n_events=n_events,
+        )
+        self._refresh_gauges()
+        return {"status": "registered", "run": run, "n_chunks": n_chunks}
+
+    def ingest(self, payload: bytes) -> dict:
+        """``POST /ingest``: fold one wire-framed chunk."""
+        try:
+            run, seq, events = decode_chunk(payload)
+        except ServiceError as exc:
+            self._add("service.ingest.rejected_total")
+            raise _HttpError(400, str(exc))
+        state = self._state(run)
+        t0 = time.perf_counter()
+        with state.lock:
+            outcome = state.fold(seq, events)
+            complete = state.complete
+            n_folded = state.n_folded
+        fold_s = time.perf_counter() - t0
+        with self._obs_lock:
+            o = self._observer
+            o.add("service.ingest.chunks_total")
+            o.add("service.ingest.events_total", len(events))
+            o.add("service.ingest.bytes_total", len(payload))
+            if outcome == "duplicate":
+                o.add("service.ingest.duplicate_chunks_total")
+            o.hist("service.fold.latency_s", fold_s)
+            o.hist("service.ingest.chunk_events", len(events))
+        if complete and outcome == "folded":
+            self._event(
+                "service", f"run/{run}/complete",
+                n_chunks=n_folded,
+                wall_s=round(time.time() - state.registered_at, 6),
+            )
+        self._refresh_gauges()
+        return {
+            "status": outcome,
+            "run": run,
+            "seq": seq,
+            "n_folded": n_folded,
+            "complete": complete,
+        }
+
+    def run_summaries(self) -> list[dict]:
+        with self._runs_lock:
+            states = sorted(self._runs.values(), key=lambda s: s.run)
+        out = []
+        for state in states:
+            with state.lock:
+                out.append(state.summary())
+        return out
+
+    def report_text(self, run: str) -> str:
+        state = self._state(run)
+        t0 = time.perf_counter()
+        with state.lock, self._finalize_lock:
+            text, _ = state.report()
+        self._hist("service.report.latency_s", time.perf_counter() - t0)
+        self._add("service.report.served_total")
+        return text
+
+    def report_json(self, run: str) -> dict:
+        state = self._state(run)
+        with state.lock, self._finalize_lock:
+            _, report = state.report()
+            payload = report.to_dict()
+        self._add("service.report.served_total")
+        return payload
+
+    def figdata(self, run: str) -> dict:
+        state = self._state(run)
+        with state.lock, self._finalize_lock:
+            _, report = state.report()
+            payload = figdata_from_report(report)
+        self._add("service.figdata.served_total")
+        return payload
+
+    def health(self) -> dict:
+        with self._runs_lock:
+            states = list(self._runs.values())
+        return {
+            "status": "ok",
+            "service": "repro-trace-service",
+            "uptime_s": round(time.time() - self._t0, 3),
+            "pid": os.getpid(),
+            "n_runs": len(states),
+            "n_complete": sum(1 for s in states if s.complete),
+            "snapshot_path": (
+                str(self.snapshot_path) if self.snapshot_path else None
+            ),
+        }
+
+    def metrics_text(self) -> str:
+        from repro.obs.export import to_prometheus
+
+        self._refresh_gauges()
+        with self._obs_lock:
+            sampler = self._observer.sampler
+            timeseries = sampler.peek() if sampler is not None else None
+            report = self._observer.report(
+                command=["repro", "serve"], timeseries=timeseries
+            )
+        return to_prometheus(report)
+
+    # -- drain snapshots -------------------------------------------------------
+
+    def snapshot(self, path: str | Path | None = None) -> Path | None:
+        """Persist every run's fold state (atomic tmp + replace)."""
+        path = Path(path) if path else self.snapshot_path
+        if path is None:
+            return None
+        with self._runs_lock:
+            states = list(self._runs.values())
+        runs = []
+        for state in states:
+            with state.lock:
+                state.acc.compact()
+                for part in state.pending.values():
+                    part.compact()
+                runs.append(
+                    {
+                        "run": state.run,
+                        "n_chunks": state.n_chunks_expected,
+                        "n_events": state.n_events_expected,
+                        "header": state.header.to_dict(),
+                        "jobs": state.jobs.data,
+                        "files": state.files.data,
+                        "acc": state.acc,
+                        "next_seq": state.next_seq,
+                        "pending": state.pending,
+                        "chunk_meta": state.chunk_meta,
+                        "n_duplicates": state.n_duplicates,
+                    }
+                )
+        payload = {"version": SNAPSHOT_VERSION, "runs": runs}
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self._add("service.snapshot.written_total")
+        log.info("service snapshot of %d runs written to %s", len(runs), path)
+        return path
+
+    def _restore(self, path: Path) -> None:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        if payload.get("version") != SNAPSHOT_VERSION:
+            raise ServiceError(
+                f"snapshot {path} has version {payload.get('version')!r}, "
+                f"this daemon reads version {SNAPSHOT_VERSION}"
+            )
+        for entry in payload["runs"]:
+            state = _RunState(
+                entry["run"],
+                entry["n_chunks"],
+                entry["n_events"],
+                TraceHeader.from_dict(entry["header"]),
+                JobTable(entry["jobs"]),
+                FileTable(entry["files"]),
+            )
+            state.acc = entry["acc"]
+            state.next_seq = entry["next_seq"]
+            state.pending = entry["pending"]
+            state.chunk_meta = entry["chunk_meta"]
+            state.n_duplicates = entry["n_duplicates"]
+            if state.complete:
+                state.completed_at = time.time()
+            self._runs[state.run] = state
+        self._add("service.snapshot.restored_runs_total", len(self._runs))
+        self._event("service", "snapshot/restored", n_runs=len(self._runs))
+        log.info(
+            "service restored %d runs from snapshot %s", len(self._runs), path
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "TraceService":
+        """Bind and serve on a daemon thread (idempotent)."""
+        if self._httpd is not None:
+            return self
+        sampler = self._observer.sampler
+        if sampler is not None:
+            sampler.start()
+        self._httpd = ReusableThreadingHTTPServer(
+            (self._host, self._requested_port), _make_handler(self)
+        )
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-trace-service",
+            daemon=True,
+        )
+        self._thread.start()
+        log.info("trace service serving at %s", self.url)
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves 0 to the ephemeral pick)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the daemon stops (``stop()`` or ``POST /shutdown``)."""
+        return self._stopped.wait(timeout)
+
+    def stop(self, snapshot: bool = True) -> None:
+        """Graceful drain: stop accepting, snapshot state, halt sampler."""
+        with self._stop_lock:
+            if self._stopping:
+                return
+            self._stopping = True
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        if snapshot:
+            self.snapshot()
+        sampler = self._observer.sampler
+        if self._own_sampler and sampler is not None:
+            sampler.stop()
+        self._stopped.set()
+
+    def __enter__(self) -> "TraceService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+
+def _make_handler(service: TraceService):
+    """The request handler class bound to one service instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, fmt, *args):  # route into our logger
+            log.debug("%s %s", self.address_string(), fmt % args)
+
+        def _send(self, code: int, content_type: str, body) -> None:
+            data = body if isinstance(body, bytes) else body.encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _send_json(self, code: int, payload: dict) -> None:
+            self._send(code, "application/json", json.dumps(payload) + "\n")
+
+        def _body(self) -> bytes:
+            length = int(self.headers.get("Content-Length", 0))
+            return self.rfile.read(length) if length else b""
+
+        def _guard(self, fn) -> None:
+            try:
+                fn()
+            except _HttpError as exc:
+                self._send_json(exc.code, {"error": str(exc)})
+            except BrokenPipeError:  # pragma: no cover - client gone
+                pass
+            except Exception as exc:  # pragma: no cover - defensive
+                log.warning("service request failed: %s", exc)
+                try:
+                    self._send_json(500, {"error": f"internal error: {exc}"})
+                except Exception:
+                    pass
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            self._guard(self._get)
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            self._guard(self._post)
+
+        def _get(self) -> None:
+            route, _, query = self.path.partition("?")
+            route = route.rstrip("/") or "/"
+            if route == "/healthz":
+                self._send_json(200, service.health())
+            elif route == "/metrics":
+                self._send(200, _PROM_CONTENT_TYPE, service.metrics_text())
+            elif route == "/runs":
+                self._send_json(200, {"runs": service.run_summaries()})
+            elif route.startswith("/report/"):
+                run = route[len("/report/"):]
+                if "format=json" in query:
+                    self._send_json(200, service.report_json(run))
+                else:
+                    self._send(
+                        200, "text/plain; charset=utf-8",
+                        service.report_text(run),
+                    )
+            elif route.startswith("/figdata/"):
+                self._send_json(200, service.figdata(route[len("/figdata/"):]))
+            elif route == "/":
+                self._send(
+                    200, "text/plain; charset=utf-8",
+                    "repro trace service\n"
+                    "  GET  /runs            registered runs + chunk dirs\n"
+                    "  GET  /report/<run>    finished report (?format=json)\n"
+                    "  GET  /figdata/<run>   figure series (JSON)\n"
+                    "  GET  /metrics         daemon self-telemetry\n"
+                    "  GET  /healthz         liveness probe\n"
+                    "  POST /runs            register a run\n"
+                    "  POST /ingest          push one wire-framed chunk\n"
+                    "  POST /shutdown        graceful drain\n",
+                )
+            else:
+                self._send_json(404, {"error": f"no such route {route}"})
+
+        def _post(self) -> None:
+            route = self.path.split("?", 1)[0].rstrip("/")
+            if route == "/runs":
+                self._send_json(200, service.register_run(self._body()))
+            elif route == "/ingest":
+                self._send_json(200, service.ingest(self._body()))
+            elif route == "/shutdown":
+                self._send_json(200, {"status": "draining"})
+                # stop from another thread: shutdown() deadlocks when
+                # called from a handler the serve loop is waiting on
+                threading.Thread(
+                    target=service.stop, name="repro-service-drain",
+                    daemon=True,
+                ).start()
+            else:
+                self._send_json(404, {"error": f"no such route {route}"})
+
+    return Handler

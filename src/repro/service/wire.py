@@ -1,0 +1,215 @@
+"""Wire framing for trace chunks pushed to the service daemon.
+
+One ``POST /ingest`` body carries one chunk of EVENT_DTYPE rows in the
+same columnar shape the on-disk store uses (§2's per-node collectors
+likewise shipped self-describing buffers): a magic prefix, a JSON meta
+object (run id, sequence number, per-field encoding directory), then the
+field blobs — each column zlib-compressed when that shrinks it and
+CRC-32 checked either way, so a corrupted or truncated frame is rejected
+with a message naming the failing field rather than folded into a run.
+
+Frame layout (integers little-endian)::
+
+    offset 0  WIRE_MAGIC            b"RWIRE1\\n"
+    offset 7  u32 meta length
+    offset 11 meta JSON             {"v", "run", "seq", "n", "fields"}
+    ...       field blobs           per EVENT_DTYPE field, zlib or raw
+
+Side tables (jobs/files) and the trace header travel in the run
+*registration* instead — they are tiny, so :func:`encode_table` packs
+them as zlib+base64 strings inside plain JSON.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+import zlib
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.trace.frame import EVENT_DTYPE
+
+__all__ = [
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "decode_chunk",
+    "decode_table",
+    "encode_chunk",
+    "encode_table",
+]
+
+#: magic prefix of every ingest frame
+WIRE_MAGIC = b"RWIRE1\n"
+
+#: wire protocol version carried in every frame's meta object
+WIRE_VERSION = 1
+
+_META_LEN = struct.Struct("<I")
+
+#: refuse meta objects past this size — a corrupt length prefix must not
+#: make the daemon allocate gigabytes
+_MAX_META_BYTES = 1 << 20
+
+
+def _encode_blob(raw: bytes, compression: str) -> tuple[str, bytes]:
+    """(encoding, stored bytes): zlib only when it actually shrinks."""
+    if compression == "zlib":
+        packed = zlib.compress(raw, 6)
+        if len(packed) < len(raw):
+            return "zlib", packed
+    return "raw", raw
+
+
+def encode_chunk(
+    run: str, seq: int, events: np.ndarray, compression: str = "zlib"
+) -> bytes:
+    """Frame one chunk of events for ``POST /ingest``."""
+    if events.dtype != EVENT_DTYPE:
+        raise ServiceError(
+            f"chunk has dtype {events.dtype}, expected EVENT_DTYPE"
+        )
+    if seq < 0:
+        raise ServiceError(f"chunk sequence number must be >= 0, not {seq}")
+    fields: dict[str, dict] = {}
+    blobs: list[bytes] = []
+    off = 0
+    for name in EVENT_DTYPE.names:
+        col = np.ascontiguousarray(events[name])
+        enc, stored = _encode_blob(col.tobytes(), compression)
+        fields[name] = {
+            "enc": enc,
+            "off": off,
+            "nbytes": len(stored),
+            "raw": col.nbytes,
+            "crc32": zlib.crc32(stored),
+        }
+        blobs.append(stored)
+        off += len(stored)
+    meta = {
+        "v": WIRE_VERSION,
+        "run": str(run),
+        "seq": int(seq),
+        "n": len(events),
+        "fields": fields,
+    }
+    meta_bytes = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+    return b"".join(
+        [WIRE_MAGIC, _META_LEN.pack(len(meta_bytes)), meta_bytes, *blobs]
+    )
+
+
+def decode_chunk(data: bytes) -> tuple[str, int, np.ndarray]:
+    """Decode one ingest frame back to ``(run, seq, events)``.
+
+    Every structural failure raises :class:`ServiceError` with a message
+    naming what broke — the daemon returns it verbatim as a 400 body.
+    """
+    if not data.startswith(WIRE_MAGIC):
+        raise ServiceError("ingest body does not start with the wire magic")
+    head = len(WIRE_MAGIC)
+    if len(data) < head + _META_LEN.size:
+        raise ServiceError("ingest frame truncated before its meta length")
+    (meta_len,) = _META_LEN.unpack_from(data, head)
+    if meta_len > _MAX_META_BYTES:
+        raise ServiceError(f"ingest meta object of {meta_len} bytes refused")
+    body = head + _META_LEN.size
+    if len(data) < body + meta_len:
+        raise ServiceError("ingest frame truncated inside its meta object")
+    try:
+        meta = json.loads(data[body : body + meta_len])
+    except ValueError as exc:
+        raise ServiceError(f"ingest meta is not valid JSON: {exc}")
+    if meta.get("v") != WIRE_VERSION:
+        raise ServiceError(
+            f"wire version {meta.get('v')!r} not supported "
+            f"(this daemon speaks version {WIRE_VERSION})"
+        )
+    try:
+        run = str(meta["run"])
+        seq = int(meta["seq"])
+        n = int(meta["n"])
+        fields = meta["fields"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"ingest meta is missing a required key: {exc}")
+    payload = data[body + meta_len :]
+    out = np.empty(n, dtype=EVENT_DTYPE)
+    for name in EVENT_DTYPE.names:
+        fmeta = fields.get(name)
+        if fmeta is None:
+            raise ServiceError(f"ingest frame lacks field {name!r}")
+        col = _decode_blob(payload, fmeta, f"field {name!r}", EVENT_DTYPE[name])
+        if len(col) != n:
+            raise ServiceError(
+                f"field {name!r} decoded to {len(col)} values, expected {n}"
+            )
+        out[name] = col
+    return run, seq, out
+
+
+def _decode_blob(payload: bytes, meta: dict, what: str, dtype) -> np.ndarray:
+    try:
+        off, nbytes, enc = int(meta["off"]), int(meta["nbytes"]), meta["enc"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"{what} has a malformed blob directory: {exc}")
+    if off < 0 or off + nbytes > len(payload):
+        raise ServiceError(
+            f"{what} extends past the frame "
+            f"(bytes {off}..{off + nbytes}, payload has {len(payload)})"
+        )
+    stored = payload[off : off + nbytes]
+    if zlib.crc32(stored) != int(meta.get("crc32", -1)):
+        raise ServiceError(f"{what} failed its CRC-32 check")
+    if enc == "zlib":
+        try:
+            raw = zlib.decompress(stored)
+        except zlib.error as exc:
+            raise ServiceError(f"{what} failed to decompress: {exc}")
+    elif enc == "raw":
+        raw = stored
+    else:
+        raise ServiceError(f"{what} has unknown encoding {enc!r}")
+    if len(raw) != int(meta.get("raw", -1)):
+        raise ServiceError(
+            f"{what} decoded to {len(raw)} bytes, expected {meta.get('raw')}"
+        )
+    return np.frombuffer(raw, dtype=dtype)
+
+
+# -- side tables inside JSON ---------------------------------------------------
+
+
+def encode_table(arr: np.ndarray) -> dict:
+    """A structured array as a JSON-embeddable zlib+base64 object."""
+    raw = np.ascontiguousarray(arr).tobytes()
+    packed = zlib.compress(raw, 6)
+    return {
+        "b64": base64.b64encode(packed).decode("ascii"),
+        "raw": len(raw),
+        "crc32": zlib.crc32(raw),
+        "n": len(arr),
+    }
+
+
+def decode_table(meta: dict, dtype, what: str) -> np.ndarray:
+    """Invert :func:`encode_table`, validating length and checksum."""
+    try:
+        packed = base64.b64decode(meta["b64"].encode("ascii"), validate=True)
+        raw = zlib.decompress(packed)
+    except (KeyError, AttributeError, ValueError, zlib.error) as exc:
+        raise ServiceError(f"{what} table failed to decode: {exc}")
+    if len(raw) != int(meta.get("raw", -1)):
+        raise ServiceError(
+            f"{what} table decoded to {len(raw)} bytes, "
+            f"expected {meta.get('raw')}"
+        )
+    if zlib.crc32(raw) != int(meta.get("crc32", -1)):
+        raise ServiceError(f"{what} table failed its CRC-32 check")
+    arr = np.frombuffer(raw, dtype=dtype).copy()
+    if len(arr) != int(meta.get("n", -1)):
+        raise ServiceError(
+            f"{what} table has {len(arr)} rows, expected {meta.get('n')}"
+        )
+    return arr

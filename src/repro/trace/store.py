@@ -70,6 +70,7 @@ __all__ = [
     "TraceStore",
     "is_store_file",
     "open_source",
+    "source_info",
     "write_store",
 ]
 
@@ -609,6 +610,62 @@ class TraceStore(TraceSource):
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
+
+
+def source_info(path) -> dict:
+    """Machine-readable description of any trace file.
+
+    One JSON-serializable dict covering both formats — the data behind
+    ``repro trace info --json``, and the per-run shape the trace
+    service's ``/runs`` listing reuses.  Chunked stores include the full
+    per-chunk directory (event count and time span per chunk); legacy
+    ``.npz`` frames report ``kind: "frame"`` with a single synthetic
+    chunk entry.
+    """
+    if is_store_file(path):
+        with TraceStore(path) as st:
+            t0, t1 = st.time_span()
+            return {
+                "path": str(path),
+                "kind": "store",
+                "format_version": st.format_version,
+                "n_events": st.n_events,
+                "n_chunks": st.n_chunks,
+                "chunk_size": st.chunk_size,
+                "n_jobs": len(st.jobs),
+                "n_traced_jobs": len(st.jobs.traced),
+                "n_files": len(st.files),
+                "compressed_bytes": st.compressed_bytes,
+                "uncompressed_bytes": st.uncompressed_bytes,
+                "time_span": [t0, t1],
+                "header": st.header.to_dict(),
+                "chunks": [
+                    {
+                        "n": int(c["n"]),
+                        "t_min": float(c["t_min"]),
+                        "t_max": float(c["t_max"]),
+                    }
+                    for c in st._chunk_meta
+                ],
+            }
+    frame = TraceFrame.load(path)
+    t0, t1 = frame.time_span()
+    return {
+        "path": str(path),
+        "kind": "frame",
+        "n_events": frame.n_events,
+        "n_chunks": 1 if frame.n_events else 0,
+        "chunk_size": frame.n_events,
+        "n_jobs": len(frame.jobs),
+        "n_traced_jobs": len(frame.jobs.traced),
+        "n_files": len(frame.files),
+        "time_span": [t0, t1],
+        "header": frame.header.to_dict(),
+        "chunks": (
+            [{"n": frame.n_events, "t_min": t0, "t_max": t1}]
+            if frame.n_events else []
+        ),
+    }
 
 
 def is_store_file(path) -> bool:

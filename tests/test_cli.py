@@ -238,3 +238,105 @@ class TestObservability:
 
     def test_quiet_flag_parses(self, trace_path, capsys):
         assert main(["-q", "strided", str(trace_path)]) == 0
+
+
+class TestTraceInfo:
+    @pytest.fixture(scope="class")
+    def store_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-info") / "trace.ctrace"
+        rc = main(["generate", "--scale", "0.02", "--seed", "3",
+                   "--out", str(path), "--store", "--chunk-size", "4096"])
+        assert rc == 0
+        return path
+
+    def test_human_store(self, store_path, capsys):
+        assert main(["trace", "info", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "chunked columnar trace store" in out
+        assert "time span" in out
+
+    def test_human_frame(self, trace_path, capsys):
+        assert main(["trace", "info", str(trace_path)]) == 0
+        assert "legacy single-file frame" in capsys.readouterr().out
+
+    def test_json_store(self, store_path, capsys):
+        assert main(["trace", "info", str(store_path), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["kind"] == "store"
+        assert info["n_chunks"] == len(info["chunks"])
+        assert sum(c["n"] for c in info["chunks"]) == info["n_events"]
+        assert info["header"]["machine"]
+        # the directory is time-ordered like the event stream
+        maxes = [c["t_max"] for c in info["chunks"]]
+        assert maxes == sorted(maxes)
+
+    def test_json_frame(self, trace_path, capsys):
+        assert main(["trace", "info", str(trace_path), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["kind"] == "frame"
+        assert info["n_chunks"] == 1
+        assert info["chunks"][0]["n"] == info["n_events"]
+
+    def test_json_matches_source_info(self, store_path, capsys):
+        from repro.trace.store import source_info
+
+        assert main(["trace", "info", str(store_path), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == source_info(store_path)
+
+
+class TestServeCli:
+    def test_serve_prints_bound_port_and_drains(self, tmp_path, capsys):
+        """`repro serve --port 0` resolves and reports the ephemeral port."""
+        import re
+        import threading
+        import urllib.request
+
+        from repro.service import ServiceClient
+
+        snap = tmp_path / "snap.pkl"
+        done = threading.Event()
+
+        def run() -> None:
+            main(["serve", "--snapshot", str(snap), "--duration", "30"])
+            done.set()
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        # the startup line lands on the captured stdout; poll for it
+        import time
+
+        url = None
+        deadline = time.monotonic() + 10
+        while url is None and time.monotonic() < deadline:
+            m = re.search(r"trace service at (http://\S+)",
+                          capsys.readouterr().out)
+            if m:
+                url = m.group(1)
+            else:
+                time.sleep(0.05)
+        assert url, "serve never printed its URL"
+        assert not url.endswith(":0")
+        client = ServiceClient(url)
+        assert client.wait_healthy()["status"] == "ok"
+        client.shutdown()
+        assert done.wait(10)
+        assert snap.exists()
+
+    def test_push_requires_url(self, trace_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["push", str(trace_path)])
+
+    def test_push_and_report_round_trip(self, trace_path, capsys):
+        """CLI push against an in-process daemon: report matches batch."""
+        from repro.service import TraceService
+
+        assert main(["characterize", str(trace_path)]) == 0
+        batch = capsys.readouterr().out
+        with TraceService() as svc:
+            rc = main(["push", str(trace_path), "--url", svc.url,
+                       "--run", "w", "--report", "--chunk-size", "2048"])
+            assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("pushed ")
+        served = out.split("\n", 1)[1]
+        assert served == batch

@@ -505,3 +505,58 @@ class TestAcceptance:
         # pool slowest-task note surfaces in the rendered report
         assert report.notes.get("pool.slowest_task")
         assert "slowest pool task" in report.render()
+
+
+class TestSamplerConcurrency:
+    def test_peek_safe_against_concurrent_sampling(self):
+        """peek() from reader threads while sample_once() appends.
+
+        Unlocked, ``list(deque)`` raises RuntimeError the moment the
+        sampling thread mutates the ring mid-copy; the telemetry server
+        peeks from HTTP request threads, so this must never happen.
+        """
+        import threading
+
+        observer = obs.enable()
+        sampler = Sampler(observer, period_s=60.0, capacity=8)
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def writer() -> None:
+            while not stop.is_set():
+                obs.add("ticks")
+                sampler.sample_once()
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    ts = sampler.peek()
+                    assert len(ts["samples"]) <= sampler.capacity
+                    assert ts["n_dropped"] >= 0
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        import time as _time
+
+        _time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert not errors
+
+    def test_peek_consistent_with_flush(self):
+        observer = obs.enable()
+        sampler = Sampler(observer, period_s=60.0, capacity=4)
+        for _ in range(9):
+            sampler.sample_once()
+        peeked = sampler.peek()
+        assert peeked["n_samples"] == 9
+        assert len(peeked["samples"]) == 4
+        assert peeked["n_dropped"] == 5
+        flushed = sampler.flush()
+        assert flushed["n_dropped"] >= peeked["n_dropped"]

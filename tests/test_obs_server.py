@@ -167,3 +167,37 @@ class TestLiveServer:
         server.stop()
         with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
             _get(f"{url}/healthz")
+
+
+class TestSocketHygiene:
+    def test_rebind_same_port_immediately(self):
+        """SO_REUSEADDR: a restarted server rebinds its old port at once."""
+        first = ObsServer(report=_traced_report()).start()
+        port = first.port
+        first.stop()
+        second = ObsServer(report=_traced_report(), port=port).start()
+        try:
+            assert second.port == port
+            status, _, _ = _get(second.url + "/healthz")
+            assert status == 200
+        finally:
+            second.stop()
+
+    def test_ephemeral_port_resolved_and_reported(self):
+        server = ObsServer(report=_traced_report(), port=0)
+        assert server.port == 0  # unresolved until bind
+        server.start()
+        try:
+            assert server.port != 0
+            assert f":{server.port}" in server.url
+        finally:
+            server.stop()
+
+    def test_server_class_flags(self):
+        from http.server import ThreadingHTTPServer
+
+        from repro.obs.server import ReusableThreadingHTTPServer
+
+        assert issubclass(ReusableThreadingHTTPServer, ThreadingHTTPServer)
+        assert ReusableThreadingHTTPServer.allow_reuse_address is True
+        assert ReusableThreadingHTTPServer.daemon_threads is True
